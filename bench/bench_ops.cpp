@@ -1,0 +1,153 @@
+// Experiment T1 — primitive operation costs (google-benchmark).
+//
+// Paper claim (§4/§5): pairing evaluation dominates everything; the
+// mediated BF-IBE pays 1 pairing per side per decryption while IB-mRSA
+// pays one half-size modular exponentiation per side, which is why
+// "IB-mRSA is more efficient"; GDH signing is one scalar multiplication
+// per side and verification two pairings.
+//
+// Also carries the coordinate-system ablation (Jacobian ladder vs the
+// affine reference) called out in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ec/hash_to_point.h"
+#include "hash/sha256.h"
+#include "pairing/params.h"
+#include "pairing/tate.h"
+#include "rsa/rsa.h"
+
+namespace {
+
+using namespace medcrypt;
+
+const pairing::ParamSet& params() { return pairing::paper_params(); }
+
+struct PairingFixture {
+  PairingFixture()
+      : engine(params().curve), rng(1),
+        a(bigint::BigInt::random_unit(rng, params().order())),
+        p(params().generator), q(params().generator.mul(a)) {}
+
+  pairing::TatePairing engine;
+  hash::HmacDrbg rng;
+  bigint::BigInt a;
+  ec::Point p, q;
+};
+
+PairingFixture& fixture() {
+  static PairingFixture f;
+  return f;
+}
+
+void BM_TatePairing_sec80(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(f.engine.pair(f.p, f.q));
+}
+BENCHMARK(BM_TatePairing_sec80);
+
+void BM_ScalarMul_Jacobian_sec80(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(f.p.mul(f.a));
+}
+BENCHMARK(BM_ScalarMul_Jacobian_sec80);
+
+void BM_ScalarMul_AffineAblation_sec80(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(f.p.mul_affine(f.a));
+}
+BENCHMARK(BM_ScalarMul_AffineAblation_sec80);
+
+void BM_Fp2Exponentiation_sec80(benchmark::State& state) {
+  auto& f = fixture();
+  const field::Fp2 g = f.engine.pair(f.p, f.q);
+  for (auto _ : state) benchmark::DoNotOptimize(g.pow(f.a));
+}
+BENCHMARK(BM_Fp2Exponentiation_sec80);
+
+void BM_HashToGroup_sec80(benchmark::State& state) {
+  int counter = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ec::hash_to_subgroup(
+        params().curve, "bench", str_bytes(std::to_string(counter++))));
+  }
+}
+BENCHMARK(BM_HashToGroup_sec80);
+
+void BM_FpInverse_sec80(benchmark::State& state) {
+  auto& f = fixture();
+  auto field = params().curve->field();
+  field::Fp x = field->random(f.rng);
+  for (auto _ : state) {
+    x = x.inverse() + field->one();
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_FpInverse_sec80);
+
+void BM_FpMul_sec80(benchmark::State& state) {
+  auto& f = fixture();
+  auto field = params().curve->field();
+  field::Fp x = field->random(f.rng), y = field->random(f.rng);
+  for (auto _ : state) {
+    x = x * y;
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_FpMul_sec80);
+
+struct RsaFixture {
+  RsaFixture() : rng(2) {
+    rsa::KeyGenOptions opts;
+    opts.modulus_bits = 1024;
+    key = rsa::generate_key(opts, rng);
+    half_exponent = bigint::BigInt::random_bits(rng, 512);
+    message = bigint::BigInt::random_below(rng, key.pub.n);
+  }
+  hash::HmacDrbg rng;
+  rsa::PrivateKey key;
+  bigint::BigInt half_exponent;
+  bigint::BigInt message;
+};
+
+RsaFixture& rsa_fixture() {
+  static RsaFixture f;
+  return f;
+}
+
+void BM_RsaPublicOp_1024(benchmark::State& state) {
+  auto& f = rsa_fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa::public_op(f.key.pub, f.message));
+  }
+}
+BENCHMARK(BM_RsaPublicOp_1024);
+
+void BM_RsaPrivateOp_1024(benchmark::State& state) {
+  auto& f = rsa_fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa::private_op(f.key, f.message));
+  }
+}
+BENCHMARK(BM_RsaPrivateOp_1024);
+
+void BM_RsaHalfExponent_1024(benchmark::State& state) {
+  // The per-side cost of a mediated RSA operation (d_user and d_sem are
+  // full-size random exponents, so this matches private_op; shown
+  // separately for the T2 decomposition).
+  auto& f = rsa_fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.message.pow_mod(f.half_exponent, f.key.pub.n));
+  }
+}
+BENCHMARK(BM_RsaHalfExponent_1024);
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  const Bytes data(1024, 0xab);
+  for (auto _ : state) benchmark::DoNotOptimize(hash::Sha256::digest(data));
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Experiment F3 — the security/size/performance trade-off across
+// parameter sets (§4–§5's size discussion).
+//
+// Sweeps the named parameter sets from 128-bit to 512-bit field primes
+// and reports pairing cost, scalar multiplication, mediated decryption,
+// and the wire sizes that scale with |p|. The paper's qualitative claim:
+// pairing-based object sizes scale with the curve field (hence the
+// point-compression wins over RSA at matched security), while pairing
+// cost grows superlinearly with |p|.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "mediated/mediated_ibe.h"
+#include "pairing/params.h"
+#include "pairing/tate.h"
+
+int main() {
+  using namespace medcrypt;
+  using benchutil::Table, benchutil::time_us, benchutil::fmt_us;
+
+  constexpr int kIters = 10;
+  std::printf("== F3: parameter sweep (pairing group sizes) ==\n\n");
+
+  Table t({"set", "|p| bits", "|q| bits", "pairing", "scalar mult",
+           "mediated decrypt", "token bytes", "ciphertext bytes"});
+
+  for (const char* name : {"toy64", "mid128", "sweep384", "sec80"}) {
+    const auto& params = pairing::named_params(name);
+    hash::HmacDrbg rng(5001);
+
+    ibe::Pkg pkg(params, 32, rng);
+    auto revocations = std::make_shared<mediated::RevocationList>();
+    mediated::IbeMediator sem(pkg.params(), revocations);
+    auto user = enroll_ibe_user(pkg, sem, "alice", rng);
+
+    Bytes msg(32);
+    rng.fill(msg);
+    const auto ct = ibe::full_encrypt(pkg.params(), "alice", msg, rng);
+
+    const pairing::TatePairing engine(params.curve);
+    const auto q_id = ibe::map_identity(pkg.params(), "alice");
+    const bigint::BigInt k = bigint::BigInt::random_unit(rng, params.order());
+
+    const double pair_us = time_us(kIters, [&] {
+      (void)engine.pair(pkg.params().p_pub, q_id);
+    });
+    const double mul_us = time_us(kIters, [&] {
+      (void)params.generator.mul(k);
+    });
+    const double dec_us = time_us(kIters, [&] {
+      (void)user.decrypt(ct, sem);
+    });
+
+    t.add_row({name,
+               std::to_string(params.curve->field()->modulus().bit_length()),
+               std::to_string(params.order().bit_length()), fmt_us(pair_us),
+               fmt_us(mul_us), fmt_us(dec_us),
+               std::to_string(2 * params.curve->field()->byte_size()),
+               std::to_string(ct.to_bytes().size())});
+  }
+  t.print();
+
+  std::printf("\nshape check: pairing cost grows ~|p|^2..3 (limb arithmetic), "
+              "sizes grow linearly in |p|; sec80 is the paper's setting.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Shared helpers for the experiment harnesses: wall-clock timing of
+// closures, a fixed-width table printer for paper-style rows, and a fast
+// IB-mRSA system factory for benches.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hash/drbg.h"
+#include "mediated/ib_mrsa.h"
+
+namespace medcrypt::benchutil {
+
+/// Mean wall-clock microseconds of `fn` over `iters` runs (one warmup).
+template <typename Fn>
+double time_us(int iters, Fn&& fn) {
+  fn();  // warmup
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count() / iters;
+}
+
+/// Fixed-width markdown-ish table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    print_row(headers_, widths);
+    std::string sep;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      sep += "|";
+      sep += std::string(widths[i] + 2, '-');
+    }
+    std::printf("%s|\n", sep.c_str());
+    for (const auto& row : rows_) print_row(row, widths);
+  }
+
+ private:
+  static void print_row(const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& widths) {
+    std::string line;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      line += "| ";
+      line += cell;
+      line += std::string(widths[i] - cell.size() + 1, ' ');
+    }
+    std::printf("%s|\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt_us(double us) {
+  char buf[64];
+  if (us >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", us / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", us);
+  }
+  return buf;
+}
+
+inline std::string fmt_count(std::uint64_t v) { return std::to_string(v); }
+
+/// IB-mRSA system for benches: paper-size 1024-bit modulus. Safe-prime
+/// generation at this size takes ~20 s, so benches use ordinary primes
+/// and retry setup until the bench identities' exponents are invertible
+/// (exactly the failure safe primes exist to rule out; runtime costs of
+/// the resulting system are identical).
+inline mediated::IbMRsaSystem bench_mrsa_system(
+    RandomSource& rng, const std::vector<std::string>& identities) {
+  for (;;) {
+    mediated::IbMRsaSystem system(
+        mediated::IbMRsaSystem::Options{1024, 160, /*safe_primes=*/false}, rng);
+    try {
+      for (const auto& id : identities) (void)system.full_exponent(id);
+      return system;
+    } catch (const Error&) {
+      // some e_ID shared a factor with phi(n); regenerate the modulus
+    }
+  }
+}
+
+}  // namespace medcrypt::benchutil

@@ -1,0 +1,66 @@
+// Quickstart: the mediated Boneh–Franklin IBE in ~60 lines.
+//
+//   1. A PKG sets up the system and enrolls Alice (splitting her key
+//      between her and the SEM).
+//   2. Bob encrypts to the *string* "alice@example.com" — no certificate
+//      lookup, no revocation check, no SEM contact.
+//   3. Alice decrypts with one SEM round trip.
+//   4. The authority revokes Alice; her next decryption is denied
+//      instantly.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <iostream>
+
+#include "hash/drbg.h"
+#include "mediated/mediated_ibe.h"
+#include "pairing/params.h"
+
+int main() {
+  using namespace medcrypt;
+
+  // System RNG (use hash::HmacDrbg{seed} for reproducible runs).
+  hash::SystemRandom rng;
+
+  // --- Setup: PKG + SEM at the paper's 512-bit/160-bit parameters ----------
+  ibe::Pkg pkg(pairing::paper_params(), /*message_len=*/32, rng);
+  auto revocations = std::make_shared<mediated::RevocationList>();
+  mediated::IbeMediator sem(pkg.params(), revocations);
+
+  // --- Enrollment: split Alice's key between her and the SEM ---------------
+  auto alice = enroll_ibe_user(pkg, sem, "alice@example.com", rng);
+  std::cout << "enrolled alice@example.com (key split user/SEM)\n";
+
+  // --- Bob encrypts to Alice's identity string ------------------------------
+  Bytes message = str_bytes("meet me at the crypto conference");
+  message.resize(32, ' ');  // FullIdent encrypts fixed-size blocks
+  const auto ciphertext =
+      ibe::full_encrypt(pkg.params(), "alice@example.com", message, rng);
+  std::cout << "bob encrypted " << ciphertext.to_bytes().size()
+            << "-byte ciphertext to the identity string itself\n";
+
+  // --- Alice decrypts (one SEM round trip) ----------------------------------
+  sim::Transport wire;
+  const Bytes decrypted = alice.decrypt(ciphertext, sem, &wire);
+  std::cout << "alice decrypted: \""
+            << std::string(decrypted.begin(), decrypted.end()) << "\"\n"
+            << "  SEM round trip: " << wire.stats().to_server.bytes
+            << " bytes up, " << wire.stats().to_client.bytes
+            << " bytes down (one " << wire.stats().to_client.bytes * 8
+            << "-bit token)\n";
+
+  // --- Instant revocation ----------------------------------------------------
+  revocations->revoke("alice@example.com");
+  std::cout << "authority revoked alice@example.com\n";
+  try {
+    (void)alice.decrypt(ciphertext, sem);
+    std::cout << "ERROR: decryption should have been denied!\n";
+    return 1;
+  } catch (const RevokedError& e) {
+    std::cout << "next decryption denied by SEM: " << e.what() << "\n";
+  }
+
+  const auto stats = sem.stats();
+  std::cout << "SEM audit: " << stats.tokens_issued << " tokens issued, "
+            << stats.denials << " denials\n";
+  return 0;
+}

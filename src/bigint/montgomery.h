@@ -1,0 +1,62 @@
+// Montgomery-form modular arithmetic for odd moduli.
+//
+// A Montgomery context precomputes R = 2^(64k), R^2 mod N and
+// -N^{-1} mod 2^64 for a fixed odd modulus N of k limbs, and offers CIOS
+// multiplication and windowed exponentiation. The prime-field layer keeps
+// its elements permanently in Montgomery form and reuses one shared
+// context per field, which is what makes the 512-bit Tate pairing usable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.h"
+
+namespace medcrypt::bigint {
+
+/// Montgomery multiplication/exponentiation context for an odd modulus.
+class Montgomery {
+ public:
+  /// Builds the context. Throws InvalidArgument unless n is odd and > 1.
+  explicit Montgomery(BigInt n);
+
+  const BigInt& modulus() const { return n_; }
+
+  /// Number of 64-bit limbs of the modulus.
+  std::size_t limbs() const { return k_; }
+
+  /// Converts a (already reduced mod n) into Montgomery form: a*R mod n.
+  BigInt to_mont(const BigInt& a) const;
+
+  /// Converts a Montgomery-form value back to the ordinary residue.
+  BigInt from_mont(const BigInt& a) const;
+
+  /// Montgomery product: a*b*R^{-1} mod n for Montgomery-form a, b.
+  BigInt mul(const BigInt& a, const BigInt& b) const;
+
+  /// The Montgomery form of 1 (i.e. R mod n).
+  const BigInt& one() const { return one_; }
+
+  /// base^e mod n for an *ordinary* (non-Montgomery) base; returns an
+  /// ordinary residue. Requires 0 <= base < n and e >= 0.
+  BigInt pow(const BigInt& base, const BigInt& e) const;
+
+  /// base^e where base is in Montgomery form; result in Montgomery form.
+  BigInt pow_mont(const BigInt& base_mont, const BigInt& e) const;
+
+ private:
+  // CIOS Montgomery multiplication on k-limb little-endian arrays.
+  void mont_mul(const std::uint64_t* a, const std::uint64_t* b,
+                std::uint64_t* out) const;
+
+  // Pads a BigInt's limbs to exactly k entries.
+  std::vector<std::uint64_t> padded(const BigInt& a) const;
+
+  BigInt n_;
+  std::size_t k_ = 0;
+  std::uint64_t n0inv_ = 0;  // -n^{-1} mod 2^64
+  BigInt r2_;                // R^2 mod n
+  BigInt one_;               // R mod n
+};
+
+}  // namespace medcrypt::bigint

@@ -1,0 +1,31 @@
+// Primality testing and prime generation.
+//
+// Miller–Rabin with a small-prime pre-sieve powers RSA keygen (ordinary and
+// safe primes, as IB-mRSA requires p = 2p'+1), the pairing parameter
+// generator (subgroup order q and field prime p = h*q - 1), and tests.
+#pragma once
+
+#include <cstddef>
+
+#include "bigint/bigint.h"
+#include "common/random_source.h"
+
+namespace medcrypt::bigint {
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases
+/// (error probability <= 4^-rounds), preceded by trial division by small
+/// primes. Handles n < 2 and even n correctly.
+bool is_probable_prime(const BigInt& n, RandomSource& rng, int rounds = 32);
+
+/// Generates a random prime with exactly `bits` bits (top bit forced to 1).
+BigInt generate_prime(std::size_t bits, RandomSource& rng);
+
+/// Generates a safe prime p = 2q + 1 (q also prime) with exactly `bits` bits.
+/// Used by IB-mRSA's Blum-integer setup. This is slow for large sizes; the
+/// test suite uses reduced parameters.
+BigInt generate_safe_prime(std::size_t bits, RandomSource& rng);
+
+/// Generates a Blum prime (p ≡ 3 mod 4) with exactly `bits` bits.
+BigInt generate_blum_prime(std::size_t bits, RandomSource& rng);
+
+}  // namespace medcrypt::bigint

@@ -1,0 +1,45 @@
+// Byte-buffer utilities shared across the library.
+//
+// medcrypt uses `Bytes` (a std::vector<uint8_t>) as the universal wire and
+// serialization type; helpers here cover hex round-trips, concatenation,
+// XOR, and constant-size big-endian integer framing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace medcrypt {
+
+/// Owning byte buffer used for messages, ciphertext components and
+/// serialized group elements throughout the library.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Read-only view over bytes; the preferred parameter type for inputs.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encodes `data` as lowercase hex.
+std::string to_hex(BytesView data);
+
+/// Decodes a hex string (upper- or lowercase, even length).
+/// Throws medcrypt::Error on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Returns a || b.
+Bytes concat(BytesView a, BytesView b);
+
+/// Returns a || b || c.
+Bytes concat(BytesView a, BytesView b, BytesView c);
+
+/// XORs `b` into a copy of `a`. Requires a.size() == b.size().
+Bytes xor_bytes(BytesView a, BytesView b);
+
+/// Converts a UTF-8/ASCII string to bytes (no copy of the terminator).
+Bytes str_bytes(std::string_view s);
+
+/// Constant-time-ish equality (length leak only); used for tag checks.
+bool ct_equal(BytesView a, BytesView b);
+
+}  // namespace medcrypt

@@ -1,0 +1,9 @@
+#include "common/error.h"
+
+// Out-of-line anchor translation unit: keeps vtables/typeinfo for the error
+// hierarchy in one object file.
+namespace medcrypt {
+namespace {
+// Nothing needed at runtime; the classes are header-only otherwise.
+}  // namespace
+}  // namespace medcrypt

@@ -1,0 +1,45 @@
+// Error hierarchy for medcrypt.
+//
+// All recoverable failures throw subclasses of medcrypt::Error; decryption
+// failures that are part of the protocol (invalid ciphertext, revoked
+// identity) have dedicated types so callers can distinguish policy denials
+// from malformed data.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace medcrypt {
+
+/// Base class for all medcrypt exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or inconsistent inputs (bad sizes, points off curve, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A ciphertext failed its validity / integrity check during decryption.
+class DecryptionError : public Error {
+ public:
+  explicit DecryptionError(const std::string& what) : Error(what) {}
+};
+
+/// The SEM refused service because the identity / key is revoked.
+/// This is the paper's "Error" return from the mediator.
+class RevokedError : public Error {
+ public:
+  explicit RevokedError(const std::string& what) : Error(what) {}
+};
+
+/// A verifiable share or NIZK proof failed verification.
+class ProofError : public Error {
+ public:
+  explicit ProofError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace medcrypt

@@ -1,0 +1,33 @@
+// Abstract randomness interface.
+//
+// The bigint layer needs random bytes but must not depend on the hash
+// module (which implements the concrete HMAC-DRBG); this interface breaks
+// the cycle. All randomized algorithms in medcrypt take a RandomSource&,
+// which makes every test deterministic by seeding the DRBG.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace medcrypt {
+
+/// Source of random bytes. Implementations: hash::HmacDrbg (deterministic,
+/// seedable) and hash::SystemRandom (OS-entropy seeded).
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Fills `out` with random bytes.
+  virtual void fill(std::span<std::uint8_t> out) = 0;
+
+  /// Convenience: a uniformly random 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint8_t buf[8];
+    fill(buf);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | buf[i];
+    return v;
+  }
+};
+
+}  // namespace medcrypt

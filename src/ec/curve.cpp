@@ -1,0 +1,74 @@
+#include "ec/curve.h"
+
+#include "common/error.h"
+#include "ec/point.h"
+
+namespace medcrypt::ec {
+
+Curve::Curve(std::shared_ptr<const PrimeField> field, Fp a, Fp b, BigInt order,
+             BigInt cofactor)
+    : field_(std::move(field)), a_(std::move(a)), b_(std::move(b)),
+      order_(std::move(order)), cofactor_(std::move(cofactor)) {}
+
+std::shared_ptr<const Curve> Curve::make(
+    std::shared_ptr<const PrimeField> field, Fp a, Fp b, BigInt order,
+    BigInt cofactor) {
+  // Non-singularity: 4a^3 + 27b^2 != 0.
+  const Fp disc = a.square() * a * field->from_u64(4) +
+                  b.square() * field->from_u64(27);
+  if (disc.is_zero()) {
+    throw InvalidArgument("Curve::make: singular curve");
+  }
+  if (order <= BigInt(1) || cofactor < BigInt(1)) {
+    throw InvalidArgument("Curve::make: bad order/cofactor");
+  }
+  return std::shared_ptr<const Curve>(
+      new Curve(std::move(field), std::move(a), std::move(b), std::move(order),
+                std::move(cofactor)));
+}
+
+Point Curve::infinity() const {
+  return Point(shared_from_this(), true, Fp{}, Fp{});
+}
+
+Fp Curve::rhs(const Fp& x) const {
+  return x.square() * x + a_ * x + b_;
+}
+
+bool Curve::contains(const Fp& x, const Fp& y) const {
+  return y.square() == rhs(x);
+}
+
+Point Curve::point(Fp x, Fp y) const {
+  if (!contains(x, y)) {
+    throw InvalidArgument("Curve::point: coordinates not on curve");
+  }
+  return Point(shared_from_this(), false, std::move(x), std::move(y));
+}
+
+Point Curve::decompress(BytesView bytes) const {
+  if (bytes.size() != compressed_size()) {
+    throw InvalidArgument("Curve::decompress: wrong length");
+  }
+  if (bytes[0] == 0x00) {
+    // Infinity encoding: tag zero, zero payload.
+    for (std::size_t i = 1; i < bytes.size(); ++i) {
+      if (bytes[i] != 0) throw InvalidArgument("Curve::decompress: bad infinity");
+    }
+    return infinity();
+  }
+  if (bytes[0] != 0x02 && bytes[0] != 0x03) {
+    throw InvalidArgument("Curve::decompress: bad tag");
+  }
+  const Fp x = field_->from_bytes(bytes.subspan(1));
+  const Fp rhs_val = rhs(x);
+  if (!rhs_val.is_square()) {
+    throw InvalidArgument("Curve::decompress: x not on curve");
+  }
+  Fp y = rhs_val.sqrt();
+  const bool want_odd = bytes[0] == 0x03;
+  if (y.parity() != want_odd) y = -y;
+  return Point(shared_from_this(), false, x, y);
+}
+
+}  // namespace medcrypt::ec

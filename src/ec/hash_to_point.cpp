@@ -1,0 +1,39 @@
+#include "ec/hash_to_point.h"
+
+#include "common/error.h"
+#include "hash/kdf.h"
+
+namespace medcrypt::ec {
+
+Point hash_to_subgroup(const std::shared_ptr<const Curve>& curve,
+                       std::string_view domain, BytesView input) {
+  const auto& field = curve->field();
+  // 128 extra bits make the mod-p bias negligible.
+  const std::size_t xbytes = field->byte_size() + 16;
+
+  for (std::uint32_t counter = 0;; ++counter) {
+    Bytes seed;
+    seed.reserve(4 + input.size());
+    for (int i = 0; i < 4; ++i) {
+      seed.push_back(static_cast<std::uint8_t>(counter >> (24 - 8 * i)));
+    }
+    seed.insert(seed.end(), input.begin(), input.end());
+
+    const Bytes material = hash::expand(domain, seed, xbytes + 1);
+    const Fp x = field->from_bigint(
+        BigInt::from_bytes_be(BytesView(material.data(), xbytes)));
+    const Fp rhs = curve->rhs(x);
+    if (!rhs.is_square()) continue;
+
+    Fp y = rhs.sqrt();
+    // Use one derived bit to pick the root deterministically.
+    const bool want_odd = (material[xbytes] & 1) != 0;
+    if (y.parity() != want_odd) y = -y;
+
+    const Point candidate = curve->point(x, y).mul(curve->cofactor());
+    if (candidate.is_infinity()) continue;  // killed by cofactor clearing
+    return candidate;
+  }
+}
+
+}  // namespace medcrypt::ec

@@ -1,0 +1,20 @@
+// Hashing arbitrary strings onto the order-q subgroup G1 — the paper's
+// random oracle H1 : {0,1}* -> G1*.
+//
+// Try-and-increment: derive a candidate x-coordinate from
+// SHA-256(domain, counter, input), test the curve equation, take a square
+// root, then clear the cofactor. The output is never the identity.
+#pragma once
+
+#include <string_view>
+
+#include "ec/point.h"
+
+namespace medcrypt::ec {
+
+/// Maps `input` to a point of order q on `curve`, domain-separated by
+/// `domain`. Deterministic; output is never the point at infinity.
+Point hash_to_subgroup(const std::shared_ptr<const Curve>& curve,
+                       std::string_view domain, BytesView input);
+
+}  // namespace medcrypt::ec

@@ -1,0 +1,167 @@
+#include "ec/jacobian.h"
+
+#include "common/error.h"
+
+namespace medcrypt::ec {
+
+JacPoint jac_from_affine(const Point& p) {
+  if (p.is_infinity()) return JacPoint{};
+  const auto& field = p.curve()->field();
+  return JacPoint{p.x(), p.y(), field->one(), false};
+}
+
+Point jac_to_affine(const std::shared_ptr<const Curve>& curve,
+                    const JacPoint& p) {
+  if (p.inf) return curve->infinity();
+  const Fp z_inv = p.z.inverse();
+  const Fp z_inv_sq = z_inv.square();
+  return curve->point(p.x * z_inv_sq, p.y * z_inv_sq * z_inv);
+}
+
+std::vector<Point> jac_to_affine_batch(
+    const std::shared_ptr<const Curve>& curve, std::span<const JacPoint> pts) {
+  // Montgomery's trick: prefix products, one inversion, unwind.
+  std::vector<Point> out(pts.size());
+  std::vector<std::size_t> finite;  // indices with z != 0
+  finite.reserve(pts.size());
+  std::vector<Fp> prefix;           // running products of z
+  prefix.reserve(pts.size());
+  Fp running = curve->field()->one();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].inf) {
+      out[i] = curve->infinity();
+      continue;
+    }
+    prefix.push_back(running);  // product of all previous finite z's
+    finite.push_back(i);
+    running = running * pts[i].z;
+  }
+  if (finite.empty()) return out;
+
+  Fp inv_all = running.inverse();
+  for (std::size_t j = finite.size(); j-- > 0;) {
+    const JacPoint& p = pts[finite[j]];
+    const Fp z_inv = inv_all * prefix[j];  // 1/z_j
+    inv_all = inv_all * p.z;               // drop z_j from the tail
+    const Fp z_inv_sq = z_inv.square();
+    out[finite[j]] = curve->point(p.x * z_inv_sq, p.y * z_inv_sq * z_inv);
+  }
+  return out;
+}
+
+JacPoint jac_dbl(const Curve& curve, const JacPoint& t, DblTrace* trace) {
+  if (t.inf || t.y.is_zero()) return JacPoint{};
+
+  const Fp y_sq = t.y.square();
+  const Fp z_sq = t.z.square();
+  const Fp s = (t.x * y_sq).dbl().dbl();             // S = 4XY^2
+  const Fp m = t.x.square() * curve.field()->from_u64(3) +
+               curve.a() * z_sq.square();            // M = 3X^2 + aZ^4
+  const Fp x3 = m.square() - s.dbl();                // X' = M^2 - 2S
+  const Fp y_4th_8 = y_sq.square().dbl().dbl().dbl();  // 8Y^4
+  const Fp y3 = m * (s - x3) - y_4th_8;              // Y' = M(S - X') - 8Y^4
+  const Fp z3 = (t.y * t.z).dbl();                   // Z' = 2YZ
+
+  if (trace != nullptr) {
+    trace->m = m;
+    trace->x = t.x;
+    trace->y_sq = y_sq;
+    trace->z_sq = z_sq;
+    trace->zp_zsq = z3 * z_sq;  // 2YZ^3
+  }
+  return JacPoint{x3, y3, z3, false};
+}
+
+JacPoint jac_add_mixed(const Curve& curve, const JacPoint& t, const Point& p,
+                       AddTrace* trace) {
+  if (p.is_infinity()) {
+    throw InvalidArgument("jac_add_mixed: affine addend must be finite");
+  }
+  if (t.inf) {
+    if (trace != nullptr) {
+      throw InvalidArgument("jac_add_mixed: no line through infinity");
+    }
+    return jac_from_affine(p);
+  }
+
+  const Fp z_sq = t.z.square();
+  const Fp u2 = p.x() * z_sq;        // x_P in T's scale
+  const Fp s2 = p.y() * z_sq * t.z;  // y_P in T's scale
+  const Fp h = u2 - t.x;
+  const Fp r = s2 - t.y;
+
+  if (h.is_zero()) {
+    if (r.is_zero()) {
+      // T == P: a doubling. The Miller loop never reaches this; the
+      // scalar ladder may on tiny curves.
+      if (trace != nullptr) {
+        throw InvalidArgument("jac_add_mixed: doubling case has no add line");
+      }
+      return jac_dbl(curve, t);
+    }
+    // T == -P: vertical line, result is infinity.
+    if (trace != nullptr) {
+      trace->vertical = true;
+      trace->zh = t.z * h;  // zero; unused
+      trace->r = r;
+    }
+    return JacPoint{};
+  }
+
+  const Fp h_sq = h.square();
+  const Fp h_cu = h_sq * h;
+  const Fp v = t.x * h_sq;              // U1 * H^2
+  const Fp x3 = r.square() - h_cu - v.dbl();
+  const Fp y3 = r * (v - x3) - t.y * h_cu;
+  const Fp z3 = t.z * h;
+
+  if (trace != nullptr) {
+    trace->zh = z3;
+    trace->r = r;
+    trace->vertical = false;
+  }
+  return JacPoint{x3, y3, z3, false};
+}
+
+Point jac_mul(const Point& p, const bigint::BigInt& k) {
+  const auto& curve = p.curve();
+  if (!curve) throw InvalidArgument("jac_mul: default-constructed point");
+  if (k.is_zero() || p.is_infinity()) return curve->infinity();
+  if (k.is_negative()) return jac_mul(-p, -k);
+
+  // 4-bit window over an affine table (mixed additions stay cheap).
+  // The 2P..15P entries are accumulated in Jacobian form and converted
+  // with ONE batched inversion.
+  constexpr int kWindow = 4;
+  std::vector<JacPoint> jac_table;
+  jac_table.reserve((1 << kWindow) - 2);
+  {
+    JacPoint acc = jac_from_affine(p);
+    for (int i = 2; i < (1 << kWindow); ++i) {
+      acc = jac_add_mixed(*curve, acc, p);
+      jac_table.push_back(acc);
+    }
+  }
+  const std::vector<Point> converted = jac_to_affine_batch(curve, jac_table);
+  Point table[1 << kWindow];
+  table[1] = p;
+  for (int i = 2; i < (1 << kWindow); ++i) table[i] = converted[i - 2];
+
+  const std::size_t nbits = k.bit_length();
+  const std::size_t nwindows = (nbits + kWindow - 1) / kWindow;
+  JacPoint acc{};
+  for (std::size_t w = nwindows; w-- > 0;) {
+    for (int i = 0; i < kWindow; ++i) acc = jac_dbl(*curve, acc);
+    unsigned idx = 0;
+    for (int i = kWindow - 1; i >= 0; --i) {
+      idx = (idx << 1) | (k.bit(w * kWindow + i) ? 1u : 0u);
+    }
+    if (idx != 0) {
+      if (table[idx].is_infinity()) continue;  // only if p had tiny order
+      acc = jac_add_mixed(*curve, acc, table[idx]);
+    }
+  }
+  return jac_to_affine(curve, acc);
+}
+
+}  // namespace medcrypt::ec

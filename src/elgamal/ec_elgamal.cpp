@@ -1,0 +1,37 @@
+#include "elgamal/ec_elgamal.h"
+
+#include "common/error.h"
+#include "hash/kdf.h"
+
+namespace medcrypt::elgamal {
+
+KeyPair keygen(const Params& params, RandomSource& rng) {
+  const BigInt x = BigInt::random_unit(rng, params.order());
+  return KeyPair{x, params.group.generator.mul(x)};
+}
+
+Bytes mask_from_point(const Point& s, std::size_t n) {
+  return hash::expand("EG.H", s.to_bytes(), n);
+}
+
+CpaCiphertext cpa_encrypt(const Params& params, const Point& pub,
+                          BytesView message, RandomSource& rng) {
+  if (message.size() != params.message_len) {
+    throw InvalidArgument("cpa_encrypt: message must be message_len bytes");
+  }
+  const BigInt r = BigInt::random_unit(rng, params.order());
+  const Point shared = pub.mul(r);
+  return CpaCiphertext{params.group.generator.mul(r),
+                       xor_bytes(message, mask_from_point(shared, message.size()))};
+}
+
+Bytes cpa_decrypt(const Params& params, const BigInt& secret,
+                  const CpaCiphertext& ct) {
+  if (ct.c2.size() != params.message_len) {
+    throw InvalidArgument("cpa_decrypt: wrong ciphertext body length");
+  }
+  const Point shared = ct.c1.mul(secret);
+  return xor_bytes(ct.c2, mask_from_point(shared, ct.c2.size()));
+}
+
+}  // namespace medcrypt::elgamal

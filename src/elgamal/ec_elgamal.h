@@ -1,0 +1,58 @@
+// Hashed elliptic-curve ElGamal — the "ordinary" (non-identity-based)
+// cryptosystem the paper's generic claim covers: any scheme with a
+// 2-out-of-2 threshold decryption supports a SEM (§4, last paragraphs).
+//
+// Plain (CPA) variant:
+//   Keygen   x ∈ Z_q, Y = xP
+//   Encrypt  r random, C = < rP, m ⊕ H(r·Y) >
+//   Decrypt  m = C2 ⊕ H(x·C1)
+//
+// The shared-secret point S = x·C1 is the threshold-friendly quantity:
+// with x = Σ x_i, partial decryptions x_i·C1 combine by point addition /
+// Lagrange, never revealing x.
+#pragma once
+
+#include "ec/point.h"
+#include "pairing/param_gen.h"
+
+namespace medcrypt::elgamal {
+
+using bigint::BigInt;
+using ec::Point;
+
+/// Public parameters: a prime-order group and the plaintext size.
+struct Params {
+  pairing::ParamSet group;
+  std::size_t message_len = 32;
+
+  const BigInt& order() const { return group.order(); }
+};
+
+/// ElGamal key pair.
+struct KeyPair {
+  BigInt secret;  // x
+  Point pub;      // Y = xP
+};
+
+/// Samples a key pair.
+KeyPair keygen(const Params& params, RandomSource& rng);
+
+/// CPA ciphertext <C1, C2>.
+struct CpaCiphertext {
+  Point c1;
+  Bytes c2;
+};
+
+/// Hashed-ElGamal encryption (IND-CPA under DDH... here CDH+RO).
+CpaCiphertext cpa_encrypt(const Params& params, const Point& pub,
+                          BytesView message, RandomSource& rng);
+
+/// Decrypts with the full secret; no integrity check.
+Bytes cpa_decrypt(const Params& params, const BigInt& secret,
+                  const CpaCiphertext& ct);
+
+/// The mask H(S) used by both variants, exposed for threshold/mediated
+/// recombination from the shared point S = x·C1.
+Bytes mask_from_point(const Point& s, std::size_t n);
+
+}  // namespace medcrypt::elgamal

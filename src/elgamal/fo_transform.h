@@ -1,0 +1,41 @@
+// Fujisaki–Okamoto transform of hashed ElGamal (paper §4, final
+// paragraph: "the El Gamal cryptosystem ... padded with the
+// Fujisaki-Okamoto transform ... can also support a security mediator").
+//
+//   Encrypt:  σ random, r = H3(σ, M),
+//             C = < rP, σ ⊕ H(r·Y), M ⊕ H4(σ) >
+//   Decrypt:  recover σ from S = x·C1, then M; check C1 = H3(σ, M)·P.
+//
+// Decryption is factored through the shared point S so the threshold and
+// mediated variants can recombine S from partial decryptions.
+#pragma once
+
+#include "elgamal/ec_elgamal.h"
+
+namespace medcrypt::elgamal {
+
+/// FO ciphertext <C1, C2, C3>.
+struct FoCiphertext {
+  Point c1;
+  Bytes c2;
+  Bytes c3;
+
+  Bytes to_bytes() const;
+  static FoCiphertext from_bytes(const Params& params, BytesView b);
+};
+
+/// IND-CCA encryption (random oracle model, per [11]).
+FoCiphertext fo_encrypt(const Params& params, const Point& pub,
+                        BytesView message, RandomSource& rng);
+
+/// Decrypts with the full secret; throws DecryptionError when the
+/// validity check fails.
+Bytes fo_decrypt(const Params& params, const BigInt& secret,
+                 const FoCiphertext& ct);
+
+/// Decryption given the shared point S = x·C1 (recombined from threshold
+/// shares or from SEM + user partial decryptions). Same validity check.
+Bytes fo_decrypt_with_shared(const Params& params, const Point& shared,
+                             const FoCiphertext& ct);
+
+}  // namespace medcrypt::elgamal

@@ -1,0 +1,158 @@
+#include "field/fp.h"
+
+#include "common/error.h"
+
+namespace medcrypt::field {
+
+PrimeField::PrimeField(BigInt p)
+    : mont_(std::move(p)), byte_size_((mont_.modulus().bit_length() + 7) / 8) {}
+
+std::shared_ptr<const PrimeField> PrimeField::make(BigInt p) {
+  // enable_shared_from_this requires shared ownership from the start.
+  return std::shared_ptr<const PrimeField>(new PrimeField(std::move(p)));
+}
+
+Fp PrimeField::zero() const {
+  return Fp(shared_from_this(), BigInt{});
+}
+
+Fp PrimeField::one() const {
+  return Fp(shared_from_this(), mont_.one());
+}
+
+Fp PrimeField::from_bigint(const BigInt& v) const {
+  return Fp(shared_from_this(), mont_.to_mont(v.mod(modulus())));
+}
+
+Fp PrimeField::from_u64(std::uint64_t v) const {
+  return from_bigint(BigInt(v));
+}
+
+Fp PrimeField::from_bytes(BytesView bytes) const {
+  if (bytes.size() != byte_size_) {
+    throw InvalidArgument("PrimeField::from_bytes: wrong length");
+  }
+  const BigInt v = BigInt::from_bytes_be(bytes);
+  if (v >= modulus()) {
+    throw InvalidArgument("PrimeField::from_bytes: value >= modulus");
+  }
+  return Fp(shared_from_this(), mont_.to_mont(v));
+}
+
+Fp PrimeField::random(RandomSource& rng) const {
+  return Fp(shared_from_this(), mont_.to_mont(BigInt::random_below(rng, modulus())));
+}
+
+bool Fp::is_one() const {
+  return field_ && mont_value_ == field_->mont().one();
+}
+
+void Fp::check_same_field(const Fp& o) const {
+  if (!field_ || !o.field_) {
+    throw InvalidArgument("Fp: operation on default-constructed element");
+  }
+  if (field_ != o.field_ && field_->modulus() != o.field_->modulus()) {
+    throw InvalidArgument("Fp: mixed-field operation");
+  }
+}
+
+Fp Fp::operator+(const Fp& o) const {
+  check_same_field(o);
+  return Fp(field_, mont_value_.add_mod(o.mont_value_, field_->modulus()));
+}
+
+Fp Fp::operator-(const Fp& o) const {
+  check_same_field(o);
+  return Fp(field_, mont_value_.sub_mod(o.mont_value_, field_->modulus()));
+}
+
+Fp Fp::operator-() const {
+  if (!field_) throw InvalidArgument("Fp: negate default-constructed element");
+  if (mont_value_.is_zero()) return *this;
+  return Fp(field_, field_->modulus() - mont_value_);
+}
+
+Fp Fp::operator*(const Fp& o) const {
+  check_same_field(o);
+  return Fp(field_, field_->mont().mul(mont_value_, o.mont_value_));
+}
+
+bool Fp::operator==(const Fp& o) const {
+  if (!field_ || !o.field_) return !field_ && !o.field_;
+  return field_->modulus() == o.field_->modulus() && mont_value_ == o.mont_value_;
+}
+
+Fp Fp::inverse() const {
+  if (!field_) throw InvalidArgument("Fp: inverse of default-constructed element");
+  if (is_zero()) throw InvalidArgument("Fp: inverse of zero");
+  // inv(a*R) = a^{-1} R^{-1}; multiplying by R^2 (to_mont twice... ) —
+  // simplest correct path: leave Montgomery, invert, re-enter.
+  const BigInt plain = field_->mont().from_mont(mont_value_);
+  return Fp(field_, field_->mont().to_mont(plain.mod_inverse(field_->modulus())));
+}
+
+Fp Fp::pow(const BigInt& e) const {
+  if (!field_) throw InvalidArgument("Fp: pow of default-constructed element");
+  return Fp(field_, field_->mont().pow_mont(mont_value_, e));
+}
+
+bool Fp::is_square() const {
+  if (is_zero()) return true;
+  const BigInt exp = (field_->modulus() - BigInt(1)) >> 1;
+  return pow(exp).is_one();
+}
+
+Fp Fp::sqrt() const {
+  if (!field_) throw InvalidArgument("Fp: sqrt of default-constructed element");
+  if (is_zero()) return *this;
+  const BigInt& p = field_->modulus();
+  if (!is_square()) throw InvalidArgument("Fp: sqrt of non-square");
+
+  if (p.bit(0) && p.bit(1)) {  // p ≡ 3 (mod 4)
+    const BigInt exp = (p + BigInt(1)) >> 2;
+    return pow(exp);
+  }
+
+  // Tonelli–Shanks for p ≡ 1 (mod 4).
+  BigInt q = p - BigInt(1);
+  std::size_t s = 0;
+  while (q.is_even()) {
+    q = q >> 1;
+    ++s;
+  }
+  // Find a non-square z.
+  Fp z = field_->from_u64(2);
+  while (z.is_square()) z = z + field_->one();
+
+  Fp m_pow = z.pow(q);                       // c
+  Fp t = pow(q);                             // t
+  Fp r = pow((q + BigInt(1)) >> 1);          // r
+  std::size_t m = s;
+  while (!t.is_one()) {
+    // Find least i with t^(2^i) == 1.
+    std::size_t i = 0;
+    Fp probe = t;
+    while (!probe.is_one()) {
+      probe = probe.square();
+      ++i;
+    }
+    Fp b = m_pow;
+    for (std::size_t j = 0; j + i + 1 < m; ++j) b = b.square();
+    m_pow = b.square();
+    t = t * m_pow;
+    r = r * b;
+    m = i;
+  }
+  return r;
+}
+
+BigInt Fp::to_bigint() const {
+  if (!field_) throw InvalidArgument("Fp: to_bigint of default-constructed element");
+  return field_->mont().from_mont(mont_value_);
+}
+
+Bytes Fp::to_bytes() const {
+  return to_bigint().to_bytes_be_padded(field_->byte_size());
+}
+
+}  // namespace medcrypt::field

@@ -1,0 +1,120 @@
+// Prime field F_p.
+//
+// PrimeField is an immutable shared context (modulus + Montgomery state);
+// Fp is a value-semantic element kept permanently in Montgomery form.
+// Elements remember their field via shared_ptr so mixed-field operations
+// are detected, and contexts never dangle.
+#pragma once
+
+#include <memory>
+
+#include "bigint/bigint.h"
+#include "bigint/montgomery.h"
+#include "common/bytes.h"
+#include "common/random_source.h"
+
+namespace medcrypt::field {
+
+using bigint::BigInt;
+
+class Fp;
+
+/// Immutable prime-field context. Create via PrimeField::make and share.
+class PrimeField : public std::enable_shared_from_this<PrimeField> {
+ public:
+  /// Builds a field context for odd prime p. Primality is the caller's
+  /// responsibility (parameter generation checks it); oddness is enforced.
+  static std::shared_ptr<const PrimeField> make(BigInt p);
+
+  const BigInt& modulus() const { return mont_.modulus(); }
+
+  /// Serialized size of one element (big-endian, fixed width).
+  std::size_t byte_size() const { return byte_size_; }
+
+  Fp zero() const;
+  Fp one() const;
+
+  /// Element from an arbitrary integer (reduced mod p).
+  Fp from_bigint(const BigInt& v) const;
+
+  /// Element from a small unsigned constant.
+  Fp from_u64(std::uint64_t v) const;
+
+  /// Parses a fixed-width big-endian element; throws if >= p or wrong size.
+  Fp from_bytes(BytesView bytes) const;
+
+  /// Uniformly random element.
+  Fp random(RandomSource& rng) const;
+
+  const bigint::Montgomery& mont() const { return mont_; }
+
+ private:
+  explicit PrimeField(BigInt p);
+
+  bigint::Montgomery mont_;
+  std::size_t byte_size_;
+};
+
+/// Element of a prime field, internally in Montgomery form.
+class Fp {
+ public:
+  /// Default-constructed elements belong to no field; only assignment and
+  /// destruction are valid on them.
+  Fp() = default;
+
+  const std::shared_ptr<const PrimeField>& field() const { return field_; }
+
+  bool is_zero() const { return mont_value_.is_zero(); }
+  bool is_one() const;
+
+  Fp operator+(const Fp& o) const;
+  Fp operator-(const Fp& o) const;
+  Fp operator*(const Fp& o) const;
+  Fp operator-() const;
+  Fp& operator+=(const Fp& o) { return *this = *this + o; }
+  Fp& operator-=(const Fp& o) { return *this = *this - o; }
+  Fp& operator*=(const Fp& o) { return *this = *this * o; }
+
+  bool operator==(const Fp& o) const;
+
+  Fp square() const { return *this * *this; }
+
+  /// Doubles (cheaper than generic add for EC formulas readability only).
+  Fp dbl() const { return *this + *this; }
+
+  /// Multiplicative inverse; throws InvalidArgument on zero.
+  Fp inverse() const;
+
+  /// this^e for e >= 0.
+  Fp pow(const BigInt& e) const;
+
+  /// Euler criterion; zero counts as a square.
+  bool is_square() const;
+
+  /// A square root (the caller picks the sign via canonical_sqrt or
+  /// negation); throws InvalidArgument if not a square.
+  /// Uses x^((p+1)/4) when p ≡ 3 (mod 4), Tonelli–Shanks otherwise.
+  Fp sqrt() const;
+
+  /// Canonical integer representative in [0, p).
+  BigInt to_bigint() const;
+
+  /// Fixed-width big-endian serialization.
+  Bytes to_bytes() const;
+
+  /// "Sign" bit for point compression: parity of the canonical
+  /// representative.
+  bool parity() const { return to_bigint().is_odd(); }
+
+ private:
+  friend class PrimeField;
+  Fp(std::shared_ptr<const PrimeField> field, BigInt mont_value)
+      : field_(std::move(field)), mont_value_(std::move(mont_value)) {}
+
+  void check_same_field(const Fp& o) const;
+
+  std::shared_ptr<const PrimeField> field_;
+  BigInt mont_value_;
+};
+
+}  // namespace medcrypt::field

@@ -1,0 +1,67 @@
+#include "field/fp2.h"
+
+#include "common/error.h"
+
+namespace medcrypt::field {
+
+Fp2::Fp2(Fp a, Fp b) : a_(std::move(a)), b_(std::move(b)) {}
+
+Fp2::Fp2(Fp a) : a_(std::move(a)) {
+  b_ = a_.field()->zero();
+}
+
+Fp2 Fp2::operator*(const Fp2& o) const {
+  // Karatsuba-style: (a + bi)(c + di) = (ac - bd) + ((a+b)(c+d) - ac - bd) i
+  const Fp ac = a_ * o.a_;
+  const Fp bd = b_ * o.b_;
+  const Fp cross = (a_ + b_) * (o.a_ + o.b_) - ac - bd;
+  return Fp2(ac - bd, cross);
+}
+
+Fp2 Fp2::square() const {
+  // (a + bi)^2 = (a+b)(a-b) + 2ab i
+  const Fp re = (a_ + b_) * (a_ - b_);
+  const Fp im = (a_ * b_).dbl();
+  return Fp2(re, im);
+}
+
+Fp2 Fp2::inverse() const {
+  if (is_zero()) throw InvalidArgument("Fp2: inverse of zero");
+  const Fp n_inv = norm().inverse();
+  return Fp2(a_ * n_inv, -(b_ * n_inv));
+}
+
+Fp2 Fp2::pow(const BigInt& e) const {
+  if (e.is_negative()) throw InvalidArgument("Fp2::pow: negative exponent");
+  Fp2 result = one(a_.field());
+  for (std::size_t i = e.bit_length(); i-- > 0;) {
+    result = result.square();
+    if (e.bit(i)) result = result * *this;
+  }
+  return result;
+}
+
+Bytes Fp2::to_bytes() const {
+  return concat(a_.to_bytes(), b_.to_bytes());
+}
+
+Fp2 Fp2::from_bytes(const std::shared_ptr<const PrimeField>& field,
+                    BytesView bytes) {
+  const std::size_t half = field->byte_size();
+  if (bytes.size() != 2 * half) {
+    throw InvalidArgument("Fp2::from_bytes: wrong length");
+  }
+  return Fp2(field->from_bytes(bytes.subspan(0, half)),
+             field->from_bytes(bytes.subspan(half)));
+}
+
+Fp2 Fp2::random(const std::shared_ptr<const PrimeField>& field,
+                RandomSource& rng) {
+  return Fp2(field->random(rng), field->random(rng));
+}
+
+Fp2 Fp2::one(const std::shared_ptr<const PrimeField>& field) {
+  return Fp2(field->one(), field->zero());
+}
+
+}  // namespace medcrypt::field

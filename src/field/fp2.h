@@ -1,0 +1,69 @@
+// Quadratic extension field F_{p^2} = F_p[i] / (i^2 + 1), for p ≡ 3 (mod 4).
+//
+// This is the pairing target-group field: the modified Tate pairing on the
+// supersingular curve y^2 = x^3 + x lands in the order-q subgroup of
+// F*_{p^2}. The distortion map also needs i: φ(x, y) = (-x, i·y).
+#pragma once
+
+#include "field/fp.h"
+
+namespace medcrypt::field {
+
+/// Element a + b·i of F_{p^2}, with i^2 = -1.
+class Fp2 {
+ public:
+  /// Default-constructed elements belong to no field (assignment only).
+  Fp2() = default;
+
+  /// Builds a + b·i. Both components must share one field.
+  Fp2(Fp a, Fp b);
+
+  /// Embeds an F_p element as a + 0·i.
+  explicit Fp2(Fp a);
+
+  const Fp& re() const { return a_; }
+  const Fp& im() const { return b_; }
+
+  bool is_zero() const { return a_.is_zero() && b_.is_zero(); }
+  bool is_one() const { return a_.is_one() && b_.is_zero(); }
+
+  Fp2 operator+(const Fp2& o) const { return Fp2(a_ + o.a_, b_ + o.b_); }
+  Fp2 operator-(const Fp2& o) const { return Fp2(a_ - o.a_, b_ - o.b_); }
+  Fp2 operator-() const { return Fp2(-a_, -b_); }
+  Fp2 operator*(const Fp2& o) const;
+  Fp2& operator*=(const Fp2& o) { return *this = *this * o; }
+  bool operator==(const Fp2& o) const { return a_ == o.a_ && b_ == o.b_; }
+
+  Fp2 square() const;
+
+  /// Complex conjugate a - b·i; equals the Frobenius x -> x^p here.
+  Fp2 conjugate() const { return Fp2(a_, -b_); }
+
+  /// Norm a^2 + b^2 ∈ F_p.
+  Fp norm() const { return a_.square() + b_.square(); }
+
+  /// Multiplicative inverse; throws InvalidArgument on zero.
+  Fp2 inverse() const;
+
+  /// this^e for e >= 0 (square-and-multiply).
+  Fp2 pow(const BigInt& e) const;
+
+  /// Serialization: re || im, fixed width.
+  Bytes to_bytes() const;
+
+  /// Parses re || im over the given base field.
+  static Fp2 from_bytes(const std::shared_ptr<const PrimeField>& field,
+                        BytesView bytes);
+
+  /// Uniformly random element.
+  static Fp2 random(const std::shared_ptr<const PrimeField>& field,
+                    RandomSource& rng);
+
+  /// Multiplicative identity of F_{p^2} over `field`.
+  static Fp2 one(const std::shared_ptr<const PrimeField>& field);
+
+ private:
+  Fp a_, b_;
+};
+
+}  // namespace medcrypt::field

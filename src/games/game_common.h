@@ -1,0 +1,33 @@
+// Shared machinery for the security-game harnesses.
+//
+// The paper defines its security notions as games (Definition 2:
+// IND-ID-TCPA for the threshold IBE; Definition 3: IND-mID-wCCA for the
+// mediated IBE). This module implements those games as *challenger*
+// classes: the adversary is ordinary code calling oracle methods, and
+// the challenger enforces the game's phase structure and restrictions
+// (throwing GameViolation on an illegal query — a disqualified run).
+//
+// Tests use the harnesses two ways: sanity (a key-less adversary wins
+// ~1/2, an omniscient one always) and operationally validating the
+// Theorem 4.1 reduction (games/reduction.h).
+#pragma once
+
+#include "common/error.h"
+
+namespace medcrypt::games {
+
+/// Thrown when the adversary makes a query the game definition forbids
+/// (e.g. extracting the challenge identity's key).
+class GameViolation : public Error {
+ public:
+  explicit GameViolation(const std::string& what) : Error(what) {}
+};
+
+/// Phase of a two-stage IND game.
+enum class Phase {
+  kQuery1,     // before the challenge
+  kQuery2,     // after the challenge, before the guess
+  kFinished,   // guess submitted
+};
+
+}  // namespace medcrypt::games

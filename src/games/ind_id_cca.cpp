@@ -1,0 +1,62 @@
+#include "games/ind_id_cca.h"
+
+namespace medcrypt::games {
+
+IndIdCcaGame::IndIdCcaGame(pairing::ParamSet group, std::size_t message_len,
+                           std::uint64_t seed)
+    : rng_(seed), pkg_(std::move(group), message_len, rng_) {}
+
+ec::Point IndIdCcaGame::extract(std::string_view identity) {
+  if (phase_ == Phase::kFinished) {
+    throw GameViolation("IND-ID-CCA: game already finished");
+  }
+  if (challenge_identity_ && *challenge_identity_ == identity) {
+    throw GameViolation("IND-ID-CCA: cannot extract the challenge identity");
+  }
+  extracted_.insert(std::string(identity));
+  return pkg_.extract(identity);
+}
+
+Bytes IndIdCcaGame::decrypt(std::string_view identity,
+                            const ibe::FullCiphertext& ct) {
+  if (phase_ == Phase::kFinished) {
+    throw GameViolation("IND-ID-CCA: game already finished");
+  }
+  if (phase_ == Phase::kQuery2 && challenge_identity_ &&
+      *challenge_identity_ == identity && challenge_ct_ &&
+      challenge_ct_->to_bytes() == ct.to_bytes()) {
+    throw GameViolation("IND-ID-CCA: cannot decrypt the challenge ciphertext");
+  }
+  return ibe::full_decrypt(pkg_.params(), pkg_.extract(identity), ct);
+}
+
+const ibe::FullCiphertext& IndIdCcaGame::challenge(std::string_view identity,
+                                                   BytesView m0, BytesView m1) {
+  if (phase_ != Phase::kQuery1) {
+    throw GameViolation("IND-ID-CCA: challenge already issued");
+  }
+  if (extracted_.contains(std::string(identity))) {
+    throw GameViolation("IND-ID-CCA: challenge identity was extracted");
+  }
+  if (m0.size() != m1.size() || m0.size() != pkg_.params().message_len) {
+    throw GameViolation("IND-ID-CCA: challenge messages must be message_len");
+  }
+  std::uint8_t byte;
+  rng_.fill(std::span(&byte, 1));
+  coin_ = byte & 1;
+  challenge_identity_ = std::string(identity);
+  challenge_ct_ =
+      ibe::full_encrypt(pkg_.params(), identity, coin_ ? m1 : m0, rng_);
+  phase_ = Phase::kQuery2;
+  return *challenge_ct_;
+}
+
+bool IndIdCcaGame::submit_guess(int b) {
+  if (phase_ != Phase::kQuery2) {
+    throw GameViolation("IND-ID-CCA: no outstanding challenge");
+  }
+  phase_ = Phase::kFinished;
+  return b == coin_;
+}
+
+}  // namespace medcrypt::games

@@ -1,0 +1,61 @@
+// The IND-ID-CCA game against the (plain) Boneh–Franklin FullIdent
+// scheme — the target game of the Theorem 4.1 reduction.
+//
+// Oracles: full key extraction, decryption, both adaptive. Restrictions:
+// the challenge identity must never be extracted; after the challenge,
+// the exact challenge (identity, ciphertext) pair cannot be decrypted.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "games/game_common.h"
+#include "hash/drbg.h"
+#include "ibe/pkg.h"
+
+namespace medcrypt::games {
+
+/// Challenger for IND-ID-CCA against FullIdent.
+class IndIdCcaGame {
+ public:
+  /// Sets up a fresh PKG with the given group and RNG seed.
+  IndIdCcaGame(pairing::ParamSet group, std::size_t message_len,
+               std::uint64_t seed);
+
+  const ibe::SystemParams& params() const { return pkg_.params(); }
+
+  // --- oracles -------------------------------------------------------------
+
+  /// Full key extraction. Throws GameViolation on the challenge identity.
+  ec::Point extract(std::string_view identity);
+
+  /// Decryption oracle. Throws GameViolation on the challenge pair in
+  /// phase 2. Invalid ciphertexts yield DecryptionError, mirroring a real
+  /// decryptor (the paper's §2 discussion is exactly about a reduction's
+  /// need to answer these).
+  Bytes decrypt(std::string_view identity, const ibe::FullCiphertext& ct);
+
+  // --- challenge / guess ------------------------------------------------------
+
+  /// Encrypts m_b for a hidden coin b. One call per game. Throws
+  /// GameViolation if the identity was already extracted.
+  const ibe::FullCiphertext& challenge(std::string_view identity,
+                                       BytesView m0, BytesView m1);
+
+  /// Submits the guess; returns whether it matched the hidden coin.
+  bool submit_guess(int b);
+
+  Phase phase() const { return phase_; }
+
+ private:
+  hash::HmacDrbg rng_;
+  ibe::Pkg pkg_;
+  Phase phase_ = Phase::kQuery1;
+  std::set<std::string, std::less<>> extracted_;
+  std::optional<std::string> challenge_identity_;
+  std::optional<ibe::FullCiphertext> challenge_ct_;
+  int coin_ = 0;
+};
+
+}  // namespace medcrypt::games

@@ -1,0 +1,89 @@
+#include "games/ind_id_tcpa.h"
+
+namespace medcrypt::games {
+
+IndIdTcpaGame::IndIdTcpaGame(pairing::ParamSet group, std::size_t message_len,
+                             std::size_t t, std::size_t n, std::uint64_t seed)
+    : rng_(seed), dealer_(std::move(group), message_len, t, n, rng_) {}
+
+const threshold::ThresholdSetup& IndIdTcpaGame::corrupt(
+    std::vector<std::uint32_t> players) {
+  if (corrupted_) {
+    throw GameViolation("IND-ID-TCPA: corrupted set already chosen");
+  }
+  const std::size_t t = dealer_.setup().threshold;
+  if (players.size() != t - 1) {
+    throw GameViolation("IND-ID-TCPA: must corrupt exactly t-1 players");
+  }
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t p : players) {
+    if (p == 0 || p > dealer_.setup().players || !seen.insert(p).second) {
+      throw GameViolation("IND-ID-TCPA: invalid corrupted set");
+    }
+  }
+  corrupted_ = std::move(players);
+  return dealer_.setup();
+}
+
+void IndIdTcpaGame::require_corrupted() const {
+  if (!corrupted_) {
+    throw GameViolation("IND-ID-TCPA: corrupt() must be called first");
+  }
+  if (phase_ == Phase::kFinished) {
+    throw GameViolation("IND-ID-TCPA: game already finished");
+  }
+}
+
+ec::Point IndIdTcpaGame::extract(std::string_view identity) {
+  require_corrupted();
+  if (challenge_identity_ && *challenge_identity_ == identity) {
+    throw GameViolation("IND-ID-TCPA: cannot extract the challenge identity");
+  }
+  extracted_.insert(std::string(identity));
+  return dealer_.extract_full_key(identity);
+}
+
+std::vector<threshold::KeyShare> IndIdTcpaGame::corrupted_shares(
+    std::string_view identity) {
+  require_corrupted();
+  std::vector<threshold::KeyShare> out;
+  const auto all = dealer_.extract_shares(identity);
+  for (std::uint32_t p : *corrupted_) {
+    out.push_back(all[p - 1]);
+  }
+  return out;
+}
+
+const ibe::BasicCiphertext& IndIdTcpaGame::challenge(std::string_view identity,
+                                                     BytesView m0,
+                                                     BytesView m1) {
+  require_corrupted();
+  if (phase_ != Phase::kQuery1) {
+    throw GameViolation("IND-ID-TCPA: challenge already issued");
+  }
+  if (extracted_.contains(std::string(identity))) {
+    throw GameViolation("IND-ID-TCPA: challenge identity was extracted");
+  }
+  if (m0.size() != m1.size() ||
+      m0.size() != dealer_.setup().params.message_len) {
+    throw GameViolation("IND-ID-TCPA: challenge messages must be message_len");
+  }
+  std::uint8_t byte;
+  rng_.fill(std::span(&byte, 1));
+  coin_ = byte & 1;
+  challenge_identity_ = std::string(identity);
+  challenge_ct_ = ibe::basic_encrypt(dealer_.setup().params, identity,
+                                     coin_ ? m1 : m0, rng_);
+  phase_ = Phase::kQuery2;
+  return *challenge_ct_;
+}
+
+bool IndIdTcpaGame::submit_guess(int b) {
+  if (phase_ != Phase::kQuery2) {
+    throw GameViolation("IND-ID-TCPA: no outstanding challenge");
+  }
+  phase_ = Phase::kFinished;
+  return b == coin_;
+}
+
+}  // namespace medcrypt::games

@@ -1,0 +1,69 @@
+// Definition 2 (§3.3): the IND-ID-TCPA game against the (t, n) threshold
+// Boneh–Franklin IBE (BasicIdent variant).
+//
+// Game flow enforced by this challenger:
+//   1. the adversary names t-1 players to corrupt;
+//   2. it receives the public setup;
+//   3. oracles: full key extraction for identities of its choice, and
+//      the corrupted players' key shares for any identity (this is what
+//      "corrupting a player" yields per identity);
+//   4. it challenges on an un-extracted identity with (m0, m1);
+//   5. more queries (not extracting the challenge identity);
+//   6. it guesses the coin.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "games/game_common.h"
+#include "hash/drbg.h"
+#include "threshold/threshold_ibe.h"
+
+namespace medcrypt::games {
+
+/// Challenger for IND-ID-TCPA (Definition 2).
+class IndIdTcpaGame {
+ public:
+  IndIdTcpaGame(pairing::ParamSet group, std::size_t message_len,
+                std::size_t t, std::size_t n, std::uint64_t seed);
+
+  /// Step 1+2: the adversary commits to its corrupted set (exactly t-1
+  /// distinct player indices) and receives the public setup.
+  const threshold::ThresholdSetup& corrupt(
+      std::vector<std::uint32_t> players);
+
+  // --- oracles (require corrupt() first) -------------------------------------
+
+  /// Full key extraction d_ID = s·Q_ID (as in the classical BF scheme).
+  ec::Point extract(std::string_view identity);
+
+  /// The corrupted players' key shares d_IDi = f(i)·Q_ID for identity.
+  /// Allowed for EVERY identity, including the (future or current)
+  /// challenge identity — that is the threshold security statement.
+  std::vector<threshold::KeyShare> corrupted_shares(std::string_view identity);
+
+  // --- challenge / guess -------------------------------------------------------
+
+  const ibe::BasicCiphertext& challenge(std::string_view identity,
+                                        BytesView m0, BytesView m1);
+
+  bool submit_guess(int b);
+
+  Phase phase() const { return phase_; }
+
+ private:
+  void require_corrupted() const;
+
+  hash::HmacDrbg rng_;
+  threshold::ThresholdDealer dealer_;
+  std::optional<std::vector<std::uint32_t>> corrupted_;
+  Phase phase_ = Phase::kQuery1;
+  std::set<std::string, std::less<>> extracted_;
+  std::optional<std::string> challenge_identity_;
+  std::optional<ibe::BasicCiphertext> challenge_ct_;
+  int coin_ = 0;
+};
+
+}  // namespace medcrypt::games

@@ -1,0 +1,52 @@
+// The Theorem 3.1 setup simulator (§3.3).
+//
+// The proof's reduction B receives a BDH instance, sets P_pub = cP
+// WITHOUT knowing c, picks the corrupted players' shares c_1..c_{t-1}
+// itself, and must publish verification keys P_pub^(i) for the honest
+// players that are consistent with a degree-(t-1) sharing of the unknown
+// c. The trick is Lagrange interpolation in the exponent over the point
+// set {0} ∪ S:
+//
+//   P_pub^(i) = λ_{i,0}·P_pub + Σ_{j∈S} λ_{i,j}·(c_j·P)
+//
+// where λ_{i,·} interpolate at abscissa i from values at {0} ∪ S. This
+// module implements exactly that computation, and the tests verify the
+// two properties the proof relies on: the simulated setup passes the
+// §3 public consistency check (Σ L_i P_pub^(i) = P_pub for every
+// t-subset), and the corrupted keys match the adversary-chosen shares.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "pairing/param_gen.h"
+#include "threshold/threshold_ibe.h"
+
+namespace medcrypt::games {
+
+/// One corrupted player's adversary-visible share of the master secret.
+struct CorruptedShare {
+  std::uint32_t index = 0;
+  bigint::BigInt value;  // c_j, chosen by the simulator
+};
+
+/// Computes the n verification keys P_pub^(1..n) consistent with
+/// `p_pub` = (unknown secret)·P and the given t-1 corrupted shares.
+/// Requires distinct nonzero indices, |corrupted| == t-1, t <= n.
+std::vector<ec::Point> simulate_verification_keys(
+    const pairing::ParamSet& group, std::size_t t, std::size_t n,
+    std::span<const CorruptedShare> corrupted, const ec::Point& p_pub);
+
+/// Full simulated ThresholdSetup (the §3.3 reduction's view of Setup).
+threshold::ThresholdSetup simulate_threshold_setup(
+    const pairing::ParamSet& group, std::size_t message_len, std::size_t t,
+    std::size_t n, std::span<const CorruptedShare> corrupted,
+    const ec::Point& p_pub);
+
+/// The corresponding simulated key share of a corrupted player for an
+/// identity (what B hands the adversary): d_IDj = c_j·Q_ID.
+threshold::KeyShare simulate_corrupted_key_share(
+    const threshold::ThresholdSetup& setup, const CorruptedShare& share,
+    std::string_view identity);
+
+}  // namespace medcrypt::games

@@ -1,0 +1,36 @@
+#include "gdh/bls.h"
+
+#include "ec/hash_to_point.h"
+#include "pairing/tate.h"
+
+namespace medcrypt::gdh {
+
+KeyPair keygen(const pairing::ParamSet& group, RandomSource& rng) {
+  const BigInt x = BigInt::random_unit(rng, group.order());
+  return KeyPair{x, group.generator.mul(x)};
+}
+
+Point hash_message(const pairing::ParamSet& group, BytesView message) {
+  return ec::hash_to_subgroup(group.curve, "GDH.h", message);
+}
+
+Point sign(const pairing::ParamSet& group, const BigInt& secret,
+           BytesView message) {
+  return hash_message(group, message).mul(secret);
+}
+
+bool verify(const pairing::ParamSet& group, const Point& pub,
+            BytesView message, const Point& signature) {
+  if (signature.is_infinity() || !signature.in_subgroup()) return false;
+  const pairing::TatePairing pairing(group.curve);
+  return pairing.pair(group.generator, signature) ==
+         pairing.pair(pub, hash_message(group, message));
+}
+
+std::pair<BigInt, BigInt> split_key(const BigInt& secret, const BigInt& q,
+                                    RandomSource& rng) {
+  const BigInt x_user = BigInt::random_unit(rng, q);
+  return {x_user, secret.mod(q).sub_mod(x_user, q)};
+}
+
+}  // namespace medcrypt::gdh

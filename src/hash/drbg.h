@@ -1,0 +1,48 @@
+// Deterministic and system random sources.
+//
+// HmacDrbg follows the HMAC_DRBG construction of NIST SP 800-90A
+// (SHA-256 variant, no reseed counter enforcement — this is a research
+// library). Seeding with a fixed seed makes every randomized algorithm in
+// medcrypt reproducible, which the test suite and benches rely on.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/random_source.h"
+
+namespace medcrypt::hash {
+
+/// HMAC-SHA256 DRBG: deterministic random source.
+class HmacDrbg final : public RandomSource {
+ public:
+  /// Instantiates from arbitrary seed material.
+  explicit HmacDrbg(BytesView seed);
+
+  /// Convenience: seeds from a 64-bit value (tests, benches).
+  explicit HmacDrbg(std::uint64_t seed);
+
+  void fill(std::span<std::uint8_t> out) override;
+
+  /// Mixes additional entropy/material into the state.
+  void reseed(BytesView material);
+
+ private:
+  void update(BytesView material);
+
+  Bytes key_;
+  Bytes value_;
+};
+
+/// RandomSource seeded from std::random_device; the default source for
+/// examples and interactive use.
+class SystemRandom final : public RandomSource {
+ public:
+  SystemRandom();
+  void fill(std::span<std::uint8_t> out) override;
+
+ private:
+  HmacDrbg drbg_;
+};
+
+}  // namespace medcrypt::hash

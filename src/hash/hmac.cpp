@@ -1,0 +1,29 @@
+#include "hash/hmac.h"
+
+#include "hash/sha256.h"
+
+namespace medcrypt::hash {
+
+Bytes hmac_sha256(BytesView key, BytesView data) {
+  constexpr std::size_t kBlock = Sha256::kBlockSize;
+  Bytes k(key.begin(), key.end());
+  if (k.size() > kBlock) k = Sha256::digest(k);
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad).update(data);
+  const auto inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad).update(BytesView(inner_digest.data(), inner_digest.size()));
+  const auto outer_digest = outer.finalize();
+  return Bytes(outer_digest.begin(), outer_digest.end());
+}
+
+}  // namespace medcrypt::hash

@@ -1,0 +1,30 @@
+// Keyed expansion and hash-to-range helpers — the "random oracles" of the
+// paper's constructions.
+//
+//   expand(label, seed, n)   counter-mode SHA-256 XOF: the paper's H2/H4
+//                            and OAEP's G/H (MGF1-compatible shape)
+//   mgf1(seed, n)            PKCS#1 MGF1 with SHA-256 (OAEP)
+//   hash_to_range(label, data, q)  uniform-ish element of [0, q): H3 and
+//                            the GDH message hash's scalar step
+#pragma once
+
+#include <string_view>
+
+#include "bigint/bigint.h"
+#include "common/bytes.h"
+
+namespace medcrypt::hash {
+
+/// Counter-mode expansion of `seed` to `out_len` bytes, domain-separated
+/// by `label`: SHA256(label || ctr || seed) blocks.
+Bytes expand(std::string_view label, BytesView seed, std::size_t out_len);
+
+/// PKCS#1 MGF1 with SHA-256.
+Bytes mgf1(BytesView seed, std::size_t out_len);
+
+/// Hashes (label || data) into [0, q) by expanding to bit_length(q) + 128
+/// bits and reducing — statistical distance from uniform is negligible.
+bigint::BigInt hash_to_range(std::string_view label, BytesView data,
+                             const bigint::BigInt& q);
+
+}  // namespace medcrypt::hash

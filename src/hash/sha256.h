@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// All random oracles in the paper (H, G for OAEP; H1..H4 for the
+// Boneh–Franklin constructions; h for GDH signatures) are instantiated
+// from SHA-256, optionally in counter mode via hash/kdf.h.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace medcrypt::hash {
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  /// Absorbs more input.
+  Sha256& update(BytesView data);
+
+  /// Finalizes and returns the 32-byte digest. The hasher must not be
+  /// reused after this call (construct a fresh one).
+  std::array<std::uint8_t, kDigestSize> finalize();
+
+  /// One-shot convenience.
+  static Bytes digest(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace medcrypt::hash

@@ -1,0 +1,76 @@
+#include "ibe/hybrid.h"
+
+#include "common/error.h"
+#include "hash/hmac.h"
+#include "hash/kdf.h"
+
+namespace medcrypt::ibe {
+
+namespace {
+constexpr std::size_t kTagLen = 32;
+
+// Independent keys for the stream and the MAC, derived from the session
+// key (which is used once, so no nonce is needed).
+Bytes stream_key(BytesView session_key, std::size_t len) {
+  return hash::expand("Hybrid.stream", session_key, len);
+}
+
+Bytes mac_key(BytesView session_key) {
+  return hash::expand("Hybrid.mac", session_key, 32);
+}
+}  // namespace
+
+Bytes HybridCiphertext::to_bytes() const {
+  // key_block ‖ tag ‖ body (body is the only variable-length part, so it
+  // goes last and needs no framing).
+  return concat(key_block.to_bytes(), tag, body);
+}
+
+HybridCiphertext HybridCiphertext::from_bytes(const SystemParams& params,
+                                              BytesView b) {
+  const std::size_t key_block_len =
+      params.curve()->compressed_size() + 2 * params.message_len;
+  if (b.size() < key_block_len + kTagLen) {
+    throw InvalidArgument("HybridCiphertext::from_bytes: too short");
+  }
+  HybridCiphertext out;
+  out.key_block =
+      FullCiphertext::from_bytes(params, b.subspan(0, key_block_len));
+  out.tag = Bytes(b.begin() + key_block_len,
+                  b.begin() + key_block_len + kTagLen);
+  out.body = Bytes(b.begin() + key_block_len + kTagLen, b.end());
+  return out;
+}
+
+HybridCiphertext seal(const SystemParams& params, std::string_view identity,
+                      BytesView message, RandomSource& rng) {
+  if (params.message_len != kSessionKeyLen) {
+    throw InvalidArgument(
+        "hybrid seal: PKG must be set up with message_len == kSessionKeyLen");
+  }
+  Bytes session_key(kSessionKeyLen);
+  rng.fill(session_key);
+
+  HybridCiphertext out;
+  out.key_block = full_encrypt(params, identity, session_key, rng);
+  out.body = xor_bytes(message, stream_key(session_key, message.size()));
+  out.tag = hash::hmac_sha256(mac_key(session_key), out.body);
+  return out;
+}
+
+Bytes open_with_session_key(BytesView session_key,
+                            const HybridCiphertext& ct) {
+  const Bytes expected = hash::hmac_sha256(mac_key(session_key), ct.body);
+  if (!ct_equal(expected, ct.tag)) {
+    throw DecryptionError("hybrid open: integrity tag mismatch");
+  }
+  return xor_bytes(ct.body, stream_key(session_key, ct.body.size()));
+}
+
+Bytes open(const SystemParams& params, const ec::Point& private_key,
+           const HybridCiphertext& ct) {
+  const Bytes session_key = full_decrypt(params, private_key, ct.key_block);
+  return open_with_session_key(session_key, ct);
+}
+
+}  // namespace medcrypt::ibe

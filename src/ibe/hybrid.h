@@ -1,0 +1,45 @@
+// Hybrid (KEM/DEM-style) identity-based encryption for arbitrary-length
+// messages.
+//
+// FullIdent encrypts one fixed-size block; real mail bodies need more.
+// seal() encrypts a fresh random session key with FullIdent, then
+// protects the body with a keystream (counter-mode SHA-256 expansion)
+// and an HMAC tag — encrypt-then-MAC. open() inverts it; the mediated
+// deployment decrypts the key block through the SEM
+// (open_with_session_key) so the architecture and revocation semantics
+// are unchanged: one token per message, bodies of any size.
+#pragma once
+
+#include "ibe/boneh_franklin.h"
+
+namespace medcrypt::ibe {
+
+/// A hybrid ciphertext: FullIdent-wrapped session key + masked body +
+/// integrity tag.
+struct HybridCiphertext {
+  FullCiphertext key_block;
+  Bytes body;
+  Bytes tag;  // HMAC-SHA256 over the masked body
+
+  Bytes to_bytes() const;
+  static HybridCiphertext from_bytes(const SystemParams& params, BytesView b);
+};
+
+/// Session-key size sealed into the key block; the PKG must be set up
+/// with message_len == kSessionKeyLen to use the hybrid layer.
+inline constexpr std::size_t kSessionKeyLen = 32;
+
+/// Encrypts a message of any length to `identity`.
+HybridCiphertext seal(const SystemParams& params, std::string_view identity,
+                      BytesView message, RandomSource& rng);
+
+/// Decrypts with a full identity key. Throws DecryptionError on any
+/// tampering (key block, body, or tag).
+Bytes open(const SystemParams& params, const ec::Point& private_key,
+           const HybridCiphertext& ct);
+
+/// DEM half only: unmask + verify given the already-recovered session
+/// key (the mediated path: user.decrypt(ct.key_block, sem) yields it).
+Bytes open_with_session_key(BytesView session_key, const HybridCiphertext& ct);
+
+}  // namespace medcrypt::ibe

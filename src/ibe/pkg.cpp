@@ -1,0 +1,34 @@
+#include "ibe/pkg.h"
+
+#include "common/error.h"
+
+namespace medcrypt::ibe {
+
+Pkg::Pkg(pairing::ParamSet group, std::size_t message_len, RandomSource& rng)
+    : Pkg(group, message_len, BigInt::random_unit(rng, group.order())) {}
+
+Pkg::Pkg(pairing::ParamSet group, std::size_t message_len, BigInt master_key)
+    : master_key_(std::move(master_key)) {
+  if (master_key_ <= BigInt(0) || master_key_ >= group.order()) {
+    throw InvalidArgument("Pkg: master key out of range");
+  }
+  params_.p_pub = group.generator.mul(master_key_);
+  params_.group = std::move(group);
+  params_.message_len = message_len;
+}
+
+Point Pkg::extract(std::string_view identity) const {
+  return map_identity(params_, identity).mul(master_key_);
+}
+
+SplitKey Pkg::extract_split(std::string_view identity,
+                            RandomSource& rng) const {
+  const Point d_id = extract(identity);
+  // d_user is a uniformly random point of the q-order subgroup: a random
+  // scalar multiple of the generator.
+  const Point d_user =
+      params_.generator().mul(BigInt::random_unit(rng, params_.order()));
+  return SplitKey{d_user, d_id - d_user};
+}
+
+}  // namespace medcrypt::ibe

@@ -1,0 +1,55 @@
+// The Private Key Generator (PKG).
+//
+// Holds the master key s, publishes params (P, P_pub = sP), and extracts
+// identity keys d_ID = s·H1(ID). For the mediated scheme of §4 it also
+// performs the key split d_ID = d_ID,user + d_ID,sem.
+//
+// Trust model (paper §4): the PKG is the single fully-trusted entity; it
+// can go offline after issuing keys, unlike the SEM which stays online
+// for the system's lifetime. PKG and SEM are distinct entities.
+#pragma once
+
+#include <string_view>
+
+#include "ibe/boneh_franklin.h"
+
+namespace medcrypt::ibe {
+
+/// A private key split between the user and the security mediator:
+/// d_ID = user + sem (point addition in G1).
+struct SplitKey {
+  Point user;
+  Point sem;
+};
+
+/// Private Key Generator with master key s.
+class Pkg {
+ public:
+  /// Sets up a fresh PKG over `group`, sampling the master key from rng.
+  Pkg(pairing::ParamSet group, std::size_t message_len, RandomSource& rng);
+
+  /// Restores a PKG from a persisted master key (key backup / the CLI
+  /// tool). Requires 0 < master_key < group order.
+  Pkg(pairing::ParamSet group, std::size_t message_len, BigInt master_key);
+
+  /// Public system parameters to distribute to all parties.
+  const SystemParams& params() const { return params_; }
+
+  /// Extracts the full private key d_ID = s·H1(ID).
+  Point extract(std::string_view identity) const;
+
+  /// Extracts and splits for the mediated scheme: a fresh random
+  /// d_ID,user and d_ID,sem = d_ID - d_ID,user.
+  SplitKey extract_split(std::string_view identity, RandomSource& rng) const;
+
+  /// The master key. Exposed only for the threshold dealer (§3), which
+  /// shares s among the decryption servers; application code must not
+  /// call this.
+  const BigInt& master_key() const { return master_key_; }
+
+ private:
+  BigInt master_key_;
+  SystemParams params_;
+};
+
+}  // namespace medcrypt::ibe

@@ -1,0 +1,71 @@
+#include "ibs/hess.h"
+
+#include "common/error.h"
+#include "hash/kdf.h"
+
+namespace medcrypt::ibs {
+
+Bytes HessSignature::to_bytes() const {
+  // u (compressed point) ‖ v (order-sized scalar).
+  const auto& curve = u.curve();
+  if (!curve) throw InvalidArgument("HessSignature: default-constructed u");
+  const std::size_t scalar_len = (curve->order().bit_length() + 7) / 8;
+  return concat(u.to_bytes(), v.to_bytes_be_padded(scalar_len));
+}
+
+HessSignature HessSignature::from_bytes(const ibe::SystemParams& params,
+                                        BytesView bytes) {
+  const std::size_t point_len = params.curve()->compressed_size();
+  const std::size_t scalar_len = (params.order().bit_length() + 7) / 8;
+  if (bytes.size() != point_len + scalar_len) {
+    throw InvalidArgument("HessSignature::from_bytes: wrong length");
+  }
+  HessSignature sig;
+  sig.u = params.curve()->decompress(bytes.subspan(0, point_len));
+  sig.v = BigInt::from_bytes_be(bytes.subspan(point_len));
+  if (sig.v >= params.order()) {
+    throw InvalidArgument("HessSignature::from_bytes: scalar out of range");
+  }
+  return sig;
+}
+
+BigInt hess_challenge(const ibe::SystemParams& params, BytesView message,
+                      const Fp2& commitment) {
+  // Length-framed M ‖ r.
+  Bytes data;
+  const std::uint32_t len = static_cast<std::uint32_t>(message.size());
+  for (int i = 0; i < 4; ++i) {
+    data.push_back(static_cast<std::uint8_t>(len >> (24 - 8 * i)));
+  }
+  data.insert(data.end(), message.begin(), message.end());
+  const Bytes r_bytes = commitment.to_bytes();
+  data.insert(data.end(), r_bytes.begin(), r_bytes.end());
+  return hash::hash_to_range("Hess.H", data, params.order());
+}
+
+HessSignature hess_sign(const ibe::SystemParams& params, const Point& d_id,
+                        BytesView message, RandomSource& rng) {
+  const pairing::TatePairing pairing(params.curve());
+  const BigInt k = BigInt::random_unit(rng, params.order());
+  // r = ê(P, P)^k
+  const Fp2 r = pairing.pair(params.generator(), params.generator()).pow(k);
+  HessSignature sig;
+  sig.v = hess_challenge(params, message, r);
+  sig.u = d_id.mul(sig.v) + params.generator().mul(k);
+  return sig;
+}
+
+bool hess_verify(const ibe::SystemParams& params, std::string_view identity,
+                 BytesView message, const HessSignature& signature) {
+  if (signature.u.is_infinity() || !signature.u.in_subgroup()) return false;
+  if (signature.v.is_negative() || signature.v >= params.order()) return false;
+  const pairing::TatePairing pairing(params.curve());
+  const Point q_id = ibe::map_identity(params, identity);
+  // r' = ê(u, P) · ê(Q_ID, P_pub)^{-v}  (negate the point, not the
+  // exponent: v is reduced mod q and pairing outputs have order q).
+  const Fp2 r_prime = pairing.pair(signature.u, params.generator()) *
+                      pairing.pair(q_id.mul(signature.v), -params.p_pub);
+  return hess_challenge(params, message, r_prime) == signature.v;
+}
+
+}  // namespace medcrypt::ibs

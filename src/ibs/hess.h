@@ -1,0 +1,55 @@
+// Hess's identity-based signature ([16] in the paper's references),
+// sharing the Boneh–Franklin key infrastructure: the same PKG, the same
+// d_ID = s·H1(ID), so one enrollment gives a user both IBE decryption
+// and IBS signing.
+//
+//   Sign(M, d_ID):   k ∈R Z_q,
+//                    r = ê(P, P)^k          (commitment in G2)
+//                    v = H(M, r) ∈ Z_q      (challenge)
+//                    u = v·d_ID + k·P       (response in G1)
+//                    signature = (u, v)
+//   Verify(M, ID):   r' = ê(u, P) · ê(Q_ID, P_pub)^{-v}
+//                    accept iff v = H(M, r')
+//
+// Why THIS identity-based signature mediates cleanly (and e.g. Cha–Cheon
+// [7] does not): the only d_ID-dependent term is v·d_ID with a challenge
+// v the SEM can recompute itself from (M, r) — so the SEM's token
+// v·d_ID,sem cannot be abused as an oracle for c·d_ID,sem at attacker-
+// chosen c, and no joint randomness is needed (the paper's §5 complaint
+// about probabilistic threshold signatures). See
+// mediated/mediated_ibs.h.
+#pragma once
+
+#include "ibe/pkg.h"
+#include "pairing/tate.h"
+
+namespace medcrypt::ibs {
+
+using bigint::BigInt;
+using ec::Point;
+using field::Fp2;
+
+/// A Hess identity-based signature.
+struct HessSignature {
+  Point u;
+  BigInt v;
+
+  Bytes to_bytes() const;
+  static HessSignature from_bytes(const ibe::SystemParams& params,
+                                  BytesView bytes);
+};
+
+/// The challenge hash v = H(M, r), exposed for the mediated protocol
+/// (the SEM recomputes it).
+BigInt hess_challenge(const ibe::SystemParams& params, BytesView message,
+                      const Fp2& commitment);
+
+/// Signs with a full identity key d_ID = s·H1(ID).
+HessSignature hess_sign(const ibe::SystemParams& params, const Point& d_id,
+                        BytesView message, RandomSource& rng);
+
+/// Verifies against an identity string (no certificate).
+bool hess_verify(const ibe::SystemParams& params, std::string_view identity,
+                 BytesView message, const HessSignature& signature);
+
+}  // namespace medcrypt::ibs

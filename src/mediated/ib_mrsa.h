@@ -1,0 +1,138 @@
+// IB-mRSA — identity-based mediated RSA (paper §2, after [3], [9]).
+// The baseline the pairing-based schemes are compared against.
+//
+//   Setup: the PKG generates a COMMON k-bit Blum modulus n = pq from safe
+//     primes p = 2p'+1, q = 2q'+1 and publishes (n, H).
+//   Keygen for identity ID:
+//     e_ID = 0^s || H(ID) || 1      (s = k - l - 1; trailing 1 makes it
+//                                    odd, so coprime to φ(n) w.h.p.)
+//     d_ID = e_ID^{-1} mod φ(n);  d_user random, d_sem = d_ID - d_user.
+//   Encrypt: RSA-OAEP under (n, e_ID) — senders derive e_ID themselves.
+//   Decrypt: SEM returns m_sem = c^{d_sem}; user computes m_user =
+//     c^{d_user}; m = OAEP-decode(m_sem · m_user mod n).
+//   Sign: the mirror protocol on the FDH padding of the message.
+//
+// Security notes carried into tests:
+//   - no single user knows a full (e, d) pair, so the common modulus is
+//     safe *unless* a user corrupts the SEM — then d = d_user + d_sem
+//     factors n (rsa::factor_from_exponents) and EVERY identity breaks.
+//     This is the paper's central criticism of IB-mRSA (§2, §4).
+//   - the SEM must therefore be a fully trusted entity here, unlike the
+//     mediated pairing schemes.
+#pragma once
+
+#include <string_view>
+
+#include "mediated/sem_server.h"
+#include "rsa/oaep.h"
+#include "rsa/rsa.h"
+#include "sim/transport.h"
+
+namespace medcrypt::mediated {
+
+using bigint::BigInt;
+
+/// IB-mRSA public parameters: the common modulus and the hash width l.
+struct IbMRsaParams {
+  BigInt modulus;
+  std::size_t modulus_bits = 0;
+  std::size_t hash_bits = 0;  // l
+
+  std::size_t byte_size() const { return (modulus_bits + 7) / 8; }
+};
+
+/// Derives the identity public exponent e_ID = 0^s || H(ID) || 1.
+BigInt identity_exponent(const IbMRsaParams& params, std::string_view identity);
+
+/// Sender-side encryption: RSA-OAEP under (n, e_ID). Message length is
+/// bounded by rsa::oaep_max_message(byte_size()).
+Bytes ib_mrsa_encrypt(const IbMRsaParams& params, std::string_view identity,
+                      BytesView message, RandomSource& rng);
+
+/// FDH value of a message in Z_n (for the signature protocol).
+BigInt ib_mrsa_fdh(const IbMRsaParams& params, BytesView message);
+
+/// Verifier-side signature check: σ^{e_ID} = FDH(M).
+bool ib_mrsa_verify(const IbMRsaParams& params, std::string_view identity,
+                    BytesView message, const BigInt& signature);
+
+/// The IB-mRSA PKG/CA: owns the factorization of the common modulus.
+class IbMRsaSystem {
+ public:
+  struct Options {
+    std::size_t modulus_bits = 1024;
+    std::size_t hash_bits = 160;
+    /// Safe primes are what the paper specifies; tests may disable them
+    /// to keep reduced-parameter keygen fast.
+    bool safe_primes = true;
+  };
+
+  IbMRsaSystem(const Options& options, RandomSource& rng);
+
+  const IbMRsaParams& params() const { return params_; }
+
+  /// User + SEM exponent halves for one identity.
+  struct UserKeys {
+    BigInt d_user;
+    BigInt d_sem;
+  };
+
+  /// Keygen. Throws Error in the negligible event that e_ID divides φ(n).
+  UserKeys issue(std::string_view identity, RandomSource& rng) const;
+
+  /// The full private exponent (tests only; a deployment never extracts
+  /// this).
+  BigInt full_exponent(std::string_view identity) const;
+
+ private:
+  IbMRsaParams params_;
+  BigInt phi_;
+};
+
+/// SEM-side endpoint: half-exponentiations with revocation checks.
+class MRsaMediator : public MediatorBase<BigInt> {
+ public:
+  MRsaMediator(IbMRsaParams params,
+               std::shared_ptr<RevocationList> revocations);
+
+  const IbMRsaParams& params() const { return params_; }
+
+  /// Issues the half-result c^{d_sem} mod n for a ciphertext or FDH value.
+  /// Throws RevokedError if `identity` is revoked.
+  BigInt issue_token(std::string_view identity, const BigInt& c) const;
+
+ private:
+  IbMRsaParams params_;
+};
+
+/// User-side endpoint holding d_user.
+class IbMRsaUser {
+ public:
+  IbMRsaUser(IbMRsaParams params, std::string identity, BigInt user_key);
+
+  const std::string& identity() const { return identity_; }
+
+  /// Mediated decryption (OAEP-decoded). Throws RevokedError or
+  /// DecryptionError.
+  Bytes decrypt(const Bytes& ciphertext, const MRsaMediator& sem,
+                sim::Transport* transport = nullptr) const;
+
+  /// Mediated FDH signing; the user verifies before releasing.
+  BigInt sign(BytesView message, const MRsaMediator& sem,
+              sim::Transport* transport = nullptr) const;
+
+  /// The user's exponent half — exposed to model the §2 collusion attack
+  /// in tests.
+  const BigInt& user_key() const { return user_key_; }
+
+ private:
+  IbMRsaParams params_;
+  std::string identity_;
+  BigInt user_key_;
+};
+
+/// Enrollment helper mirroring the pairing schemes' shape.
+IbMRsaUser enroll_mrsa_user(const IbMRsaSystem& system, MRsaMediator& sem,
+                            std::string identity, RandomSource& rng);
+
+}  // namespace medcrypt::mediated

@@ -1,0 +1,68 @@
+// Mediated FO-ElGamal — the paper's "any 2-out-of-2 threshold scheme can
+// be mediated" instantiation (§4, closing paragraphs): ElGamal padded
+// with Fujisaki–Okamoto supports a SEM that turns it into a weakly
+// semantically secure mediated cryptosystem.
+//
+//   Keygen: x = x_user + x_sem (mod q), Y = x·P.
+//   Decrypt C = <C1, C2, C3>:
+//     SEM:  check revocation; S_sem = x_sem·C1                → token
+//     user: S = S_sem + x_user·C1; FO-decrypt with shared S.
+//
+// Unlike the identity-based schemes, keys here are ordinary certified
+// public keys — this is the paper's bridge from SEM revocation to
+// conventional PKI cryptosystems.
+#pragma once
+
+#include "elgamal/fo_transform.h"
+#include "mediated/sem_server.h"
+#include "sim/transport.h"
+
+namespace medcrypt::mediated {
+
+using bigint::BigInt;
+using ec::Point;
+
+/// SEM-side endpoint for mediated ElGamal decryption.
+class ElGamalMediator : public MediatorBase<BigInt> {
+ public:
+  ElGamalMediator(elgamal::Params params,
+                  std::shared_ptr<RevocationList> revocations);
+
+  const elgamal::Params& params() const { return params_; }
+
+  /// Issues the partial decryption S_sem = x_sem·C1.
+  /// Throws RevokedError if `identity` is revoked.
+  Point issue_token(std::string_view identity, const Point& c1) const;
+
+ private:
+  elgamal::Params params_;
+};
+
+/// User-side endpoint holding x_user and the certified public key Y.
+class MediatedElGamalUser {
+ public:
+  MediatedElGamalUser(elgamal::Params params, std::string identity,
+                      BigInt user_key, Point public_key);
+
+  const std::string& identity() const { return identity_; }
+  const Point& public_key() const { return public_key_; }
+
+  /// Mediated decryption. Throws RevokedError or DecryptionError.
+  Bytes decrypt(const elgamal::FoCiphertext& ct, const ElGamalMediator& sem,
+                sim::Transport* transport = nullptr) const;
+
+ private:
+  elgamal::Params params_;
+  std::string identity_;
+  BigInt user_key_;
+  Point public_key_;
+};
+
+/// CA-side enrollment: samples the split key, installs the SEM half,
+/// returns the user endpoint (whose public_key() the CA would certify).
+MediatedElGamalUser enroll_elgamal_user(const elgamal::Params& params,
+                                        ElGamalMediator& sem,
+                                        std::string identity,
+                                        RandomSource& rng);
+
+}  // namespace medcrypt::mediated

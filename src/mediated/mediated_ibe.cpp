@@ -1,0 +1,50 @@
+#include "mediated/mediated_ibe.h"
+
+namespace medcrypt::mediated {
+
+IbeMediator::IbeMediator(ibe::SystemParams params,
+                         std::shared_ptr<RevocationList> revocations)
+    : MediatorBase<Point>(std::move(revocations)), params_(std::move(params)),
+      pairing_(params_.curve()) {}
+
+Fp2 IbeMediator::issue_token(std::string_view identity, const Point& u) const {
+  const Point d_sem = checked_key(identity);
+  return pairing_.pair(u, d_sem);
+}
+
+MediatedIbeUser::MediatedIbeUser(ibe::SystemParams params,
+                                 std::string identity, Point user_key)
+    : params_(std::move(params)), identity_(std::move(identity)),
+      user_key_(std::move(user_key)), pairing_(params_.curve()) {}
+
+Fp2 MediatedIbeUser::partial(const Point& u) const {
+  return pairing_.pair(u, user_key_);
+}
+
+Bytes MediatedIbeUser::decrypt(const ibe::FullCiphertext& ct,
+                               const IbeMediator& sem,
+                               sim::Transport* transport) const {
+  // Request: identity + the U component (the SEM needs nothing else and
+  // in particular never sees V, W or any user partial computation).
+  if (transport != nullptr) {
+    transport->send_to_server(identity_.size() + ct.u.to_bytes().size());
+  }
+  const Fp2 g_sem = sem.issue_token(identity_, ct.u);
+  if (transport != nullptr) {
+    transport->send_to_client(g_sem.to_bytes().size());
+  }
+
+  // The user's half runs in parallel with the SEM in the paper; the
+  // sequential order here does not change what either side learns.
+  const Fp2 g = g_sem * partial(ct.u);
+  return ibe::full_decrypt_with_mask(params_, g, ct);
+}
+
+MediatedIbeUser enroll_ibe_user(const ibe::Pkg& pkg, IbeMediator& sem,
+                                std::string identity, RandomSource& rng) {
+  const ibe::SplitKey split = pkg.extract_split(identity, rng);
+  sem.install_key(identity, split.sem);
+  return MediatedIbeUser(pkg.params(), std::move(identity), split.user);
+}
+
+}  // namespace medcrypt::mediated

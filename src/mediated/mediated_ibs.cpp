@@ -1,0 +1,60 @@
+#include "mediated/mediated_ibs.h"
+
+namespace medcrypt::mediated {
+
+IbsMediator::IbsMediator(ibe::SystemParams params,
+                         std::shared_ptr<RevocationList> revocations)
+    : MediatorBase<ec::Point>(std::move(revocations)),
+      params_(std::move(params)) {}
+
+ec::Point IbsMediator::issue_token(std::string_view identity,
+                                   BytesView message,
+                                   const Fp2& commitment) const {
+  const ec::Point d_sem = checked_key(identity);
+  // The SEM derives the challenge itself — it never multiplies its key
+  // half by a caller-chosen scalar.
+  const bigint::BigInt v = ibs::hess_challenge(params_, message, commitment);
+  return d_sem.mul(v);
+}
+
+MediatedIbsUser::MediatedIbsUser(ibe::SystemParams params,
+                                 std::string identity, ec::Point user_key)
+    : params_(std::move(params)), identity_(std::move(identity)),
+      user_key_(std::move(user_key)) {}
+
+ibs::HessSignature MediatedIbsUser::sign(BytesView message,
+                                         const IbsMediator& sem,
+                                         RandomSource& rng,
+                                         sim::Transport* transport) const {
+  const pairing::TatePairing pairing(params_.curve());
+  const bigint::BigInt k = bigint::BigInt::random_unit(rng, params_.order());
+  const Fp2 r = pairing.pair(params_.generator(), params_.generator()).pow(k);
+
+  // Request: identity + message + commitment (one G2 element).
+  if (transport != nullptr) {
+    transport->send_to_server(identity_.size() + message.size() +
+                              r.to_bytes().size());
+  }
+  const ec::Point token = sem.issue_token(identity_, message, r);
+  if (transport != nullptr) {
+    transport->send_to_client(token.to_bytes().size());
+  }
+
+  ibs::HessSignature sig;
+  sig.v = ibs::hess_challenge(params_, message, r);
+  sig.u = user_key_.mul(sig.v) + token + params_.generator().mul(k);
+
+  if (!ibs::hess_verify(params_, identity_, message, sig)) {
+    throw Error("MediatedIbsUser::sign: assembled signature invalid");
+  }
+  return sig;
+}
+
+MediatedIbsUser enroll_ibs_user(const ibe::Pkg& pkg, IbsMediator& sem,
+                                std::string identity, RandomSource& rng) {
+  const ibe::SplitKey split = pkg.extract_split(identity, rng);
+  sem.install_key(identity, split.sem);
+  return MediatedIbsUser(pkg.params(), std::move(identity), split.user);
+}
+
+}  // namespace medcrypt::mediated

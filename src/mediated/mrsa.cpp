@@ -1,0 +1,94 @@
+#include "mediated/mrsa.h"
+
+#include "hash/kdf.h"
+
+namespace medcrypt::mediated {
+
+using bigint::BigInt;
+
+MRsaKeygenResult mrsa_keygen(std::size_t modulus_bits, RandomSource& rng) {
+  rsa::KeyGenOptions opts;
+  opts.modulus_bits = modulus_bits;
+  const rsa::PrivateKey key = rsa::generate_key(opts, rng);
+  auto [d_user, d_sem] = rsa::split_exponent(key.d, key.phi, rng);
+  return MRsaKeygenResult{key.pub, std::move(d_user), std::move(d_sem)};
+}
+
+Bytes mrsa_encrypt(const rsa::PublicKey& pub, BytesView message,
+                   RandomSource& rng) {
+  const std::size_t k = pub.byte_size();
+  const BigInt block = rsa::oaep_encode(message, k, rng);
+  return rsa::public_op(pub, block).to_bytes_be_padded(k);
+}
+
+BigInt mrsa_fdh(const rsa::PublicKey& pub, BytesView message) {
+  const Bytes wide = hash::expand("mRSA.FDH", message, pub.byte_size() + 16);
+  return BigInt::from_bytes_be(wide).mod(pub.n);
+}
+
+bool mrsa_verify(const rsa::PublicKey& pub, BytesView message,
+                 const BigInt& signature) {
+  if (signature.is_negative() || signature >= pub.n) return false;
+  return rsa::public_op(pub, signature) == mrsa_fdh(pub, message);
+}
+
+BigInt PerUserRsaMediator::issue_token(std::string_view identity,
+                                       const BigInt& c) const {
+  const MRsaSemRecord record = checked_key(identity);
+  if (c.is_negative() || c >= record.modulus) {
+    throw InvalidArgument("PerUserRsaMediator: input out of range");
+  }
+  return c.pow_mod(record.d_sem, record.modulus);
+}
+
+MRsaUser::MRsaUser(rsa::PublicKey pub, std::string identity,
+                   BigInt user_key)
+    : pub_(std::move(pub)), identity_(std::move(identity)),
+      user_key_(std::move(user_key)) {}
+
+Bytes MRsaUser::decrypt(const Bytes& ciphertext, const PerUserRsaMediator& sem,
+                        sim::Transport* transport) const {
+  const std::size_t k = pub_.byte_size();
+  if (ciphertext.size() != k) {
+    throw InvalidArgument("MRsaUser::decrypt: wrong ciphertext length");
+  }
+  const BigInt c = BigInt::from_bytes_be(ciphertext);
+  if (c >= pub_.n) {
+    throw InvalidArgument("MRsaUser::decrypt: ciphertext out of range");
+  }
+  if (transport != nullptr) {
+    transport->send_to_server(identity_.size() + ciphertext.size());
+  }
+  const BigInt m_sem = sem.issue_token(identity_, c);
+  if (transport != nullptr) transport->send_to_client(k);
+  const BigInt m_user = c.pow_mod(user_key_, pub_.n);
+  return rsa::oaep_decode(m_sem.mul_mod(m_user, pub_.n), k);
+}
+
+BigInt MRsaUser::sign(BytesView message, const PerUserRsaMediator& sem,
+                      sim::Transport* transport) const {
+  const BigInt h = mrsa_fdh(pub_, message);
+  if (transport != nullptr) {
+    transport->send_to_server(identity_.size() + pub_.byte_size());
+  }
+  const BigInt s_sem = sem.issue_token(identity_, h);
+  if (transport != nullptr) transport->send_to_client(pub_.byte_size());
+  const BigInt signature =
+      s_sem.mul_mod(h.pow_mod(user_key_, pub_.n), pub_.n);
+  if (!mrsa_verify(pub_, message, signature)) {
+    throw Error("MRsaUser::sign: assembled signature invalid");
+  }
+  return signature;
+}
+
+MRsaUser enroll_per_user_mrsa(std::size_t modulus_bits,
+                              PerUserRsaMediator& sem, std::string identity,
+                              RandomSource& rng) {
+  MRsaKeygenResult keys = mrsa_keygen(modulus_bits, rng);
+  sem.install_key(identity,
+                  MRsaSemRecord{keys.pub.n, std::move(keys.d_sem)});
+  return MRsaUser(std::move(keys.pub), std::move(identity),
+                  std::move(keys.d_user));
+}
+
+}  // namespace medcrypt::mediated

@@ -1,0 +1,95 @@
+// mRSA — the original mediated RSA of Boneh–Ding–Tsudik–Wong [4]
+// (paper §1–§2): per-user moduli, ordinary (certified) public keys.
+//
+//   Keygen: a CA generates for each user an individual RSA key
+//     (n_u, e, d); d is split additively, d = d_user + d_sem mod φ(n_u).
+//   Encrypt/Verify: plain RSA-OAEP / RSA-FDH under (n_u, e) — the SEM is
+//     transparent to senders and verifiers.
+//   Decrypt/Sign: the half-exponentiation protocol, as in IB-mRSA.
+//
+// The trust-model contrast the paper draws (§2): with per-user moduli a
+// user colluding with the SEM recovers only their OWN d — they learn
+// nothing about other users, so the SEM need only be SEMI-trusted. The
+// common modulus of IB-mRSA is what upgrades the SEM to fully-trusted.
+// Tests demonstrate both sides of this asymmetry.
+#pragma once
+
+#include "mediated/sem_server.h"
+#include "rsa/oaep.h"
+#include "rsa/rsa.h"
+#include "sim/transport.h"
+
+namespace medcrypt::mediated {
+
+/// CA-side result of one user's mRSA keygen.
+struct MRsaKeygenResult {
+  rsa::PublicKey pub;   // certified and published
+  bigint::BigInt d_user;
+  bigint::BigInt d_sem;
+  // The CA discards d, p, q, φ after the split (unlike the IB-mRSA PKG,
+  // which must keep φ(n) to serve future identities).
+};
+
+/// Generates a fresh per-user key and splits the exponent.
+MRsaKeygenResult mrsa_keygen(std::size_t modulus_bits, RandomSource& rng);
+
+/// Sender-side encryption (plain RSA-OAEP; SEM-transparent).
+Bytes mrsa_encrypt(const rsa::PublicKey& pub, BytesView message,
+                   RandomSource& rng);
+
+/// FDH hash for signatures, domain-separated from IB-mRSA's.
+bigint::BigInt mrsa_fdh(const rsa::PublicKey& pub, BytesView message);
+
+/// Verifier-side check (plain RSA; SEM-transparent).
+bool mrsa_verify(const rsa::PublicKey& pub, BytesView message,
+                 const bigint::BigInt& signature);
+
+/// The SEM's per-user record: the modulus and its exponent half.
+struct MRsaSemRecord {
+  bigint::BigInt modulus;
+  bigint::BigInt d_sem;
+};
+
+/// SEM-side endpoint for per-user mRSA.
+class PerUserRsaMediator : public MediatorBase<MRsaSemRecord> {
+ public:
+  explicit PerUserRsaMediator(std::shared_ptr<RevocationList> revocations)
+      : MediatorBase<MRsaSemRecord>(std::move(revocations)) {}
+
+  /// Issues the half-result c^{d_sem} mod n_user.
+  bigint::BigInt issue_token(std::string_view identity,
+                             const bigint::BigInt& c) const;
+};
+
+/// User-side endpoint holding (n, e, d_user).
+class MRsaUser {
+ public:
+  MRsaUser(rsa::PublicKey pub, std::string identity, bigint::BigInt user_key);
+
+  const std::string& identity() const { return identity_; }
+  const rsa::PublicKey& public_key() const { return pub_; }
+
+  /// Mediated OAEP decryption.
+  Bytes decrypt(const Bytes& ciphertext, const PerUserRsaMediator& sem,
+                sim::Transport* transport = nullptr) const;
+
+  /// Mediated FDH signing; the user verifies before releasing.
+  bigint::BigInt sign(BytesView message, const PerUserRsaMediator& sem,
+                      sim::Transport* transport = nullptr) const;
+
+  /// The user's exponent half (exposed for the §2 collusion analysis in
+  /// tests).
+  const bigint::BigInt& user_key() const { return user_key_; }
+
+ private:
+  rsa::PublicKey pub_;
+  std::string identity_;
+  bigint::BigInt user_key_;
+};
+
+/// CA-side enrollment: keygen + install the SEM record.
+MRsaUser enroll_per_user_mrsa(std::size_t modulus_bits,
+                              PerUserRsaMediator& sem, std::string identity,
+                              RandomSource& rng);
+
+}  // namespace medcrypt::mediated

@@ -1,0 +1,26 @@
+#include "mediated/sem_server.h"
+
+namespace medcrypt::mediated {
+
+void RevocationList::revoke(std::string_view identity) {
+  std::scoped_lock lock(mu_);
+  revoked_.insert(std::string(identity));
+}
+
+void RevocationList::unrevoke(std::string_view identity) {
+  std::scoped_lock lock(mu_);
+  const auto it = revoked_.find(identity);
+  if (it != revoked_.end()) revoked_.erase(it);
+}
+
+bool RevocationList::is_revoked(std::string_view identity) const {
+  std::scoped_lock lock(mu_);
+  return revoked_.find(identity) != revoked_.end();
+}
+
+std::size_t RevocationList::size() const {
+  std::scoped_lock lock(mu_);
+  return revoked_.size();
+}
+
+}  // namespace medcrypt::mediated

@@ -1,0 +1,116 @@
+// Mediated signcryption — the paper's §7 open problem, instantiated:
+//
+//   "Another possible goal for future research is to find [a]
+//    signcryption scheme where both the capabilities of the sender and
+//    those of the receiver can be removed using this kind of
+//    architecture."
+//
+// This module composes the paper's own two mediated primitives into a
+// sign-then-encrypt signcryption where BOTH capabilities are
+// SEM-revocable:
+//
+//   Signcrypt(M, A -> B):
+//     1. σ = mediated-GDH-sign_A( M ‖ "->" ‖ ID_A ‖ ID_B )   [SEM #1]
+//        (binding sender and recipient prevents re-encryption and
+//         forwarding attacks: σ is only valid for this A -> B pair)
+//     2. C = FullIdent-encrypt_{ID_B}( M ‖ σ )
+//        (the signature travels INSIDE the ciphertext: outsiders learn
+//         neither M nor who signed it — ciphertext anonymity)
+//
+//   Unsigncrypt(C, at B):
+//     1. M ‖ σ = mediated-IBE-decrypt(C)                      [SEM #2]
+//     2. verify σ under A's GDH key over M ‖ "->" ‖ ID_A ‖ ID_B
+//
+// Revoking A kills step 1 of signcryption (A cannot produce new signed
+// messages); revoking B kills step 1 of unsigncryption (B cannot open
+// anything new). Both are instant and independent. Non-repudiation:
+// B can exhibit (M, σ) to any third party.
+#pragma once
+
+#include "mediated/mediated_gdh.h"
+#include "mediated/mediated_ibe.h"
+
+namespace medcrypt::mediated {
+
+/// Public parameters of the signcryption system: the IBE side (PKG
+/// params) and the signature group, plus the plaintext block size.
+struct SigncryptionParams {
+  ibe::SystemParams ibe;
+  pairing::ParamSet sig_group;
+  std::size_t message_len = 32;
+
+  /// The IBE payload is M ‖ σ.
+  std::size_t payload_len() const {
+    return message_len + sig_group.curve->compressed_size();
+  }
+};
+
+/// Builds the params. The PKG must have been set up with
+/// message_len == params.payload_len(); use make_signcryption_pkg.
+SigncryptionParams make_signcryption_params(const ibe::SystemParams& ibe,
+                                            pairing::ParamSet sig_group,
+                                            std::size_t message_len);
+
+/// Convenience: a PKG whose FullIdent block size fits M ‖ σ.
+ibe::Pkg make_signcryption_pkg(const pairing::ParamSet& ibe_group,
+                               const pairing::ParamSet& sig_group,
+                               std::size_t message_len, RandomSource& rng);
+
+/// A signcrypted message: one FullIdent ciphertext plus the (public)
+/// sender identity needed to look up the verification key.
+struct Signcrypted {
+  std::string sender;
+  ibe::FullCiphertext ct;
+};
+
+/// Sender endpoint: a mediated GDH signer.
+class Signcrypter {
+ public:
+  Signcrypter(SigncryptionParams params, MediatedGdhUser signer);
+
+  const std::string& identity() const { return signer_.identity(); }
+  const ec::Point& verification_key() const { return signer_.public_key(); }
+
+  /// Signcrypts `message` (exactly params.message_len bytes) for
+  /// `recipient`. Contacts the signing SEM (throws RevokedError if the
+  /// sender is revoked).
+  Signcrypted signcrypt(BytesView message, std::string_view recipient,
+                        const GdhMediator& sig_sem, RandomSource& rng,
+                        sim::Transport* transport = nullptr) const;
+
+ private:
+  SigncryptionParams params_;
+  MediatedGdhUser signer_;
+};
+
+/// Receiver endpoint: a mediated IBE user plus signature verification.
+class Unsigncrypter {
+ public:
+  Unsigncrypter(SigncryptionParams params, MediatedIbeUser receiver);
+
+  const std::string& identity() const { return receiver_.identity(); }
+
+  /// Decrypts and verifies. Contacts the decryption SEM (throws
+  /// RevokedError if the receiver is revoked, DecryptionError on invalid
+  /// ciphertexts, ProofError if the embedded signature does not verify
+  /// under `sender_key`).
+  Bytes unsigncrypt(const Signcrypted& msg, const ec::Point& sender_key,
+                    const IbeMediator& ibe_sem,
+                    sim::Transport* transport = nullptr) const;
+
+ private:
+  SigncryptionParams params_;
+  MediatedIbeUser receiver_;
+};
+
+/// The string both sides sign/verify: M ‖ "->" ‖ ID_A ‖ ID_B with length
+/// framing (exposed for tests and third-party verification).
+Bytes signcryption_binding(BytesView message, std::string_view sender,
+                           std::string_view recipient);
+
+/// Third-party (non-repudiation) check on an opened message.
+bool verify_opened(const SigncryptionParams& params, BytesView message,
+                   const ec::Point& signature, std::string_view sender,
+                   std::string_view recipient, const ec::Point& sender_key);
+
+}  // namespace medcrypt::mediated

@@ -1,0 +1,42 @@
+#include "pairing/param_gen.h"
+
+#include "bigint/prime.h"
+#include "common/error.h"
+
+namespace medcrypt::pairing {
+
+ParamSet generate_params(std::size_t p_bits, std::size_t q_bits,
+                         RandomSource& rng) {
+  if (p_bits < q_bits + 3) {
+    throw InvalidArgument("generate_params: p_bits must exceed q_bits + 2");
+  }
+  const BigInt q = bigint::generate_prime(q_bits, rng);
+
+  // Search for h with h ≡ 0 (mod 4) such that p = h q - 1 is prime with
+  // exactly p_bits bits. Then p ≡ 3 (mod 4) because h q ≡ 0 (mod 4).
+  const std::size_t h_bits = p_bits - q_bits;
+  BigInt p, h;
+  for (;;) {
+    h = BigInt::random_bits(rng, h_bits - 2) + (BigInt(1) << (h_bits - 2));
+    h = h << 2;  // multiple of 4 with top bit in place
+    p = h * q - BigInt(1);
+    if (p.bit_length() != p_bits) continue;
+    if (bigint::is_probable_prime(p, rng)) break;
+  }
+
+  auto field = field::PrimeField::make(p);
+  auto curve = Curve::make(field, field->one(), field->zero(), q, h);
+
+  // Generator: random point cleared by the cofactor.
+  for (;;) {
+    const field::Fp x = field->random(rng);
+    const field::Fp rhs = curve->rhs(x);
+    if (!rhs.is_square()) continue;
+    const Point candidate = curve->point(x, rhs.sqrt()).mul(h);
+    if (candidate.is_infinity()) continue;
+    // With q prime, any non-identity multiple of h has exact order q.
+    return ParamSet{curve, candidate};
+  }
+}
+
+}  // namespace medcrypt::pairing

@@ -1,0 +1,51 @@
+#include "pairing/params.h"
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/error.h"
+#include "hash/drbg.h"
+
+namespace medcrypt::pairing {
+
+namespace {
+
+struct NamedSpec {
+  std::size_t p_bits;
+  std::size_t q_bits;
+  std::uint64_t seed;
+};
+
+const std::map<std::string, NamedSpec, std::less<>>& specs() {
+  static const std::map<std::string, NamedSpec, std::less<>> kSpecs = {
+      {"toy64", {128, 64, 0x746f793634ULL}},
+      {"mid128", {256, 128, 0x6d6964313238ULL}},
+      {"sweep384", {384, 160, 0x73773338ULL}},
+      {"sec80", {512, 160, 0x73656338ULL}},
+  };
+  return kSpecs;
+}
+
+}  // namespace
+
+const ParamSet& named_params(std::string_view name) {
+  static std::mutex mu;
+  static std::map<std::string, ParamSet, std::less<>> cache;
+
+  std::scoped_lock lock(mu);
+  if (const auto it = cache.find(name); it != cache.end()) return it->second;
+
+  const auto spec_it = specs().find(name);
+  if (spec_it == specs().end()) {
+    throw InvalidArgument("named_params: unknown parameter set '" +
+                          std::string(name) + "'");
+  }
+  const NamedSpec& spec = spec_it->second;
+  hash::HmacDrbg rng(spec.seed);
+  auto [it, inserted] = cache.emplace(
+      std::string(name), generate_params(spec.p_bits, spec.q_bits, rng));
+  return it->second;
+}
+
+}  // namespace medcrypt::pairing

@@ -1,0 +1,28 @@
+// Named pairing parameter sets.
+//
+// Each named set is generated deterministically (fixed DRBG seed) on first
+// use and cached for the process lifetime, so tests, examples and benches
+// across binaries all agree on the same groups without hardcoding hex.
+//
+//   toy64   p 128-bit, q  64-bit — unit tests (fast, no security)
+//   mid128  p 256-bit, q 128-bit — parameter sweeps
+//   sweep384 p 384-bit, q 160-bit — parameter sweeps
+//   sec80   p 512-bit, q 160-bit — the paper's setting (§4: "the same
+//            parameters as in [6]": 512-bit p, 160-bit q)
+#pragma once
+
+#include <string_view>
+
+#include "pairing/param_gen.h"
+
+namespace medcrypt::pairing {
+
+/// Returns the named parameter set (cached, deterministic).
+/// Throws InvalidArgument for unknown names.
+const ParamSet& named_params(std::string_view name);
+
+/// Convenience accessors.
+inline const ParamSet& toy_params() { return named_params("toy64"); }
+inline const ParamSet& paper_params() { return named_params("sec80"); }
+
+}  // namespace medcrypt::pairing

@@ -1,0 +1,52 @@
+// The modified Tate pairing ê : G1 × G1 -> G2 on the supersingular curve
+// E : y^2 = x^3 + x over F_p with p ≡ 3 (mod 4).
+//
+// ê(P, Q) = e_q(P, φ(Q)) where φ(x, y) = (-x, i·y) is the distortion map
+// into E(F_{p^2}) and e_q is the reduced Tate pairing: Miller's algorithm
+// followed by the final exponentiation (p^2 - 1)/q. Because the
+// distortion map keeps x-coordinates in F_p, all vertical-line factors
+// live in the subfield and are erased by the final exponentiation
+// (standard denominator elimination for embedding degree 2).
+//
+// The pairing satisfies, for all P, Q in the order-q subgroup:
+//   bilinearity      ê(aP, bQ) = ê(P, Q)^(ab)
+//   non-degeneracy   ê(P, P) != 1 for P != O
+//   symmetry         ê(P, Q) = ê(Q, P)
+#pragma once
+
+#include "ec/point.h"
+#include "field/fp2.h"
+
+namespace medcrypt::pairing {
+
+using bigint::BigInt;
+using ec::Curve;
+using ec::Point;
+using field::Fp2;
+
+/// Modified-Tate-pairing engine bound to one supersingular curve.
+class TatePairing {
+ public:
+  /// Binds to a curve. Requires curve a = 1, b = 0 and p ≡ 3 (mod 4),
+  /// i.e. the supersingular family with the φ(x,y) = (-x, iy) distortion.
+  explicit TatePairing(std::shared_ptr<const Curve> curve);
+
+  const std::shared_ptr<const Curve>& curve() const { return curve_; }
+
+  /// Computes ê(P, Q). Both points must lie on the bound curve; P must
+  /// have order dividing q. Returns an element of the order-q subgroup of
+  /// F*_{p^2} (the multiplicative identity when either input is O).
+  Fp2 pair(const Point& p, const Point& q) const;
+
+ private:
+  // Raw reduced Tate pairing e(P, Q') with Q' = φ(Q) given by components
+  // x' = -x(Q) ∈ F_p (embedded) and y' = i·y(Q).
+  Fp2 miller(const Point& p, const Point& q) const;
+
+  Fp2 final_exponentiation(const Fp2& f) const;
+
+  std::shared_ptr<const Curve> curve_;
+  BigInt exp_tail_;  // (p + 1) / q, the second factor of the final expo
+};
+
+}  // namespace medcrypt::pairing

@@ -1,0 +1,61 @@
+#include "revocation/crl.h"
+
+#include "common/error.h"
+
+namespace medcrypt::revocation {
+
+CrlAuthority::CrlAuthority(std::uint64_t publication_period_ns)
+    : period_ns_(publication_period_ns) {
+  if (period_ns_ == 0) {
+    throw InvalidArgument("CrlAuthority: period must be positive");
+  }
+}
+
+void CrlAuthority::revoke(std::string_view identity, std::uint64_t now_ns) {
+  publish_up_to(now_ns);
+  if (current_.revoked.contains(std::string(identity))) return;
+  if (pending_.insert(std::string(identity)).second) {
+    pending_times_.push_back(now_ns);
+  }
+}
+
+void CrlAuthority::publish_up_to(std::uint64_t now_ns) {
+  const std::uint64_t target_version = now_ns / period_ns_;
+  if (target_version <= current_.version && current_.version != 0) return;
+  if (target_version == 0) return;
+
+  // Publish (possibly several missed periods at once; entries land in
+  // the first publication after their revocation call).
+  const std::uint64_t published_at = target_version * period_ns_;
+  for (std::size_t i = 0; i < pending_times_.size(); ++i) {
+    const std::uint64_t boundary =
+        (pending_times_[i] / period_ns_ + 1) * period_ns_;
+    effect_latencies_ns_.push_back(boundary - pending_times_[i]);
+  }
+  for (const auto& id : pending_) current_.revoked.insert(id);
+  pending_.clear();
+  pending_times_.clear();
+  current_.version = target_version;
+  current_.published_at_ns = published_at;
+}
+
+const CrlSnapshot& CrlAuthority::current(std::uint64_t now_ns) {
+  publish_up_to(now_ns);
+  return current_;
+}
+
+bool CrlCheckingSender::check_before_use(std::string_view identity,
+                                         std::uint64_t now_ns,
+                                         sim::Transport* transport) {
+  const CrlSnapshot& fresh = authority_.current(now_ns);
+  if (fresh.version != cached_version_) {
+    cache_ = fresh;
+    cached_version_ = fresh.version;
+    ++fetches_;
+    bytes_fetched_ += fresh.byte_size();
+    if (transport != nullptr) transport->send_to_client(fresh.byte_size());
+  }
+  return !cache_.revoked.contains(std::string(identity));
+}
+
+}  // namespace medcrypt::revocation

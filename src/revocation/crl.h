@@ -1,0 +1,86 @@
+// CRL-based revocation — the classic PKI baseline of the paper's
+// introduction ("Efficient revocation of public key certificates has
+// always been a critical issue in PKIs"; "the use of a SEM architecture
+// removes the need to enquire about the status of a public key before
+// using it").
+//
+// Model: a CA publishes a certificate revocation list every
+// `publication_period`. A revocation becomes visible to senders only in
+// the next published CRL, and — unlike both SEM and validity-period IBE —
+// the *sender* pays: before encrypting or verifying, it must hold a
+// fresh CRL (downloading size ~ entries x bytes-per-entry). The F2
+// experiment adds these sender-side costs as a third architecture.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/transport.h"
+
+namespace medcrypt::revocation {
+
+/// A published revocation list snapshot.
+struct CrlSnapshot {
+  std::uint64_t version = 0;
+  std::uint64_t published_at_ns = 0;
+  std::set<std::string, std::less<>> revoked;
+
+  /// Serialized size: header + one fixed-size entry per revoked
+  /// certificate (serial + date, X.509-ish 40 bytes each).
+  std::size_t byte_size() const { return 64 + 40 * revoked.size(); }
+};
+
+/// The CA side: accumulates revocations, publishes on period boundaries.
+class CrlAuthority {
+ public:
+  explicit CrlAuthority(std::uint64_t publication_period_ns);
+
+  /// Revokes; visible in the CRL published at the next boundary.
+  void revoke(std::string_view identity, std::uint64_t now_ns);
+
+  /// The newest CRL with published_at <= now.
+  const CrlSnapshot& current(std::uint64_t now_ns);
+
+  /// Virtual-time gap between each revoke() and the publication that
+  /// first carries it.
+  const std::vector<std::uint64_t>& effect_latencies_ns() const {
+    return effect_latencies_ns_;
+  }
+
+ private:
+  void publish_up_to(std::uint64_t now_ns);
+
+  std::uint64_t period_ns_;
+  CrlSnapshot current_;
+  std::set<std::string, std::less<>> pending_;
+  std::vector<std::uint64_t> pending_times_;
+  std::vector<std::uint64_t> effect_latencies_ns_;
+};
+
+/// Sender-side cache: fetches the CRL when stale and charges the
+/// transport for the download — the per-send overhead the SEM removes.
+class CrlCheckingSender {
+ public:
+  explicit CrlCheckingSender(CrlAuthority& authority) : authority_(authority) {}
+
+  /// Returns true if `identity` may be used (not revoked per the
+  /// freshest CRL), fetching it first if the cached version is stale.
+  /// The download is charged to `transport` (may be null).
+  bool check_before_use(std::string_view identity, std::uint64_t now_ns,
+                        sim::Transport* transport = nullptr);
+
+  std::uint64_t crl_fetches() const { return fetches_; }
+  std::uint64_t bytes_fetched() const { return bytes_fetched_; }
+
+ private:
+  CrlAuthority& authority_;
+  std::uint64_t cached_version_ = ~std::uint64_t{0};
+  CrlSnapshot cache_;
+  std::uint64_t fetches_ = 0;
+  std::uint64_t bytes_fetched_ = 0;
+};
+
+}  // namespace medcrypt::revocation

@@ -1,0 +1,30 @@
+#include "revocation/revocation.h"
+
+namespace medcrypt::revocation {
+
+RevocationAuthority::RevocationAuthority(
+    std::shared_ptr<mediated::RevocationList> list, sim::SimClock* clock)
+    : list_(std::move(list)), clock_(clock) {
+  if (!list_) {
+    throw InvalidArgument("RevocationAuthority: null revocation list");
+  }
+}
+
+void RevocationAuthority::revoke(std::string_view identity) {
+  list_->revoke(identity);
+  ++revocations_;
+  // SEM revocation takes effect at the instant of the call: the next
+  // token request observes the flag. Latency = 0 in virtual time.
+  effect_latencies_ns_.push_back(0);
+  (void)clock_;
+}
+
+void RevocationAuthority::unrevoke(std::string_view identity) {
+  list_->unrevoke(identity);
+}
+
+bool RevocationAuthority::is_revoked(std::string_view identity) const {
+  return list_->is_revoked(identity);
+}
+
+}  // namespace medcrypt::revocation

@@ -1,0 +1,64 @@
+#include "revocation/validity_period.h"
+
+#include "common/error.h"
+
+namespace medcrypt::revocation {
+
+ValidityPeriodPkg::ValidityPeriodPkg(pairing::ParamSet group,
+                                     std::size_t message_len,
+                                     std::uint64_t period_ns,
+                                     RandomSource& rng)
+    : pkg_(std::move(group), message_len, rng), period_ns_(period_ns) {
+  if (period_ns_ == 0) {
+    throw InvalidArgument("ValidityPeriodPkg: period must be positive");
+  }
+}
+
+std::string ValidityPeriodPkg::qualified_identity(std::string_view identity,
+                                                  std::uint64_t period) {
+  std::string out(identity);
+  out.push_back('|');
+  out += std::to_string(period);
+  return out;
+}
+
+void ValidityPeriodPkg::enroll(std::string_view identity) {
+  enrolled_.insert(std::string(identity));
+}
+
+void ValidityPeriodPkg::revoke(std::string_view identity,
+                               std::uint64_t now_ns) {
+  if (revoked_.insert(std::string(identity)).second) {
+    // Effective at the next period boundary — the user already holds the
+    // current period's key and keeps decrypting until then.
+    const std::uint64_t next_boundary = (period_at(now_ns) + 1) * period_ns_;
+    effect_latencies_ns_.push_back(next_boundary - now_ns);
+  }
+}
+
+std::size_t ValidityPeriodPkg::reissue_all(std::uint64_t period) {
+  std::size_t issued = 0;
+  for (const std::string& id : enrolled_) {
+    if (revoked_.contains(id)) continue;
+    // A real PKG would transmit the key to the user; the cost model only
+    // needs the extraction count (plus the extraction work itself).
+    (void)pkg_.extract(qualified_identity(id, period));
+    ++issued;
+  }
+  keys_issued_ += issued;
+  return issued;
+}
+
+ec::Point ValidityPeriodPkg::extract_for_period(std::string_view identity,
+                                                std::uint64_t period) const {
+  if (!enrolled_.contains(std::string(identity))) {
+    throw InvalidArgument("ValidityPeriodPkg: unknown identity");
+  }
+  if (revoked_.contains(std::string(identity))) {
+    throw RevokedError("ValidityPeriodPkg: identity revoked: " +
+                       std::string(identity));
+  }
+  return pkg_.extract(qualified_identity(identity, period));
+}
+
+}  // namespace medcrypt::revocation

@@ -1,0 +1,82 @@
+#include "rsa/oaep.h"
+
+#include "common/error.h"
+#include "hash/kdf.h"
+#include "hash/sha256.h"
+
+namespace medcrypt::rsa {
+
+namespace {
+constexpr std::size_t kHashLen = hash::Sha256::kDigestSize;
+
+// Label hash for the empty label (fixed, precomputable).
+const Bytes& empty_label_hash() {
+  static const Bytes kHash = hash::Sha256::digest({});
+  return kHash;
+}
+}  // namespace
+
+std::size_t oaep_max_message(std::size_t k) {
+  if (k < 2 * kHashLen + 2) return 0;
+  return k - 2 * kHashLen - 2;
+}
+
+BigInt oaep_encode(BytesView message, std::size_t k, RandomSource& rng) {
+  if (message.size() > oaep_max_message(k)) {
+    throw InvalidArgument("oaep_encode: message too long for modulus");
+  }
+  // DB = lHash || PS(0x00..) || 0x01 || M
+  Bytes db = empty_label_hash();
+  db.resize(k - kHashLen - 1, 0);
+  db[db.size() - message.size() - 1] = 0x01;
+  std::copy(message.begin(), message.end(),
+            db.end() - static_cast<std::ptrdiff_t>(message.size()));
+
+  Bytes seed(kHashLen);
+  rng.fill(seed);
+
+  const Bytes db_mask = hash::mgf1(seed, db.size());
+  const Bytes masked_db = xor_bytes(db, db_mask);
+  const Bytes seed_mask = hash::mgf1(masked_db, kHashLen);
+  const Bytes masked_seed = xor_bytes(seed, seed_mask);
+
+  Bytes em;
+  em.reserve(k);
+  em.push_back(0x00);
+  em.insert(em.end(), masked_seed.begin(), masked_seed.end());
+  em.insert(em.end(), masked_db.begin(), masked_db.end());
+  return BigInt::from_bytes_be(em);
+}
+
+Bytes oaep_decode(const BigInt& block, std::size_t k) {
+  if (k < 2 * kHashLen + 2) {
+    throw InvalidArgument("oaep_decode: modulus too small");
+  }
+  Bytes em;
+  try {
+    em = block.to_bytes_be_padded(k);
+  } catch (const InvalidArgument&) {
+    throw DecryptionError("oaep_decode: block exceeds modulus frame");
+  }
+  if (em[0] != 0x00) throw DecryptionError("oaep_decode: bad leading byte");
+
+  const BytesView masked_seed(em.data() + 1, kHashLen);
+  const BytesView masked_db(em.data() + 1 + kHashLen, k - kHashLen - 1);
+
+  const Bytes seed_mask = hash::mgf1(masked_db, kHashLen);
+  const Bytes seed = xor_bytes(masked_seed, seed_mask);
+  const Bytes db_mask = hash::mgf1(seed, masked_db.size());
+  const Bytes db = xor_bytes(masked_db, db_mask);
+
+  if (!ct_equal(BytesView(db.data(), kHashLen), empty_label_hash())) {
+    throw DecryptionError("oaep_decode: label hash mismatch");
+  }
+  std::size_t i = kHashLen;
+  while (i < db.size() && db[i] == 0x00) ++i;
+  if (i == db.size() || db[i] != 0x01) {
+    throw DecryptionError("oaep_decode: missing 0x01 separator");
+  }
+  return Bytes(db.begin() + static_cast<std::ptrdiff_t>(i) + 1, db.end());
+}
+
+}  // namespace medcrypt::rsa

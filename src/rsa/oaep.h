@@ -1,0 +1,30 @@
+// OAEP padding (PKCS#1 v2 shape, SHA-256 + MGF1).
+//
+// The encode/decode steps are separated from the RSA exponentiation so
+// the mediated schemes can run the exponentiation in two halves and only
+// then strip the padding — exactly the structure whose SEM-simulation
+// problem §2 of the paper analyzes (the mediator cannot tell a valid
+// ciphertext from an invalid one before the padding check).
+#pragma once
+
+#include "bigint/bigint.h"
+#include "common/bytes.h"
+#include "common/random_source.h"
+
+namespace medcrypt::rsa {
+
+using bigint::BigInt;
+
+/// Maximum message length for a k-byte modulus: k - 2*hLen - 2.
+std::size_t oaep_max_message(std::size_t k);
+
+/// OAEP-encodes `message` into a k-byte block (returned as an integer
+/// < 2^(8(k-1)) so it is always < n). Throws InvalidArgument when the
+/// message is too long.
+BigInt oaep_encode(BytesView message, std::size_t k, RandomSource& rng);
+
+/// Inverts oaep_encode. Throws DecryptionError when the padding is
+/// inconsistent (invalid ciphertext).
+Bytes oaep_decode(const BigInt& block, std::size_t k);
+
+}  // namespace medcrypt::rsa

@@ -1,0 +1,74 @@
+// RSA substrate for the mRSA / IB-mRSA baseline (paper §2).
+//
+// Key generation supports ordinary primes and the safe primes
+// p = 2p' + 1 that IB-mRSA's Setup requires (so that a hash-derived odd
+// public exponent is coprime to φ(n) with overwhelming probability).
+// Raw modular exponentiation is exposed separately from the OAEP layer
+// because mediated RSA splits the private exponent additively:
+//   m = c^{d_sem} · c^{d_user} mod n.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "bigint/bigint.h"
+#include "common/bytes.h"
+#include "common/random_source.h"
+
+namespace medcrypt::rsa {
+
+using bigint::BigInt;
+
+/// RSA public key (n, e).
+struct PublicKey {
+  BigInt n;
+  BigInt e;
+
+  /// Modulus size in bytes (the OAEP block size k).
+  std::size_t byte_size() const { return (n.bit_length() + 7) / 8; }
+};
+
+/// RSA private key with factorization (kept by the key generator; a
+/// mediated deployment never hands the full d to any single party).
+struct PrivateKey {
+  PublicKey pub;
+  BigInt d;
+  BigInt p;
+  BigInt q;
+  BigInt phi;  // φ(n) = (p-1)(q-1)
+};
+
+/// Options for key generation.
+struct KeyGenOptions {
+  std::size_t modulus_bits = 1024;
+  BigInt public_exponent = BigInt(std::uint64_t{65537});
+  /// Use safe primes p = 2p'+1 (slow; IB-mRSA setup needs this so that
+  /// identity-derived exponents are invertible).
+  bool safe_primes = false;
+};
+
+/// Generates an RSA key pair. Throws InvalidArgument for tiny sizes.
+PrivateKey generate_key(const KeyGenOptions& options, RandomSource& rng);
+
+/// Raw RSA: x^e mod n. Requires 0 <= x < n.
+BigInt public_op(const PublicKey& key, const BigInt& x);
+
+/// Raw RSA: x^d mod n (no CRT — mediated halves cannot use CRT anyway).
+BigInt private_op(const PrivateKey& key, const BigInt& x);
+
+/// Splits a private exponent additively: d = d_user + d_sem (mod φ(n)).
+/// Returns {d_user, d_sem}. This is the mRSA key split of [4].
+std::pair<BigInt, BigInt> split_exponent(const BigInt& d, const BigInt& phi,
+                                         RandomSource& rng);
+
+/// Recovers a factor pair of n from a full exponent pair (e, d) with
+/// e·d ≡ 1 (mod φ(n)) — the classic attack the paper invokes in §2/§4:
+/// in IB-mRSA a user colluding with the SEM learns d = d_user + d_sem,
+/// factors the COMMON modulus, and thereby breaks every identity.
+/// Returns {p, q} or nullopt if the probabilistic search fails (it
+/// succeeds with probability >= 1 - 2^-tries for valid inputs).
+std::optional<std::pair<BigInt, BigInt>> factor_from_exponents(
+    const BigInt& n, const BigInt& e, const BigInt& d, RandomSource& rng,
+    int tries = 64);
+
+}  // namespace medcrypt::rsa

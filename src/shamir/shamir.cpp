@@ -1,0 +1,87 @@
+#include "shamir/shamir.h"
+
+#include <set>
+
+#include "common/error.h"
+
+namespace medcrypt::shamir {
+
+Sharing share_secret(const BigInt& secret, std::size_t t, std::size_t n,
+                     const BigInt& q, RandomSource& rng) {
+  if (t < 1 || t > n) {
+    throw InvalidArgument("share_secret: need 1 <= t <= n");
+  }
+  if (BigInt(static_cast<std::uint64_t>(n)) >= q) {
+    throw InvalidArgument("share_secret: n must be < q");
+  }
+  Sharing out;
+  out.coefficients.reserve(t);
+  out.coefficients.push_back(secret.mod(q));
+  for (std::size_t i = 1; i < t; ++i) {
+    out.coefficients.push_back(BigInt::random_below(rng, q));
+  }
+  out.shares.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    const BigInt x(static_cast<std::uint64_t>(i));
+    out.shares.push_back(
+        Share{static_cast<std::uint32_t>(i),
+              evaluate_polynomial(out.coefficients, x, q)});
+  }
+  return out;
+}
+
+BigInt evaluate_polynomial(std::span<const BigInt> coefficients,
+                           const BigInt& x, const BigInt& q) {
+  // Horner's rule.
+  BigInt acc;
+  for (std::size_t i = coefficients.size(); i-- > 0;) {
+    acc = acc.mul_mod(x, q).add_mod(coefficients[i].mod(q), q);
+  }
+  return acc;
+}
+
+BigInt lagrange_coefficient(std::span<const std::uint32_t> indices,
+                            std::uint32_t i, const BigInt& x, const BigInt& q) {
+  bool found = false;
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t j : indices) {
+    if (j == 0) throw InvalidArgument("lagrange_coefficient: zero index");
+    if (!seen.insert(j).second) {
+      throw InvalidArgument("lagrange_coefficient: duplicate index");
+    }
+    if (j == i) found = true;
+  }
+  if (!found) throw InvalidArgument("lagrange_coefficient: i not in set");
+
+  BigInt num(std::uint64_t{1}), den(std::uint64_t{1});
+  const BigInt xr = x.mod(q);
+  const BigInt xi(static_cast<std::uint64_t>(i));
+  for (std::uint32_t j : indices) {
+    if (j == i) continue;
+    const BigInt xj(static_cast<std::uint64_t>(j));
+    num = num.mul_mod(xr.sub_mod(xj.mod(q), q), q);
+    den = den.mul_mod(xi.mod(q).sub_mod(xj.mod(q), q), q);
+  }
+  return num.mul_mod(den.mod_inverse(q), q);
+}
+
+BigInt interpolate(std::span<const Share> shares, const BigInt& x,
+                   const BigInt& q) {
+  if (shares.empty()) throw InvalidArgument("interpolate: no shares");
+  std::vector<std::uint32_t> indices;
+  indices.reserve(shares.size());
+  for (const Share& s : shares) indices.push_back(s.index);
+
+  BigInt acc;
+  for (const Share& s : shares) {
+    const BigInt lambda = lagrange_coefficient(indices, s.index, x.mod(q), q);
+    acc = acc.add_mod(lambda.mul_mod(s.value.mod(q), q), q);
+  }
+  return acc;
+}
+
+BigInt reconstruct_secret(std::span<const Share> shares, const BigInt& q) {
+  return interpolate(shares, BigInt{}, q);
+}
+
+}  // namespace medcrypt::shamir

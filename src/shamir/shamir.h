@@ -1,0 +1,60 @@
+// Shamir (t, n) secret sharing over Z_q.
+//
+// This is the dealer machinery behind every threshold scheme in the
+// paper: the PKG shares its master key s through a degree-(t-1)
+// polynomial f with f(0) = s, player i receives f(i), and any t shares
+// recombine through Lagrange coefficients. The same coefficients evaluated
+// at abscissae other than 0 reconstruct a *cheater's* share from t honest
+// ones (§3.2) and power the share-simulation step of the §3.3 proof.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "common/random_source.h"
+
+namespace medcrypt::shamir {
+
+using bigint::BigInt;
+
+/// One party's share: f(index) for a 1-based index.
+struct Share {
+  std::uint32_t index = 0;
+  BigInt value;
+};
+
+/// A full dealing: the shares plus the polynomial coefficients
+/// (coefficients[0] is the secret; the rest are the blinding terms the
+/// dealer publishes in the exponent as verification keys).
+struct Sharing {
+  std::vector<Share> shares;
+  std::vector<BigInt> coefficients;
+};
+
+/// Deals `secret` into n shares with threshold t over Z_q.
+/// Requires 1 <= t <= n and n < q.
+Sharing share_secret(const BigInt& secret, std::size_t t, std::size_t n,
+                     const BigInt& q, RandomSource& rng);
+
+/// Evaluates the sharing polynomial at x (used by tests and the dealer).
+BigInt evaluate_polynomial(std::span<const BigInt> coefficients,
+                           const BigInt& x, const BigInt& q);
+
+/// Lagrange coefficient λ_i(x) for interpolating at abscissa `x` from the
+/// point set `indices`: λ_i(x) = Π_{j≠i} (x - j)/(i - j) mod q.
+/// `i` must appear in `indices`, and indices must be distinct and nonzero.
+BigInt lagrange_coefficient(std::span<const std::uint32_t> indices,
+                            std::uint32_t i, const BigInt& x, const BigInt& q);
+
+/// Interpolates the polynomial at abscissa `x` from >= t shares.
+/// With x = 0 this reconstructs the secret; with x = k it reconstructs
+/// player k's share (cheater recovery).
+BigInt interpolate(std::span<const Share> shares, const BigInt& x,
+                   const BigInt& q);
+
+/// Convenience: interpolate(shares, 0, q).
+BigInt reconstruct_secret(std::span<const Share> shares, const BigInt& q);
+
+}  // namespace medcrypt::shamir

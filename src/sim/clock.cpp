@@ -1,0 +1,4 @@
+#include "sim/clock.h"
+
+// SimClock is header-only; this translation unit anchors the module in the
+// build so every module directory has a compiled artifact.

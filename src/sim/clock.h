@@ -1,0 +1,30 @@
+// Simulated clock for the distributed-system experiments.
+//
+// The revocation experiment (F2) and the communication/latency model run
+// against virtual time so results are deterministic and independent of
+// the host machine.
+#pragma once
+
+#include <cstdint>
+
+namespace medcrypt::sim {
+
+/// Monotonic virtual clock measured in nanoseconds.
+class SimClock {
+ public:
+  std::uint64_t now_ns() const { return now_ns_; }
+
+  /// Advances virtual time.
+  void advance_ns(std::uint64_t delta) { now_ns_ += delta; }
+
+  /// Moves the clock forward to `t` if `t` is in the future (no-op
+  /// otherwise) — used when merging parallel activities.
+  void advance_to(std::uint64_t t) {
+    if (t > now_ns_) now_ns_ = t;
+  }
+
+ private:
+  std::uint64_t now_ns_ = 0;
+};
+
+}  // namespace medcrypt::sim

@@ -1,0 +1,3 @@
+#include "sim/stats.h"
+
+// LinkStats is header-only; anchor translation unit.

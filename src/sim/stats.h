@@ -1,0 +1,37 @@
+// Communication accounting for the mediated protocols.
+//
+// The paper's efficiency claims (§4–§5) are about *bits on the wire per
+// operation* — the SEM token is 160 bits for mediated GDH vs 1024 for
+// mRSA. LinkStats counts messages and bytes per direction so the
+// bench_comm experiment can print exactly those rows.
+#pragma once
+
+#include <cstdint>
+
+namespace medcrypt::sim {
+
+/// Byte/message counters for one direction of a link.
+struct DirectionStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+
+  void record(std::uint64_t n) {
+    ++messages;
+    bytes += n;
+  }
+};
+
+/// Counters for one bidirectional link (client <-> server).
+struct LinkStats {
+  DirectionStats to_server;
+  DirectionStats to_client;
+
+  std::uint64_t total_bytes() const { return to_server.bytes + to_client.bytes; }
+  std::uint64_t total_messages() const {
+    return to_server.messages + to_client.messages;
+  }
+
+  void reset() { *this = LinkStats{}; }
+};
+
+}  // namespace medcrypt::sim

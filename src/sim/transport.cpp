@@ -1,0 +1,15 @@
+#include "sim/transport.h"
+
+namespace medcrypt::sim {
+
+void Transport::send_to_server(std::uint64_t bytes) {
+  stats_.to_server.record(bytes);
+  if (clock_ != nullptr) clock_->advance_ns(latency_.delay_for(bytes));
+}
+
+void Transport::send_to_client(std::uint64_t bytes) {
+  stats_.to_client.record(bytes);
+  if (clock_ != nullptr) clock_->advance_ns(latency_.delay_for(bytes));
+}
+
+}  // namespace medcrypt::sim

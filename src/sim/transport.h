@@ -1,0 +1,65 @@
+// Simulated client/server transport with byte accounting and a latency
+// model.
+//
+// The SEM protocols (mediated IBE / GDH / mRSA) are one-round:
+//   client ──request──▶ mediator
+//   client ◀──token──── mediator
+// Transport records each message's size, and — when bound to a SimClock —
+// charges propagation plus serialization latency so end-to-end mediated
+// latency can be studied under different network assumptions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "sim/clock.h"
+#include "sim/stats.h"
+
+namespace medcrypt::sim {
+
+/// One-way delay parameters.
+struct LatencyModel {
+  /// One-way propagation delay, ns (RTT/2).
+  std::uint64_t propagation_ns = 0;
+  /// Serialization cost per byte, ns.
+  double ns_per_byte = 0.0;
+
+  std::uint64_t delay_for(std::uint64_t bytes) const {
+    return propagation_ns +
+           static_cast<std::uint64_t>(ns_per_byte * static_cast<double>(bytes));
+  }
+
+  /// A LAN-ish default: 100 µs one-way, 1 Gbit/s.
+  static LatencyModel lan() { return {100'000, 8.0 / 1.0}; }
+
+  /// A WAN-ish default: 20 ms one-way, 100 Mbit/s.
+  static LatencyModel wan() { return {20'000'000, 80.0 / 1.0}; }
+};
+
+/// A bidirectional link between a client (user) and a server (SEM/PKG).
+class Transport {
+ public:
+  /// Pure-accounting transport (no clock).
+  Transport() = default;
+
+  /// Accounting + virtual-time transport.
+  Transport(SimClock* clock, LatencyModel latency)
+      : clock_(clock), latency_(latency) {}
+
+  /// Records a client -> server message of `bytes` bytes.
+  void send_to_server(std::uint64_t bytes);
+
+  /// Records a server -> client message of `bytes` bytes.
+  void send_to_client(std::uint64_t bytes);
+
+  const LinkStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+ private:
+  SimClock* clock_ = nullptr;
+  LatencyModel latency_{};
+  LinkStats stats_;
+};
+
+}  // namespace medcrypt::sim

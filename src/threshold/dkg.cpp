@@ -1,0 +1,160 @@
+#include "threshold/dkg.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "shamir/shamir.h"
+
+namespace medcrypt::threshold {
+
+using bigint::BigInt;
+using ec::Point;
+
+DkgParticipant::DkgParticipant(pairing::ParamSet group, std::size_t t,
+                               std::size_t n, std::uint32_t index,
+                               RandomSource& rng)
+    : group_(std::move(group)), t_(t), n_(n), index_(index) {
+  if (t < 1 || t > n) throw InvalidArgument("DkgParticipant: need 1 <= t <= n");
+  if (index == 0 || index > n) {
+    throw InvalidArgument("DkgParticipant: index out of range");
+  }
+  const BigInt& q = group_.order();
+  my_coefficients_.reserve(t);
+  for (std::size_t k = 0; k < t; ++k) {
+    my_coefficients_.push_back(BigInt::random_below(rng, q));
+  }
+}
+
+DkgCommitment DkgParticipant::commitment() const {
+  DkgCommitment out;
+  out.from = index_;
+  out.coefficients.reserve(t_);
+  for (const BigInt& a : my_coefficients_) {
+    out.coefficients.push_back(group_.generator.mul(a));
+  }
+  return out;
+}
+
+BigInt DkgParticipant::share_for(std::uint32_t j) const {
+  if (j == 0 || j > n_) throw InvalidArgument("DkgParticipant: bad recipient");
+  return shamir::evaluate_polynomial(
+      my_coefficients_, BigInt(static_cast<std::uint64_t>(j)), group_.order());
+}
+
+Point DkgParticipant::evaluate_commitment(const DkgCommitment& commitment,
+                                          std::uint32_t at) const {
+  // Σ_k at^k · A_k  — the Feldman check value f_i(at)·P.
+  const BigInt& q = group_.order();
+  const BigInt x(static_cast<std::uint64_t>(at));
+  Point acc = group_.curve->infinity();
+  BigInt x_pow(std::uint64_t{1});
+  for (const Point& a : commitment.coefficients) {
+    acc += a.mul(x_pow);
+    x_pow = x_pow.mul_mod(x, q);
+  }
+  return acc;
+}
+
+void DkgParticipant::receive_commitment(const DkgCommitment& commitment) {
+  if (commitment.from == 0 || commitment.from > n_) {
+    throw InvalidArgument("DkgParticipant: commitment from bad index");
+  }
+  if (commitment.coefficients.size() != t_) {
+    throw InvalidArgument("DkgParticipant: commitment has wrong degree");
+  }
+  commitments_.insert_or_assign(commitment.from, commitment);
+}
+
+bool DkgParticipant::receive_share(std::uint32_t from, const BigInt& share) {
+  const auto it = commitments_.find(from);
+  if (it == commitments_.end()) {
+    throw InvalidArgument("DkgParticipant: share before commitment");
+  }
+  // Feldman verification: s_ij·P == Σ_k j^k·A_ik.
+  if (!(group_.generator.mul(share) ==
+        evaluate_commitment(it->second, index_))) {
+    complaints_.push_back(from);
+    disqualified_.insert(from);
+    return false;
+  }
+  received_shares_.insert_or_assign(from, share.mod(group_.order()));
+  return true;
+}
+
+void DkgParticipant::disqualify(std::uint32_t player) {
+  disqualified_.insert(player);
+}
+
+DkgParticipant::Result DkgParticipant::finalize() const {
+  // Qualified set: everyone whose commitment + valid share we hold,
+  // minus the disqualified; our own contribution always counts.
+  Result out;
+  const BigInt& q = group_.order();
+  BigInt x_j = shamir::evaluate_polynomial(
+      my_coefficients_, BigInt(static_cast<std::uint64_t>(index_)), q);
+  out.qualified.push_back(index_);
+
+  for (const auto& [from, share] : received_shares_) {
+    if (disqualified_.contains(from)) continue;
+    x_j = x_j.add_mod(share, q);
+    out.qualified.push_back(from);
+  }
+  std::sort(out.qualified.begin(), out.qualified.end());
+  out.secret_share = x_j;
+
+  // Public key and verification keys from the qualified commitments.
+  const DkgCommitment own = commitment();
+  auto commitment_of = [&](std::uint32_t i) -> const DkgCommitment& {
+    if (i == index_) return own;
+    return commitments_.at(i);
+  };
+
+  out.public_key = group_.curve->infinity();
+  for (std::uint32_t i : out.qualified) {
+    out.public_key += commitment_of(i).coefficients[0];
+  }
+  out.verification_keys.reserve(n_);
+  for (std::uint32_t j = 1; j <= n_; ++j) {
+    Point y_j = group_.curve->infinity();
+    for (std::uint32_t i : out.qualified) {
+      y_j += evaluate_commitment(commitment_of(i), j);
+    }
+    out.verification_keys.push_back(y_j);
+  }
+  return out;
+}
+
+GdhSetup gdh_setup_from_dkg(const pairing::ParamSet& group, std::size_t t,
+                            std::size_t n, const DkgParticipant::Result& r) {
+  GdhSetup setup;
+  setup.group = group;
+  setup.threshold = t;
+  setup.players = n;
+  setup.public_key = r.public_key;
+  setup.verification_keys = r.verification_keys;
+  return setup;
+}
+
+ThresholdSetup ibe_setup_from_dkg(const pairing::ParamSet& group,
+                                  std::size_t message_len, std::size_t t,
+                                  std::size_t n,
+                                  const DkgParticipant::Result& r) {
+  ThresholdSetup setup;
+  setup.params.group = group;
+  setup.params.p_pub = r.public_key;
+  setup.params.message_len = message_len;
+  setup.threshold = t;
+  setup.players = n;
+  setup.verification_keys = r.verification_keys;
+  return setup;
+}
+
+KeyShare ibe_key_share_from_dkg(const ThresholdSetup& setup,
+                                std::uint32_t index,
+                                const bigint::BigInt& secret_share,
+                                std::string_view identity) {
+  return KeyShare{index,
+                  ibe::map_identity(setup.params, identity).mul(secret_share)};
+}
+
+}  // namespace medcrypt::threshold

@@ -1,0 +1,121 @@
+// Distributed key generation (joint Feldman VSS) — an extension beyond
+// the paper's trusted-dealer setup.
+//
+// §3's threshold IBE and §5's threshold GDH both assume a trusted dealer
+// (the PKG / TA) who knows the full secret at setup. This module removes
+// that assumption: n players jointly generate a Shamir-shared secret
+// none of them ever sees.
+//
+//   Round 1 (broadcast + private):
+//     each player i samples f_i(x) = a_i0 + ... + a_i,t-1 x^{t-1},
+//     broadcasts the Feldman commitments A_ik = a_ik·P, and sends
+//     s_ij = f_i(j) privately to player j.
+//   Round 2 (verification):
+//     player j checks s_ij·P = Σ_k j^k·A_ik for every i, and complains
+//     about (disqualifies) senders whose shares fail.
+//   Finalize (over the qualified set Q):
+//     x_j = Σ_{i∈Q} s_ij  is j's share of x = Σ_{i∈Q} a_i0;
+//     Y   = Σ_{i∈Q} A_i0  is the public key;
+//     Y_j = Σ_{i∈Q} Σ_k j^k·A_ik are the per-player verification keys.
+//
+// The result plugs directly into the existing threshold schemes:
+// threshold GDH uses (Y, Y_j, x_j) verbatim, and — because a threshold-
+// IBE key share is d_IDj = f(j)·Q_ID = x_j·Q_ID — every player can
+// derive its own identity key shares locally, making the §3 scheme
+// fully decentralized (dealer-less PKG).
+//
+// This is the simplified Feldman variant (adequate against honest-but-
+// curious and share-corrupting adversaries; a rushing adversary can bias
+// the public key distribution — Gennaro et al.'s fix would add Pedersen
+// commitments, out of scope here and for the paper).
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ibe/boneh_franklin.h"
+#include "threshold/threshold_gdh.h"
+#include "threshold/threshold_ibe.h"
+
+namespace medcrypt::threshold {
+
+/// One player's broadcast in round 1.
+struct DkgCommitment {
+  std::uint32_t from = 0;
+  std::vector<ec::Point> coefficients;  // A_i0 .. A_i,t-1
+};
+
+/// One player's state machine for the DKG.
+class DkgParticipant {
+ public:
+  /// `index` is this player's 1-based index.
+  DkgParticipant(pairing::ParamSet group, std::size_t t, std::size_t n,
+                 std::uint32_t index, RandomSource& rng);
+
+  std::uint32_t index() const { return index_; }
+
+  /// Round-1 broadcast.
+  DkgCommitment commitment() const;
+
+  /// Round-1 private share for player j (including j == index()).
+  bigint::BigInt share_for(std::uint32_t j) const;
+
+  /// Receives another player's broadcast. Must arrive before their share.
+  void receive_commitment(const DkgCommitment& commitment);
+
+  /// Receives player `from`'s private share; returns false (and records
+  /// a complaint) if it fails the Feldman check against the commitment.
+  bool receive_share(std::uint32_t from, const bigint::BigInt& share);
+
+  /// Marks a player disqualified (after a valid complaint was agreed).
+  void disqualify(std::uint32_t player);
+
+  /// Players that were complained about by this participant.
+  const std::vector<std::uint32_t>& complaints() const { return complaints_; }
+
+  /// Output of the protocol for this player.
+  struct Result {
+    bigint::BigInt secret_share;          // x_j
+    ec::Point public_key;                 // Y
+    std::vector<ec::Point> verification_keys;  // Y_1 .. Y_n
+    std::vector<std::uint32_t> qualified;
+  };
+
+  /// Finalizes. Requires this player's own share and every qualified
+  /// player's commitment + valid share to have been received.
+  Result finalize() const;
+
+ private:
+  ec::Point evaluate_commitment(const DkgCommitment& commitment,
+                                std::uint32_t at) const;
+
+  pairing::ParamSet group_;
+  std::size_t t_, n_;
+  std::uint32_t index_;
+  std::vector<bigint::BigInt> my_coefficients_;
+  std::map<std::uint32_t, DkgCommitment> commitments_;
+  std::map<std::uint32_t, bigint::BigInt> received_shares_;
+  std::set<std::uint32_t> disqualified_;
+  std::vector<std::uint32_t> complaints_;
+};
+
+/// Assembles a dealer-less GdhSetup from any player's DKG result.
+GdhSetup gdh_setup_from_dkg(const pairing::ParamSet& group, std::size_t t,
+                            std::size_t n, const DkgParticipant::Result& r);
+
+/// Assembles a dealer-less ThresholdSetup (threshold IBE) from a DKG
+/// result; player j's key share for an identity is
+/// ibe_key_share_from_dkg(...).
+ThresholdSetup ibe_setup_from_dkg(const pairing::ParamSet& group,
+                                  std::size_t message_len, std::size_t t,
+                                  std::size_t n,
+                                  const DkgParticipant::Result& r);
+
+/// Player j's locally-computed identity key share d_IDj = x_j·H1(ID).
+KeyShare ibe_key_share_from_dkg(const ThresholdSetup& setup,
+                                std::uint32_t index,
+                                const bigint::BigInt& secret_share,
+                                std::string_view identity);
+
+}  // namespace medcrypt::threshold

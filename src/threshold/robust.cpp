@@ -1,0 +1,62 @@
+#include "threshold/robust.h"
+
+#include "hash/kdf.h"
+
+namespace medcrypt::threshold {
+
+using bigint::BigInt;
+using ec::Point;
+using field::Fp2;
+
+namespace {
+
+// Fiat–Shamir challenge over the full statement and commitments.
+BigInt challenge(const Fp2& share_value, const Fp2& vk_pairing, const Fp2& w1,
+                 const Fp2& w2, const Point& u, const BigInt& order) {
+  Bytes data = share_value.to_bytes();
+  const Bytes vk = vk_pairing.to_bytes();
+  const Bytes b1 = w1.to_bytes();
+  const Bytes b2 = w2.to_bytes();
+  const Bytes ub = u.to_bytes();
+  data.insert(data.end(), vk.begin(), vk.end());
+  data.insert(data.end(), b1.begin(), b1.end());
+  data.insert(data.end(), b2.begin(), b2.end());
+  data.insert(data.end(), ub.begin(), ub.end());
+  return hash::hash_to_range("TIBE.proof", data, order);
+}
+
+}  // namespace
+
+ShareProof prove_share(const pairing::TatePairing& pairing,
+                       const Point& generator, const Point& u,
+                       const Point& d_idi, const Fp2& share_value,
+                       const Fp2& vk_pairing, const BigInt& order,
+                       RandomSource& rng) {
+  // Commitment R = k·P for random k (a uniform subgroup element).
+  const BigInt k = BigInt::random_unit(rng, order);
+  const Point r = generator.mul(k);
+
+  ShareProof proof;
+  proof.w1 = pairing.pair(generator, r);
+  proof.w2 = pairing.pair(u, r);
+  proof.e = challenge(share_value, vk_pairing, proof.w1, proof.w2, u, order);
+  proof.v = r + d_idi.mul(proof.e);
+  return proof;
+}
+
+bool verify_share_proof(const pairing::TatePairing& pairing,
+                        const Point& generator, const Point& u,
+                        const Fp2& share_value, const Fp2& vk_pairing,
+                        const BigInt& order, const ShareProof& proof) {
+  const BigInt e =
+      challenge(share_value, vk_pairing, proof.w1, proof.w2, u, order);
+  if (e != proof.e) return false;
+  // ê(P, V) = w1 · ê(P_pub^(i), Q_ID)^e
+  if (!(pairing.pair(generator, proof.v) == proof.w1 * vk_pairing.pow(e))) {
+    return false;
+  }
+  // ê(U, V) = w2 · S^e
+  return pairing.pair(u, proof.v) == proof.w2 * share_value.pow(e);
+}
+
+}  // namespace medcrypt::threshold

@@ -1,0 +1,46 @@
+// The §3.2 robustness NIZK: a proof of "equality of two preimages of the
+// isomorphism induced by the pairing".
+//
+// Player i proves that his decryption share S = ê(U, d_IDi) uses the same
+// d_IDi that underlies his verification key P_pub^(i), i.e. that
+//   (ê(P, ·), ê(U, ·)) evaluated at d_IDi
+// yields (ê(P_pub^(i), Q_ID), S), without revealing d_IDi:
+//
+//   commit   R ∈_R G1, w1 = ê(P, R), w2 = ê(U, R)
+//   challenge e = H(S, ê(P_pub^(i), Q_ID), w1, w2)       (Fiat–Shamir)
+//   response V = R + e·d_IDi ∈ G1
+//
+//   verify   ê(P, V) = w1 · ê(P_pub^(i), Q_ID)^e
+//            ê(U, V) = w2 · S^e
+#pragma once
+
+#include "ec/point.h"
+#include "field/fp2.h"
+#include "pairing/tate.h"
+
+namespace medcrypt::threshold {
+
+/// Non-interactive proof attached to a decryption share.
+struct ShareProof {
+  field::Fp2 w1;
+  field::Fp2 w2;
+  bigint::BigInt e;
+  ec::Point v;
+};
+
+/// Produces the proof for share value `share_value` = ê(U, d_idi).
+/// `vk_pairing` = ê(P_pub^(i), Q_ID) is the statement's public side.
+ShareProof prove_share(const pairing::TatePairing& pairing,
+                       const ec::Point& generator, const ec::Point& u,
+                       const ec::Point& d_idi, const field::Fp2& share_value,
+                       const field::Fp2& vk_pairing,
+                       const bigint::BigInt& order, RandomSource& rng);
+
+/// Verifies a proof against the same statement.
+bool verify_share_proof(const pairing::TatePairing& pairing,
+                        const ec::Point& generator, const ec::Point& u,
+                        const field::Fp2& share_value,
+                        const field::Fp2& vk_pairing,
+                        const bigint::BigInt& order, const ShareProof& proof);
+
+}  // namespace medcrypt::threshold

@@ -1,0 +1,69 @@
+// Boldyreva's (t, n) threshold GDH signature [2] — the building block the
+// paper cites for the mediated GDH signature (§5, §6).
+//
+//   Setup    dealer shares x: player i gets x_i = f(i), verification key
+//            R_i = x_i·P; the group public key is R = x·P.
+//   Sign     player i outputs the signature share σ_i = x_i·h(M).
+//   Share verification: ê(P, σ_i) = ê(R_i, h(M)) (a DDH check — this is
+//            what makes the scheme robust without extra proofs).
+//   Combine  σ = Σ L_i σ_i over any t valid shares; σ verifies under R
+//            exactly like an ordinary GDH signature.
+#pragma once
+
+#include <vector>
+
+#include "gdh/bls.h"
+#include "shamir/shamir.h"
+
+namespace medcrypt::threshold {
+
+using bigint::BigInt;
+using ec::Point;
+
+/// One signer's key share.
+struct GdhKeyShare {
+  std::uint32_t index = 0;
+  BigInt value;  // x_i = f(i)
+};
+
+/// Public output of the threshold GDH setup.
+struct GdhSetup {
+  pairing::ParamSet group;
+  std::size_t threshold = 0;
+  std::size_t players = 0;
+  Point public_key;                      // R = x·P
+  std::vector<Point> verification_keys;  // R_i = x_i·P
+
+  const Point& verification_key(std::uint32_t index) const;
+};
+
+/// Dealer output: the public setup plus the private key shares.
+struct GdhDealing {
+  GdhSetup setup;
+  std::vector<GdhKeyShare> shares;
+};
+
+/// Runs the trusted-dealer setup.
+GdhDealing gdh_threshold_setup(pairing::ParamSet group, std::size_t t,
+                               std::size_t n, RandomSource& rng);
+
+/// A signature share σ_i = x_i·h(M).
+struct GdhSignatureShare {
+  std::uint32_t index = 0;
+  Point value;
+};
+
+/// Player-side signing.
+GdhSignatureShare gdh_sign_share(const GdhSetup& setup,
+                                 const GdhKeyShare& share, BytesView message);
+
+/// Robustness check: ê(P, σ_i) = ê(R_i, h(M)).
+bool gdh_verify_share(const GdhSetup& setup, BytesView message,
+                      const GdhSignatureShare& share);
+
+/// Combines exactly t distinct shares into the group signature.
+/// The result verifies under setup.public_key via gdh::verify.
+Point gdh_combine_shares(const GdhSetup& setup,
+                         std::span<const GdhSignatureShare> shares);
+
+}  // namespace medcrypt::threshold

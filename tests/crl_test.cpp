@@ -1,0 +1,76 @@
+// Tests for the CRL revocation baseline: publication boundaries,
+// sender-side fetch costs, latency accounting.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "revocation/crl.h"
+
+namespace medcrypt::revocation {
+namespace {
+
+constexpr std::uint64_t kPeriod = 1'000;
+
+TEST(Crl, RevocationVisibleOnlyAfterPublication) {
+  CrlAuthority ca(kPeriod);
+  CrlCheckingSender sender(ca);
+
+  ca.revoke("alice", 100);
+  // Before the next publication boundary, alice still passes.
+  EXPECT_TRUE(sender.check_before_use("alice", 500));
+  // After the boundary, the fresh CRL carries her.
+  EXPECT_FALSE(sender.check_before_use("alice", kPeriod + 1));
+}
+
+TEST(Crl, EffectLatencyIsTimeToBoundary) {
+  CrlAuthority ca(kPeriod);
+  ca.revoke("a", 250);
+  ca.revoke("b", 900);
+  (void)ca.current(kPeriod + 1);  // trigger publication
+  ASSERT_EQ(ca.effect_latencies_ns().size(), 2u);
+  EXPECT_EQ(ca.effect_latencies_ns()[0], kPeriod - 250);
+  EXPECT_EQ(ca.effect_latencies_ns()[1], kPeriod - 900);
+}
+
+TEST(Crl, CrlSizeGrowsWithRevocations) {
+  CrlAuthority ca(kPeriod);
+  for (int i = 0; i < 10; ++i) ca.revoke("user" + std::to_string(i), 10);
+  const CrlSnapshot& crl = ca.current(kPeriod + 1);
+  EXPECT_EQ(crl.revoked.size(), 10u);
+  EXPECT_EQ(crl.byte_size(), 64u + 40u * 10u);
+}
+
+TEST(Crl, SenderFetchesOnlyWhenStale) {
+  CrlAuthority ca(kPeriod);
+  CrlCheckingSender sender(ca);
+  sim::Transport tr;
+
+  // First use fetches the (empty) CRL.
+  EXPECT_TRUE(sender.check_before_use("x", kPeriod + 1, &tr));
+  const auto fetches_after_first = sender.crl_fetches();
+  // Repeated uses within the same period: cache hit, no traffic.
+  EXPECT_TRUE(sender.check_before_use("y", kPeriod + 2, &tr));
+  EXPECT_TRUE(sender.check_before_use("z", kPeriod + 500, &tr));
+  EXPECT_EQ(sender.crl_fetches(), fetches_after_first);
+  // Next period: one more fetch.
+  ca.revoke("y", kPeriod + 600);
+  EXPECT_FALSE(sender.check_before_use("y", 2 * kPeriod + 1, &tr));
+  EXPECT_EQ(sender.crl_fetches(), fetches_after_first + 1);
+  EXPECT_GT(sender.bytes_fetched(), 0u);
+  EXPECT_EQ(tr.stats().to_client.messages, sender.crl_fetches());
+}
+
+TEST(Crl, MissedPeriodsCoalesce) {
+  CrlAuthority ca(kPeriod);
+  ca.revoke("a", 100);
+  // Jump several periods ahead: everything published in one step.
+  const CrlSnapshot& crl = ca.current(5 * kPeriod + 3);
+  EXPECT_TRUE(crl.revoked.contains("a"));
+  EXPECT_EQ(crl.version, 5u);
+}
+
+TEST(Crl, RejectsZeroPeriod) {
+  EXPECT_THROW(CrlAuthority(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace medcrypt::revocation

@@ -1,0 +1,166 @@
+// Tests for the Feldman-VSS DKG and its integration with the threshold
+// GDH and threshold IBE schemes (dealer-less operation).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "hash/drbg.h"
+#include "pairing/params.h"
+#include "threshold/dkg.h"
+
+namespace medcrypt::threshold {
+namespace {
+
+using hash::HmacDrbg;
+
+// Runs the full protocol among honest players; returns per-player results.
+std::vector<DkgParticipant::Result> run_honest_dkg(std::size_t t,
+                                                   std::size_t n,
+                                                   std::uint64_t seed) {
+  HmacDrbg rng(seed);
+  std::vector<DkgParticipant> players;
+  players.reserve(n);
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    players.emplace_back(pairing::toy_params(), t, n, i, rng);
+  }
+  // Round 1: broadcasts.
+  for (auto& receiver : players) {
+    for (const auto& sender : players) {
+      if (sender.index() != receiver.index()) {
+        receiver.receive_commitment(sender.commitment());
+      }
+    }
+  }
+  // Round 1: private shares; round 2: verification.
+  for (auto& receiver : players) {
+    for (const auto& sender : players) {
+      if (sender.index() != receiver.index()) {
+        EXPECT_TRUE(receiver.receive_share(sender.index(),
+                                           sender.share_for(receiver.index())));
+      }
+    }
+  }
+  std::vector<DkgParticipant::Result> results;
+  results.reserve(n);
+  for (const auto& p : players) results.push_back(p.finalize());
+  return results;
+}
+
+TEST(Dkg, AllPlayersAgreeOnPublicOutputs) {
+  const auto results = run_honest_dkg(3, 5, 300);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].public_key, results[0].public_key);
+    EXPECT_EQ(results[i].qualified, results[0].qualified);
+    ASSERT_EQ(results[i].verification_keys.size(), 5u);
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(results[i].verification_keys[j],
+                results[0].verification_keys[j]);
+    }
+  }
+  EXPECT_EQ(results[0].qualified.size(), 5u);
+}
+
+TEST(Dkg, SharesInterpolateToThePublicKeySecret) {
+  const auto results = run_honest_dkg(2, 3, 301);
+  const auto& group = pairing::toy_params();
+  // Reconstruct x from 2 shares and check Y = xP.
+  std::vector<shamir::Share> shares = {
+      {1, results[0].secret_share}, {3, results[2].secret_share}};
+  const auto x = shamir::reconstruct_secret(shares, group.order());
+  EXPECT_EQ(group.generator.mul(x), results[0].public_key);
+}
+
+TEST(Dkg, VerificationKeysMatchShares) {
+  const auto results = run_honest_dkg(3, 4, 302);
+  const auto& group = pairing::toy_params();
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(group.generator.mul(results[j].secret_share),
+              results[j].verification_keys[j]);
+  }
+}
+
+TEST(Dkg, BadShareTriggersComplaintAndDisqualification) {
+  HmacDrbg rng(303);
+  DkgParticipant p1(pairing::toy_params(), 2, 3, 1, rng);
+  DkgParticipant p2(pairing::toy_params(), 2, 3, 2, rng);
+  DkgParticipant cheater(pairing::toy_params(), 2, 3, 3, rng);
+
+  p1.receive_commitment(p2.commitment());
+  p1.receive_commitment(cheater.commitment());
+  EXPECT_TRUE(p1.receive_share(2, p2.share_for(1)));
+  // Cheater sends a wrong share:
+  EXPECT_FALSE(p1.receive_share(
+      3, cheater.share_for(1).add_mod(bigint::BigInt(1),
+                                      pairing::toy_params().order())));
+  ASSERT_EQ(p1.complaints().size(), 1u);
+  EXPECT_EQ(p1.complaints()[0], 3u);
+
+  const auto result = p1.finalize();
+  EXPECT_EQ(result.qualified, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(Dkg, DealerlessThresholdGdh) {
+  const std::size_t t = 2, n = 3;
+  const auto results = run_honest_dkg(t, n, 304);
+  const auto& group = pairing::toy_params();
+  const GdhSetup setup = gdh_setup_from_dkg(group, t, n, results[0]);
+
+  const Bytes msg = str_bytes("no dealer was harmed");
+  std::vector<GdhSignatureShare> shares;
+  for (std::uint32_t j : {1u, 3u}) {
+    const GdhKeyShare ks{j, results[j - 1].secret_share};
+    auto share = gdh_sign_share(setup, ks, msg);
+    EXPECT_TRUE(gdh_verify_share(setup, msg, share));
+    shares.push_back(std::move(share));
+  }
+  const ec::Point sig = gdh_combine_shares(setup, shares);
+  EXPECT_TRUE(gdh::verify(group, setup.public_key, msg, sig));
+}
+
+TEST(Dkg, DealerlessThresholdIbe) {
+  const std::size_t t = 2, n = 3;
+  const auto results = run_honest_dkg(t, n, 305);
+  const auto& group = pairing::toy_params();
+  const ThresholdSetup setup = ibe_setup_from_dkg(group, 32, t, n, results[0]);
+
+  // Each player derives its own key share locally — no dealer.
+  HmacDrbg rng(306);
+  Bytes m(32);
+  rng.fill(m);
+  const auto ct = ibe::full_encrypt(setup.params, "alice", m, rng);
+
+  std::vector<DecryptionShare> shares;
+  for (std::uint32_t j : {2u, 3u}) {
+    const KeyShare ks = ibe_key_share_from_dkg(
+        setup, j, results[j - 1].secret_share, "alice");
+    EXPECT_TRUE(verify_key_share(setup, "alice", ks));
+    shares.push_back(compute_decryption_share(setup, ks, ct.u, false, rng));
+  }
+  EXPECT_EQ(threshold_full_decrypt(setup, shares, ct), m);
+}
+
+TEST(Dkg, SetupConsistencyHoldsForDkgOutputs) {
+  const auto results = run_honest_dkg(3, 5, 307);
+  const ThresholdSetup setup =
+      ibe_setup_from_dkg(pairing::toy_params(), 32, 3, 5, results[0]);
+  const std::vector<std::uint32_t> subset = {1, 3, 5};
+  EXPECT_TRUE(verify_setup_consistency(setup, subset));
+}
+
+TEST(Dkg, InputValidation) {
+  HmacDrbg rng(308);
+  EXPECT_THROW(DkgParticipant(pairing::toy_params(), 0, 3, 1, rng),
+               InvalidArgument);
+  EXPECT_THROW(DkgParticipant(pairing::toy_params(), 4, 3, 1, rng),
+               InvalidArgument);
+  EXPECT_THROW(DkgParticipant(pairing::toy_params(), 2, 3, 0, rng),
+               InvalidArgument);
+  EXPECT_THROW(DkgParticipant(pairing::toy_params(), 2, 3, 4, rng),
+               InvalidArgument);
+
+  DkgParticipant p(pairing::toy_params(), 2, 3, 1, rng);
+  EXPECT_THROW(p.share_for(0), InvalidArgument);
+  EXPECT_THROW(p.receive_share(2, bigint::BigInt(1)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace medcrypt::threshold

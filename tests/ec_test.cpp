@@ -1,0 +1,260 @@
+// Tests for elliptic-curve group law, scalar multiplication, compression
+// and hash-to-subgroup.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "ec/curve.h"
+#include "ec/hash_to_point.h"
+#include "ec/jacobian.h"
+#include "ec/point.h"
+#include "hash/drbg.h"
+#include "pairing/params.h"
+
+namespace medcrypt::ec {
+namespace {
+
+using bigint::BigInt;
+using field::PrimeField;
+using hash::HmacDrbg;
+
+// Tiny curve with known group structure: y^2 = x^3 + x over F_103
+// (103 ≡ 3 mod 4, supersingular, #E = 104 = 8 * 13 → q = 13, h = 8).
+std::shared_ptr<const Curve> tiny_curve() {
+  auto f = PrimeField::make(BigInt(103));
+  return Curve::make(f, f->one(), f->zero(), BigInt(13), BigInt(8));
+}
+
+// Finds any affine point on the tiny curve.
+Point some_point(const std::shared_ptr<const Curve>& c) {
+  for (std::uint64_t xv = 1;; ++xv) {
+    const auto x = c->field()->from_u64(xv);
+    const auto rhs = c->rhs(x);
+    if (rhs.is_square() && !rhs.is_zero()) return c->point(x, rhs.sqrt());
+  }
+}
+
+TEST(Curve, RejectsSingular) {
+  auto f = PrimeField::make(BigInt(103));
+  EXPECT_THROW(Curve::make(f, f->zero(), f->zero(), BigInt(13), BigInt(8)),
+               InvalidArgument);
+}
+
+TEST(Curve, RejectsOffCurvePoint) {
+  auto c = tiny_curve();
+  auto f = c->field();
+  EXPECT_THROW(c->point(f->from_u64(1), f->from_u64(1)), InvalidArgument);
+}
+
+TEST(Point, GroupLawBasics) {
+  auto c = tiny_curve();
+  const Point p = some_point(c);
+  const Point inf = c->infinity();
+
+  EXPECT_EQ(p + inf, p);
+  EXPECT_EQ(inf + p, p);
+  EXPECT_TRUE((p - p).is_infinity());
+  EXPECT_EQ(-inf, inf);
+  EXPECT_EQ(p.dbl(), p + p);
+}
+
+TEST(Point, Associativity) {
+  auto c = tiny_curve();
+  const Point p = some_point(c);
+  const Point q = p.dbl();
+  const Point r = q.dbl() + p;
+  EXPECT_EQ((p + q) + r, p + (q + r));
+}
+
+TEST(Point, Commutativity) {
+  auto c = tiny_curve();
+  const Point p = some_point(c);
+  const Point q = p.dbl() + p;
+  EXPECT_EQ(p + q, q + p);
+}
+
+TEST(Point, FullGroupOrder) {
+  // #E(F_103) = 104 for the supersingular curve: 104*P = O for every P.
+  auto c = tiny_curve();
+  for (std::uint64_t xv = 0; xv < 103; ++xv) {
+    const auto x = c->field()->from_u64(xv);
+    const auto rhs = c->rhs(x);
+    if (!rhs.is_square()) continue;
+    const Point p = c->point(x, rhs.sqrt());
+    EXPECT_TRUE(p.mul(BigInt(104)).is_infinity()) << "x = " << xv;
+  }
+}
+
+TEST(Point, ScalarMulMatchesRepeatedAddition) {
+  auto c = tiny_curve();
+  const Point p = some_point(c);
+  Point acc = c->infinity();
+  for (int k = 0; k <= 30; ++k) {
+    EXPECT_EQ(p.mul(BigInt(k)), acc) << "k = " << k;
+    acc += p;
+  }
+}
+
+TEST(Point, ScalarMulDistributes) {
+  auto c = tiny_curve();
+  const Point p = some_point(c);
+  EXPECT_EQ(p.mul(BigInt(7)) + p.mul(BigInt(9)), p.mul(BigInt(16)));
+  EXPECT_EQ(p.mul(BigInt(5)).mul(BigInt(3)), p.mul(BigInt(15)));
+}
+
+TEST(Point, NegativeScalar) {
+  auto c = tiny_curve();
+  const Point p = some_point(c);
+  EXPECT_EQ(p.mul(BigInt(-3)), -(p.mul(BigInt(3))));
+  EXPECT_TRUE(p.mul(BigInt(0)).is_infinity());
+}
+
+TEST(Point, SubgroupMembership) {
+  auto c = tiny_curve();
+  const Point p = some_point(c);
+  const Point g = p.mul(c->cofactor());
+  if (!g.is_infinity()) {
+    EXPECT_TRUE(g.in_subgroup());
+    EXPECT_TRUE(g.mul(c->order()).is_infinity());
+  }
+}
+
+TEST(Point, CompressionRoundTrip) {
+  auto c = tiny_curve();
+  const Point p = some_point(c);
+  for (int k = 0; k < 14; ++k) {
+    const Point v = p.mul(BigInt(k));
+    const Bytes b = v.to_bytes();
+    EXPECT_EQ(b.size(), c->compressed_size());
+    EXPECT_EQ(c->decompress(b), v) << "k = " << k;
+  }
+}
+
+TEST(Point, DecompressRejectsGarbage) {
+  auto c = tiny_curve();
+  EXPECT_THROW(c->decompress(Bytes{0x05, 0x01}), InvalidArgument);
+  EXPECT_THROW(c->decompress(Bytes{0x02}), InvalidArgument);
+  // x with non-square RHS: x=0 gives rhs=0 (square); try to find non-square x.
+  for (std::uint64_t xv = 0; xv < 103; ++xv) {
+    const auto x = c->field()->from_u64(xv);
+    if (!c->rhs(x).is_square()) {
+      Bytes enc{0x02};
+      const Bytes xb = x.to_bytes();
+      enc.insert(enc.end(), xb.begin(), xb.end());
+      EXPECT_THROW(c->decompress(enc), InvalidArgument);
+      break;
+    }
+  }
+}
+
+TEST(Point, MixedCurveThrows) {
+  auto c1 = tiny_curve();
+  auto c2 = tiny_curve();  // distinct context object
+  const Point p1 = some_point(c1);
+  const Point p2 = some_point(c2);
+  EXPECT_THROW(p1 + p2, InvalidArgument);
+}
+
+TEST(HashToPoint, LandsInSubgroup) {
+  const auto& params = pairing::toy_params();
+  for (const char* id : {"alice@example.com", "bob@example.com", "x", ""}) {
+    const Point p = hash_to_subgroup(params.curve, "H1", str_bytes(id));
+    EXPECT_FALSE(p.is_infinity());
+    EXPECT_TRUE(p.in_subgroup());
+  }
+}
+
+TEST(HashToPoint, DeterministicAndInjectiveish) {
+  const auto& params = pairing::toy_params();
+  const Point a1 = hash_to_subgroup(params.curve, "H1", str_bytes("alice"));
+  const Point a2 = hash_to_subgroup(params.curve, "H1", str_bytes("alice"));
+  const Point b = hash_to_subgroup(params.curve, "H1", str_bytes("bob"));
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+}
+
+TEST(HashToPoint, DomainSeparation) {
+  const auto& params = pairing::toy_params();
+  const Point a = hash_to_subgroup(params.curve, "H1", str_bytes("alice"));
+  const Point b = hash_to_subgroup(params.curve, "GDH", str_bytes("alice"));
+  EXPECT_NE(a, b);
+}
+
+TEST(Jacobian, MulMatchesAffineReferenceTinyCurve) {
+  // Exhaustive cross-check on the order-13 subgroup (hits the doubling
+  // and cancellation corner cases of the Jacobian ladder).
+  auto c = tiny_curve();
+  Point p;
+  for (std::uint64_t xv = 1; xv < 103; ++xv) {
+    const auto x = c->field()->from_u64(xv);
+    const auto rhs = c->rhs(x);
+    if (!rhs.is_square() || rhs.is_zero()) continue;
+    p = c->point(x, rhs.sqrt()).mul_affine(c->cofactor());
+    if (!p.is_infinity()) break;
+  }
+  ASSERT_FALSE(p.is_infinity()) << "no order-13 point found";
+  for (int k = -15; k <= 30; ++k) {
+    EXPECT_EQ(p.mul(BigInt(k)), p.mul_affine(BigInt(k))) << "k = " << k;
+  }
+}
+
+TEST(Jacobian, MulMatchesAffineReferenceBigCurve) {
+  const auto& params = pairing::toy_params();
+  HmacDrbg rng(36);
+  for (int i = 0; i < 10; ++i) {
+    const BigInt k = BigInt::random_below(rng, params.order());
+    EXPECT_EQ(params.generator.mul(k), params.generator.mul_affine(k));
+  }
+}
+
+TEST(Jacobian, RoundTripThroughCoordinates) {
+  const auto& params = pairing::toy_params();
+  const Point p = params.generator;
+  const JacPoint j = jac_from_affine(p);
+  EXPECT_EQ(jac_to_affine(params.curve, j), p);
+  EXPECT_TRUE(jac_to_affine(params.curve, JacPoint{}).is_infinity());
+}
+
+TEST(Jacobian, DblAddConsistency) {
+  const auto& params = pairing::toy_params();
+  const Point p = params.generator;
+  JacPoint acc = jac_from_affine(p);
+  acc = jac_dbl(*params.curve, acc);          // 2P
+  acc = jac_add_mixed(*params.curve, acc, p); // 3P
+  EXPECT_EQ(jac_to_affine(params.curve, acc), p.mul_affine(BigInt(3)));
+}
+
+TEST(Jacobian, AddInverseYieldsInfinity) {
+  const auto& params = pairing::toy_params();
+  const Point p = params.generator;
+  JacPoint t = jac_from_affine(p);
+  AddTrace trace;
+  const JacPoint sum = jac_add_mixed(*params.curve, t, -p, &trace);
+  EXPECT_TRUE(sum.inf);
+  EXPECT_TRUE(trace.vertical);
+}
+
+TEST(NamedParams, Toy64Consistency) {
+  const auto& params = pairing::named_params("toy64");
+  const BigInt& p = params.curve->field()->modulus();
+  const BigInt& q = params.order();
+  EXPECT_EQ(p.bit_length(), 128u);
+  EXPECT_EQ(q.bit_length(), 64u);
+  EXPECT_EQ((p % BigInt(4)).to_dec(), "3");
+  EXPECT_EQ((p + BigInt(1)) % q, BigInt(0));
+  EXPECT_FALSE(params.generator.is_infinity());
+  EXPECT_TRUE(params.generator.in_subgroup());
+}
+
+TEST(NamedParams, UnknownNameThrows) {
+  EXPECT_THROW(pairing::named_params("nope"), InvalidArgument);
+}
+
+TEST(NamedParams, CachedInstanceIsStable) {
+  const auto& a = pairing::named_params("toy64");
+  const auto& b = pairing::named_params("toy64");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.generator, b.generator);
+}
+
+}  // namespace
+}  // namespace medcrypt::ec

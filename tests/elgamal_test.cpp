@@ -1,0 +1,129 @@
+// Tests for hashed EC-ElGamal (CPA) and its Fujisaki–Okamoto transform.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "elgamal/ec_elgamal.h"
+#include "elgamal/fo_transform.h"
+#include "hash/drbg.h"
+#include "pairing/params.h"
+
+namespace medcrypt::elgamal {
+namespace {
+
+using hash::HmacDrbg;
+
+class ElGamalTest : public ::testing::Test {
+ protected:
+  ElGamalTest() : rng_(100) {
+    params_.group = pairing::toy_params();
+    params_.message_len = 32;
+  }
+
+  Bytes random_message() {
+    Bytes m(params_.message_len);
+    rng_.fill(m);
+    return m;
+  }
+
+  HmacDrbg rng_;
+  Params params_;
+};
+
+TEST_F(ElGamalTest, CpaRoundTrip) {
+  const KeyPair kp = keygen(params_, rng_);
+  const Bytes m = random_message();
+  const auto ct = cpa_encrypt(params_, kp.pub, m, rng_);
+  EXPECT_EQ(cpa_decrypt(params_, kp.secret, ct), m);
+}
+
+TEST_F(ElGamalTest, CpaWrongKeyGarbage) {
+  const KeyPair kp1 = keygen(params_, rng_);
+  const KeyPair kp2 = keygen(params_, rng_);
+  const Bytes m = random_message();
+  const auto ct = cpa_encrypt(params_, kp1.pub, m, rng_);
+  EXPECT_NE(cpa_decrypt(params_, kp2.secret, ct), m);
+}
+
+TEST_F(ElGamalTest, CpaIsMalleable) {
+  // The reason CPA ElGamal alone cannot be mediated securely (§4).
+  const KeyPair kp = keygen(params_, rng_);
+  const Bytes m = random_message();
+  auto ct = cpa_encrypt(params_, kp.pub, m, rng_);
+  ct.c2[0] ^= 0xff;
+  Bytes expected = m;
+  expected[0] ^= 0xff;
+  EXPECT_EQ(cpa_decrypt(params_, kp.secret, ct), expected);
+}
+
+TEST_F(ElGamalTest, FoRoundTrip) {
+  const KeyPair kp = keygen(params_, rng_);
+  const Bytes m = random_message();
+  const auto ct = fo_encrypt(params_, kp.pub, m, rng_);
+  EXPECT_EQ(fo_decrypt(params_, kp.secret, ct), m);
+}
+
+TEST_F(ElGamalTest, FoRejectsTampering) {
+  const KeyPair kp = keygen(params_, rng_);
+  const Bytes m = random_message();
+  {
+    auto ct = fo_encrypt(params_, kp.pub, m, rng_);
+    ct.c2[0] ^= 1;
+    EXPECT_THROW(fo_decrypt(params_, kp.secret, ct), DecryptionError);
+  }
+  {
+    auto ct = fo_encrypt(params_, kp.pub, m, rng_);
+    ct.c3[5] ^= 1;
+    EXPECT_THROW(fo_decrypt(params_, kp.secret, ct), DecryptionError);
+  }
+  {
+    auto ct = fo_encrypt(params_, kp.pub, m, rng_);
+    ct.c1 = ct.c1.dbl();
+    EXPECT_THROW(fo_decrypt(params_, kp.secret, ct), DecryptionError);
+  }
+}
+
+TEST_F(ElGamalTest, FoWrongKeyRejects) {
+  const KeyPair kp1 = keygen(params_, rng_);
+  const KeyPair kp2 = keygen(params_, rng_);
+  const Bytes m = random_message();
+  const auto ct = fo_encrypt(params_, kp1.pub, m, rng_);
+  EXPECT_THROW(fo_decrypt(params_, kp2.secret, ct), DecryptionError);
+}
+
+TEST_F(ElGamalTest, FoDecryptWithSharedPoint) {
+  // The threshold/mediated entry point: S = x·C1 recombined externally.
+  const KeyPair kp = keygen(params_, rng_);
+  const Bytes m = random_message();
+  const auto ct = fo_encrypt(params_, kp.pub, m, rng_);
+
+  // 2-of-2 additive split of x.
+  const BigInt x1 = BigInt::random_unit(rng_, params_.order());
+  const BigInt x2 = kp.secret.sub_mod(x1, params_.order());
+  const Point s = ct.c1.mul(x1) + ct.c1.mul(x2);
+  EXPECT_EQ(fo_decrypt_with_shared(params_, s, ct), m);
+
+  // A single half is useless.
+  EXPECT_THROW(fo_decrypt_with_shared(params_, ct.c1.mul(x1), ct),
+               DecryptionError);
+}
+
+TEST_F(ElGamalTest, FoSerializationRoundTrip) {
+  const KeyPair kp = keygen(params_, rng_);
+  const Bytes m = random_message();
+  const auto ct = fo_encrypt(params_, kp.pub, m, rng_);
+  const auto ct2 = FoCiphertext::from_bytes(params_, ct.to_bytes());
+  EXPECT_EQ(fo_decrypt(params_, kp.secret, ct2), m);
+  EXPECT_THROW(FoCiphertext::from_bytes(params_, Bytes(7, 1)),
+               InvalidArgument);
+}
+
+TEST_F(ElGamalTest, RejectsWrongMessageSize) {
+  const KeyPair kp = keygen(params_, rng_);
+  EXPECT_THROW(fo_encrypt(params_, kp.pub, Bytes(5, 0), rng_),
+               InvalidArgument);
+  EXPECT_THROW(cpa_encrypt(params_, kp.pub, Bytes(99, 0), rng_),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace medcrypt::elgamal

@@ -1,0 +1,355 @@
+// Tests for the security-game harnesses (Definitions 2 & 3) and the
+// operational Theorem 4.1 reduction.
+#include <gtest/gtest.h>
+
+#include "games/ind_id_cca.h"
+#include "games/ind_id_tcpa.h"
+#include "games/ind_mid_wcca.h"
+#include "games/reduction.h"
+#include "games/tcpa_simulator.h"
+#include "pairing/params.h"
+#include "shamir/shamir.h"
+
+namespace medcrypt::games {
+namespace {
+
+const Bytes kM0(32, 0x00);
+const Bytes kM1(32, 0xff);
+
+// ---------------------------------------------------------------------------
+// IND-ID-CCA harness
+// ---------------------------------------------------------------------------
+
+TEST(IndIdCca, OmniscientAdversaryWinsViaExtractedOtherKeyPath) {
+  // Extracting another identity and decrypting the challenge is
+  // forbidden; but decrypting a COPY re-encrypted... the legal way to
+  // win with probability 1 does not exist. Sanity: the decryption oracle
+  // answers honestly for non-challenge pairs.
+  IndIdCcaGame game(pairing::toy_params(), 32, 900);
+  hash::HmacDrbg rng(901);
+  const auto ct = ibe::full_encrypt(game.params(), "other", kM1, rng);
+  EXPECT_EQ(game.decrypt("other", ct), kM1);
+}
+
+TEST(IndIdCca, RestrictionsEnforced) {
+  IndIdCcaGame game(pairing::toy_params(), 32, 902);
+  (void)game.extract("leaked");
+  // Challenge on an extracted identity is forbidden.
+  EXPECT_THROW(game.challenge("leaked", kM0, kM1), GameViolation);
+  const auto& ct = game.challenge("target", kM0, kM1);
+  // Extracting the challenge identity now is forbidden.
+  EXPECT_THROW(game.extract("target"), GameViolation);
+  // Decrypting the exact challenge is forbidden.
+  EXPECT_THROW(game.decrypt("target", ct), GameViolation);
+  // Other decryptions still fine.
+  hash::HmacDrbg rng(903);
+  const auto other = ibe::full_encrypt(game.params(), "target", kM0, rng);
+  EXPECT_EQ(game.decrypt("target", other), kM0);
+  (void)game.submit_guess(0);
+  EXPECT_THROW(game.submit_guess(0), GameViolation);
+}
+
+TEST(IndIdCca, RandomGuesserWinsAboutHalf) {
+  int wins = 0;
+  hash::HmacDrbg guess_rng(904);
+  for (int i = 0; i < 100; ++i) {
+    IndIdCcaGame game(pairing::toy_params(), 32, 905 + i);
+    (void)game.challenge("t", kM0, kM1);
+    std::uint8_t g;
+    guess_rng.fill(std::span(&g, 1));
+    wins += game.submit_guess(g & 1);
+  }
+  EXPECT_GT(wins, 25);
+  EXPECT_LT(wins, 75);
+}
+
+// ---------------------------------------------------------------------------
+// IND-ID-TCPA harness (Definition 2)
+// ---------------------------------------------------------------------------
+
+TEST(IndIdTcpa, CorruptedSetValidation) {
+  IndIdTcpaGame game(pairing::toy_params(), 32, 3, 5, 910);
+  EXPECT_THROW(game.corrupt({1, 2, 3}), GameViolation);  // t-1 = 2
+  EXPECT_THROW(game.corrupt({1, 1}), GameViolation);
+  EXPECT_THROW(game.corrupt({0, 1}), GameViolation);
+  EXPECT_THROW(game.corrupt({1, 9}), GameViolation);
+  (void)game.corrupt({2, 4});
+  EXPECT_THROW(game.corrupt({1, 3}), GameViolation);  // only once
+}
+
+TEST(IndIdTcpa, OraclesRequireCorruption) {
+  IndIdTcpaGame game(pairing::toy_params(), 32, 2, 3, 911);
+  EXPECT_THROW(game.extract("x"), GameViolation);
+  EXPECT_THROW(game.challenge("x", kM0, kM1), GameViolation);
+}
+
+TEST(IndIdTcpa, CorruptedSharesAreConsistentWithFullKey) {
+  // t-1 corrupted shares plus one honestly-extracted full key must be
+  // consistent: interpolating {corrupted shares, implied share} is how
+  // the simulator of Theorem 3.1 builds its world. Here we check the
+  // corrupted shares match the dealer's real polynomial: combine t-1
+  // corrupted + 1 more share derived from the full key via Lagrange.
+  IndIdTcpaGame game(pairing::toy_params(), 32, 2, 3, 912);
+  const auto& setup = game.corrupt({3});
+  const auto shares = game.corrupted_shares("alice");
+  ASSERT_EQ(shares.size(), 1u);
+  EXPECT_EQ(shares[0].index, 3u);
+  EXPECT_TRUE(verify_key_share(setup, "alice", shares[0]));
+}
+
+TEST(IndIdTcpa, CorruptedSharesAllowedOnChallengeIdentity) {
+  // The essence of threshold security: the adversary holds t-1 shares OF
+  // THE CHALLENGE IDENTITY and still has to guess.
+  IndIdTcpaGame game(pairing::toy_params(), 32, 3, 5, 913);
+  (void)game.corrupt({1, 4});
+  (void)game.challenge("target", kM0, kM1);
+  EXPECT_NO_THROW(game.corrupted_shares("target"));
+  EXPECT_THROW(game.extract("target"), GameViolation);
+  (void)game.submit_guess(1);
+}
+
+TEST(IndIdTcpa, FullExtractionWinsWhenIdentityDiffers) {
+  // Extracting a DIFFERENT identity is allowed and useless; extracting
+  // the challenge one is blocked. An adversary with the full key of the
+  // challenge identity (obtained before the challenge was announced —
+  // which the rules then forbid challenging on) cannot exist. Verify the
+  // bookkeeping: extract then challenge-on-same throws.
+  IndIdTcpaGame game(pairing::toy_params(), 32, 2, 3, 914);
+  (void)game.corrupt({1});
+  (void)game.extract("known");
+  EXPECT_THROW(game.challenge("known", kM0, kM1), GameViolation);
+}
+
+// ---------------------------------------------------------------------------
+// IND-mID-wCCA harness (Definition 3)
+// ---------------------------------------------------------------------------
+
+TEST(IndMidWcca, OracleConsistency) {
+  // user half + sem half must recombine to a working key.
+  IndMidWccaGame game(pairing::toy_params(), 32, 920);
+  const auto d_user = game.extract_user_key("alice");
+  const auto d_sem = game.extract_sem_key("alice");
+  hash::HmacDrbg rng(921);
+  const auto ct = ibe::full_encrypt(game.params(), "alice", kM1, rng);
+  EXPECT_EQ(ibe::full_decrypt(game.params(), d_user + d_sem, ct), kM1);
+  // And the decryption oracle agrees.
+  EXPECT_EQ(game.decrypt("alice", ct), kM1);
+  // And the SEM token combined with the user half agrees.
+  const pairing::TatePairing e(game.params().curve());
+  const auto g = game.sem_query("alice", ct) * e.pair(ct.u, d_user);
+  EXPECT_EQ(ibe::full_decrypt_with_mask(game.params(), g, ct), kM1);
+}
+
+TEST(IndMidWcca, ChallengeRestrictions) {
+  IndMidWccaGame game(pairing::toy_params(), 32, 922);
+  (void)game.extract_user_key("insider");
+  EXPECT_THROW(game.challenge("insider", kM0, kM1), GameViolation);
+
+  const auto& ct = game.challenge("target", kM0, kM1);
+  EXPECT_THROW(game.extract_user_key("target"), GameViolation);
+  EXPECT_THROW(game.decrypt("target", ct), GameViolation);
+  // SEM queries on the challenge pair ARE allowed (the "w").
+  EXPECT_NO_THROW(game.sem_query("target", ct));
+  EXPECT_NO_THROW(game.extract_sem_key("target"));
+  (void)game.submit_guess(0);
+}
+
+TEST(IndMidWcca, SemTokenPlusSemKeyDoNotDecryptChallenge) {
+  // Operational Theorem 4.1: everything the insider coalition can get
+  // on the challenge identity fails to unmask the challenge.
+  IndMidWccaGame game(pairing::toy_params(), 32, 923);
+  const auto& ct = game.challenge("target", kM0, kM1);
+  const auto token = game.sem_query("target", ct);
+  EXPECT_THROW(ibe::full_decrypt_with_mask(game.params(), token, ct),
+               DecryptionError);
+  // Another identity's user key cross-combined also fails.
+  const auto mallory_user = game.extract_user_key("mallory");
+  const pairing::TatePairing e(game.params().curve());
+  EXPECT_THROW(ibe::full_decrypt_with_mask(
+                   game.params(), token * e.pair(ct.u, mallory_user), ct),
+               DecryptionError);
+  (void)game.submit_guess(1);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4.1 reduction
+// ---------------------------------------------------------------------------
+
+TEST(Reduction, SimulatedViewIsConsistent) {
+  // The crux of the proof: A's view under B must behave exactly like a
+  // real mediated challenger. Check every cross-consistency A could test.
+  IndIdCcaGame inner(pairing::toy_params(), 32, 930);
+  WccaToCcaReduction b(inner, 931);
+  hash::HmacDrbg rng(932);
+
+  // (1) user half + sem half of the same identity recombine correctly.
+  const auto d_user = b.extract_user_key("alice");
+  const auto d_sem = b.extract_sem_key("alice");
+  const auto ct = ibe::full_encrypt(b.params(), "alice", kM1, rng);
+  EXPECT_EQ(ibe::full_decrypt(b.params(), d_user + d_sem, ct), kM1);
+
+  // (2) SEM token * user partial unmasks like the real protocol.
+  const pairing::TatePairing e(b.params().curve());
+  const auto g = b.sem_query("alice", ct) * e.pair(ct.u, d_user);
+  EXPECT_EQ(ibe::full_decrypt_with_mask(b.params(), g, ct), kM1);
+
+  // (3) the decryption oracle agrees with both.
+  EXPECT_EQ(b.decrypt("alice", ct), kM1);
+
+  // (4) order independence: SEM-half first, user-half second.
+  const auto bob_sem = b.extract_sem_key("bob");
+  const auto bob_user = b.extract_user_key("bob");
+  const auto ct_bob = ibe::full_encrypt(b.params(), "bob", kM0, rng);
+  EXPECT_EQ(ibe::full_decrypt(b.params(), bob_user + bob_sem, ct_bob), kM0);
+}
+
+TEST(Reduction, BsAdvantageTracksAs) {
+  // An A that wins (here: by the harness telling it the right answer via
+  // a correct decryption of a RELATED ciphertext — a stand-in for "any
+  // winning A") makes B win; an A that loses makes B lose. We emulate
+  // both outcomes by guessing each coin value and checking exactly one
+  // of two complementary runs wins.
+  int wins = 0;
+  for (int guess = 0; guess <= 1; ++guess) {
+    IndIdCcaGame inner(pairing::toy_params(), 32, 940);  // same coin seed
+    WccaToCcaReduction b(inner, 941);
+    (void)b.challenge("target", kM0, kM1);
+    if (b.submit_guess(guess)) ++wins;
+  }
+  EXPECT_EQ(wins, 1);  // deterministic coin: exactly one guess wins
+}
+
+TEST(Reduction, RestrictionsPropagate) {
+  IndIdCcaGame inner(pairing::toy_params(), 32, 950);
+  WccaToCcaReduction b(inner, 951);
+  const auto& ct = b.challenge("target", kM0, kM1);
+  EXPECT_THROW(b.extract_user_key("target"), GameViolation);
+  EXPECT_THROW(b.decrypt("target", ct), GameViolation);
+  EXPECT_NO_THROW(b.sem_query("target", ct));
+  EXPECT_NO_THROW(b.extract_sem_key("target"));
+  (void)b.submit_guess(0);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3.1 setup simulator
+// ---------------------------------------------------------------------------
+
+TEST(TcpaSimulator, SimulatedSetupIsIndistinguishableFromReal) {
+  // B sets P_pub = cP without knowing c, picks corrupted shares, and the
+  // published verification keys must (a) match the corrupted shares and
+  // (b) pass the §3 consistency check for every t-subset — exactly what
+  // an adversary could test.
+  hash::HmacDrbg rng(970);
+  const auto& group = pairing::toy_params();
+  const auto c = bigint::BigInt::random_unit(rng, group.order());
+  const ec::Point p_pub = group.generator.mul(c);  // "unknown" secret
+
+  const std::vector<CorruptedShare> corrupted = {
+      {2, bigint::BigInt::random_below(rng, group.order())},
+      {5, bigint::BigInt::random_below(rng, group.order())}};
+  const auto setup =
+      simulate_threshold_setup(group, 32, /*t=*/3, /*n=*/5, corrupted, p_pub);
+
+  // (a) corrupted verification keys = c_j P.
+  EXPECT_EQ(setup.verification_key(2), group.generator.mul(corrupted[0].value));
+  EXPECT_EQ(setup.verification_key(5), group.generator.mul(corrupted[1].value));
+
+  // (b) every t-subset interpolates to P_pub.
+  for (const auto& subset : std::vector<std::vector<std::uint32_t>>{
+           {1, 2, 3}, {2, 4, 5}, {1, 3, 5}, {3, 4, 5}, {1, 2, 5}}) {
+    EXPECT_TRUE(verify_setup_consistency(setup, subset));
+  }
+}
+
+TEST(TcpaSimulator, SimulatedCorruptedKeySharesVerify) {
+  // The d_IDj = c_j·Q_ID handed to the adversary must pass the player-
+  // side key-share check against the simulated verification keys.
+  hash::HmacDrbg rng(971);
+  const auto& group = pairing::toy_params();
+  const ec::Point p_pub =
+      group.generator.mul(bigint::BigInt::random_unit(rng, group.order()));
+  const std::vector<CorruptedShare> corrupted = {
+      {1, bigint::BigInt::random_below(rng, group.order())}};
+  const auto setup = simulate_threshold_setup(group, 32, 2, 3, corrupted, p_pub);
+
+  const auto share = simulate_corrupted_key_share(setup, corrupted[0], "alice");
+  EXPECT_TRUE(verify_key_share(setup, "alice", share));
+}
+
+TEST(TcpaSimulator, SimulatedWorldDecryptsConsistently) {
+  // Stronger: build the simulated world WITH a known c (so the test can
+  // play the honest players too) and check threshold decryption works —
+  // i.e. the simulated keys define a genuine sharing of c.
+  hash::HmacDrbg rng(972);
+  const auto& group = pairing::toy_params();
+  const auto c = bigint::BigInt::random_unit(rng, group.order());
+  const ec::Point p_pub = group.generator.mul(c);
+  const std::vector<CorruptedShare> corrupted = {
+      {3, bigint::BigInt::random_below(rng, group.order())}};
+  const auto setup = simulate_threshold_setup(group, 32, 2, 4, corrupted, p_pub);
+
+  Bytes m(32);
+  rng.fill(m);
+  const auto ct = ibe::full_encrypt(setup.params, "target", m, rng);
+
+  // The full key d = c·Q_ID decrypts (B's challenger side)...
+  const auto q_id = ibe::map_identity(setup.params, "target");
+  EXPECT_EQ(ibe::full_decrypt(setup.params, q_id.mul(c), ct), m);
+
+  // ...and corrupted share + implied share-at-0 interpolation matches:
+  // combine the corrupted player's decryption share with the share the
+  // polynomial implies at another index. The implied share value at
+  // index i is f(i) where f interpolates {(0, c), (3, c_3)}; compute it
+  // directly and check recombination.
+  const auto& q = group.order();
+  // f(1) via Lagrange on nodes {0, 3}: λ0(1) = (1-3)/(0-3), λ3(1) = 1/3·...
+  const bigint::BigInt x1(1), x3(3);
+  const bigint::BigInt l0 =
+      x1.sub_mod(x3, q).mul_mod(bigint::BigInt{}.sub_mod(x3, q).mod_inverse(q), q);
+  const bigint::BigInt l3 = x1.mul_mod(x3.mod_inverse(q), q);
+  const bigint::BigInt f1 =
+      l0.mul_mod(c, q).add_mod(l3.mul_mod(corrupted[0].value, q), q);
+
+  std::vector<threshold::DecryptionShare> shares;
+  const pairing::TatePairing e(setup.params.curve());
+  shares.push_back(threshold::DecryptionShare{1, e.pair(ct.u, q_id.mul(f1)), {}});
+  shares.push_back(threshold::DecryptionShare{
+      3, e.pair(ct.u, q_id.mul(corrupted[0].value)), {}});
+  EXPECT_EQ(threshold::threshold_full_decrypt(setup, shares, ct), m);
+}
+
+TEST(TcpaSimulator, InputValidation) {
+  hash::HmacDrbg rng(973);
+  const auto& group = pairing::toy_params();
+  const ec::Point p_pub = group.generator;
+  const std::vector<CorruptedShare> one = {{1, bigint::BigInt(5)}};
+  EXPECT_THROW(simulate_verification_keys(group, 3, 5, one, p_pub),
+               InvalidArgument);  // needs t-1 = 2 shares
+  const std::vector<CorruptedShare> dup = {{1, bigint::BigInt(5)},
+                                           {1, bigint::BigInt(6)}};
+  EXPECT_THROW(simulate_verification_keys(group, 3, 5, dup, p_pub),
+               InvalidArgument);
+  const std::vector<CorruptedShare> oob = {{9, bigint::BigInt(5)},
+                                           {1, bigint::BigInt(6)}};
+  EXPECT_THROW(simulate_verification_keys(group, 3, 5, oob, p_pub),
+               InvalidArgument);
+}
+
+TEST(Reduction, CostAccountingMatchesTheoremStatement) {
+  // t' = t + q_E * t_A + q_S * t_E: B pays one G1 addition per user key
+  // extraction and one pairing per SEM query.
+  IndIdCcaGame inner(pairing::toy_params(), 32, 960);
+  WccaToCcaReduction b(inner, 961);
+  hash::HmacDrbg rng(962);
+  const auto ct = ibe::full_encrypt(b.params(), "x", kM0, rng);
+  (void)b.extract_user_key("a");
+  (void)b.extract_user_key("b");
+  (void)b.sem_query("x", ct);
+  (void)b.sem_query("x", ct);
+  (void)b.sem_query("y", ct);
+  EXPECT_EQ(b.additions_computed(), 2u);
+  EXPECT_EQ(b.pairings_computed(), 3u);
+}
+
+}  // namespace
+}  // namespace medcrypt::games

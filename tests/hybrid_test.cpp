@@ -1,0 +1,119 @@
+// Tests for the hybrid (KEM/DEM) layer over FullIdent.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "hash/drbg.h"
+#include "ibe/hybrid.h"
+#include "ibe/pkg.h"
+#include "mediated/mediated_ibe.h"
+#include "pairing/params.h"
+
+namespace medcrypt::ibe {
+namespace {
+
+using hash::HmacDrbg;
+
+class HybridTest : public ::testing::Test {
+ protected:
+  HybridTest() : rng_(600), pkg_(pairing::toy_params(), kSessionKeyLen, rng_) {}
+
+  HmacDrbg rng_;
+  Pkg pkg_;
+};
+
+TEST_F(HybridTest, RoundTripVariousLengths) {
+  const auto d = pkg_.extract("alice");
+  for (std::size_t len : {0u, 1u, 31u, 32u, 33u, 1000u, 65536u}) {
+    Bytes msg(len);
+    rng_.fill(msg);
+    const HybridCiphertext ct = seal(pkg_.params(), "alice", msg, rng_);
+    EXPECT_EQ(open(pkg_.params(), d, ct), msg) << "len = " << len;
+  }
+}
+
+TEST_F(HybridTest, TamperingAnywhereRejected) {
+  const auto d = pkg_.extract("alice");
+  Bytes msg(100);
+  rng_.fill(msg);
+  {
+    HybridCiphertext ct = seal(pkg_.params(), "alice", msg, rng_);
+    ct.body[50] ^= 1;
+    EXPECT_THROW(open(pkg_.params(), d, ct), DecryptionError);
+  }
+  {
+    HybridCiphertext ct = seal(pkg_.params(), "alice", msg, rng_);
+    ct.tag[0] ^= 1;
+    EXPECT_THROW(open(pkg_.params(), d, ct), DecryptionError);
+  }
+  {
+    HybridCiphertext ct = seal(pkg_.params(), "alice", msg, rng_);
+    ct.key_block.v[0] ^= 1;
+    EXPECT_THROW(open(pkg_.params(), d, ct), DecryptionError);
+  }
+  {
+    // Body truncation.
+    HybridCiphertext ct = seal(pkg_.params(), "alice", msg, rng_);
+    ct.body.pop_back();
+    EXPECT_THROW(open(pkg_.params(), d, ct), DecryptionError);
+  }
+}
+
+TEST_F(HybridTest, WrongIdentityRejected) {
+  Bytes msg(64);
+  rng_.fill(msg);
+  const HybridCiphertext ct = seal(pkg_.params(), "alice", msg, rng_);
+  EXPECT_THROW(open(pkg_.params(), pkg_.extract("bob"), ct), DecryptionError);
+}
+
+TEST_F(HybridTest, SerializationRoundTrip) {
+  const auto d = pkg_.extract("alice");
+  Bytes msg(777);
+  rng_.fill(msg);
+  const HybridCiphertext ct = seal(pkg_.params(), "alice", msg, rng_);
+  const HybridCiphertext ct2 =
+      HybridCiphertext::from_bytes(pkg_.params(), ct.to_bytes());
+  EXPECT_EQ(open(pkg_.params(), d, ct2), msg);
+  EXPECT_THROW(HybridCiphertext::from_bytes(pkg_.params(), Bytes(10, 0)),
+               InvalidArgument);
+}
+
+TEST_F(HybridTest, CiphertextOverheadIsConstant) {
+  Bytes msg(1000);
+  rng_.fill(msg);
+  const HybridCiphertext ct = seal(pkg_.params(), "alice", msg, rng_);
+  const std::size_t overhead = ct.to_bytes().size() - msg.size();
+  Bytes msg2(5000);
+  rng_.fill(msg2);
+  const HybridCiphertext ct2 = seal(pkg_.params(), "alice", msg2, rng_);
+  EXPECT_EQ(ct2.to_bytes().size() - msg2.size(), overhead);
+}
+
+TEST_F(HybridTest, MediatedPathDecrypts) {
+  // The mediated deployment: the SEM sees only the key block's U; the
+  // body never crosses the SEM.
+  auto revocations = std::make_shared<mediated::RevocationList>();
+  mediated::IbeMediator sem(pkg_.params(), revocations);
+  auto alice = enroll_ibe_user(pkg_, sem, "alice", rng_);
+
+  Bytes msg(4096);
+  rng_.fill(msg);
+  const HybridCiphertext ct = seal(pkg_.params(), "alice", msg, rng_);
+
+  sim::Transport tr;
+  const Bytes session_key = alice.decrypt(ct.key_block, sem, &tr);
+  EXPECT_EQ(open_with_session_key(session_key, ct), msg);
+  // SEM traffic is independent of the body size.
+  EXPECT_LT(tr.stats().total_bytes(), 300u);
+
+  revocations->revoke("alice");
+  EXPECT_THROW(alice.decrypt(ct.key_block, sem), RevokedError);
+}
+
+TEST_F(HybridTest, RequiresMatchingBlockSize) {
+  HmacDrbg rng(601);
+  Pkg wrong(pairing::toy_params(), 16, rng);  // block != kSessionKeyLen
+  EXPECT_THROW(seal(wrong.params(), "x", Bytes(10, 0), rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace medcrypt::ibe

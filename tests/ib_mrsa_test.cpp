@@ -1,0 +1,155 @@
+// Tests for IB-mRSA (§2): identity exponents, mediated decryption and
+// signing, revocation, and the collusion attack that factors the common
+// modulus (the paper's core criticism).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "hash/drbg.h"
+#include "mediated/ib_mrsa.h"
+
+namespace medcrypt::mediated {
+namespace {
+
+using hash::HmacDrbg;
+
+// Shared reduced-size system: 768-bit modulus (the smallest that fits
+// SHA-256 OAEP) with genuine safe primes, generated once (~2.5 s).
+// The benches use the paper's full 1024-bit size.
+const IbMRsaSystem& test_system() {
+  static HmacDrbg rng(140);
+  static const IbMRsaSystem system(
+      IbMRsaSystem::Options{768, 96, /*safe_primes=*/true}, rng);
+  return system;
+}
+
+class IbMRsaTest : public ::testing::Test {
+ protected:
+  IbMRsaTest()
+      : rng_(141), revocations_(std::make_shared<RevocationList>()),
+        sem_(test_system().params(), revocations_) {}
+
+  HmacDrbg rng_;
+  std::shared_ptr<RevocationList> revocations_;
+  MRsaMediator sem_;
+};
+
+TEST_F(IbMRsaTest, IdentityExponentShape) {
+  const auto& params = test_system().params();
+  const BigInt e = identity_exponent(params, "alice");
+  EXPECT_TRUE(e.is_odd());                         // trailing 1 bit
+  EXPECT_LE(e.bit_length(), params.hash_bits + 1); // 0^s padding
+  EXPECT_EQ(e, identity_exponent(params, "alice"));
+  EXPECT_NE(e, identity_exponent(params, "bob"));
+}
+
+TEST_F(IbMRsaTest, IssueProducesConsistentSplit) {
+  const auto keys = test_system().issue("alice", rng_);
+  const BigInt d = test_system().full_exponent("alice");
+  const BigInt e = identity_exponent(test_system().params(), "alice");
+  // e * (d_user + d_sem) ≡ e * d ≡ 1 modulo φ — check multiplicatively:
+  const BigInt& n = test_system().params().modulus;
+  const BigInt x(0x1234567);
+  const BigInt via_split = x.pow_mod(e, n)
+                               .pow_mod(keys.d_user, n)
+                               .mul_mod(x.pow_mod(e, n).pow_mod(keys.d_sem, n), n);
+  EXPECT_EQ(via_split, x);
+  EXPECT_EQ(x.pow_mod(e, n).pow_mod(d, n), x);
+}
+
+TEST_F(IbMRsaTest, MediatedDecryptRoundTrip) {
+  auto alice = enroll_mrsa_user(test_system(), sem_, "alice", rng_);
+  const Bytes m = str_bytes("ib-mrsa message");
+  const Bytes ct =
+      ib_mrsa_encrypt(test_system().params(), "alice", m, rng_);
+  EXPECT_EQ(alice.decrypt(ct, sem_), m);
+}
+
+TEST_F(IbMRsaTest, WrongIdentityCiphertextRejected) {
+  auto alice = enroll_mrsa_user(test_system(), sem_, "alice", rng_);
+  enroll_mrsa_user(test_system(), sem_, "bob", rng_);
+  const Bytes m = str_bytes("to bob");
+  const Bytes ct = ib_mrsa_encrypt(test_system().params(), "bob", m, rng_);
+  // Alice's exponents don't invert bob's e_ID: OAEP decode fails.
+  EXPECT_THROW(alice.decrypt(ct, sem_), DecryptionError);
+}
+
+TEST_F(IbMRsaTest, RevocationBlocksDecryptionAndSigning) {
+  auto alice = enroll_mrsa_user(test_system(), sem_, "alice", rng_);
+  const Bytes m = str_bytes("msg");
+  const Bytes ct = ib_mrsa_encrypt(test_system().params(), "alice", m, rng_);
+  EXPECT_EQ(alice.decrypt(ct, sem_), m);
+  revocations_->revoke("alice");
+  EXPECT_THROW(alice.decrypt(ct, sem_), RevokedError);
+  EXPECT_THROW(alice.sign(m, sem_), RevokedError);
+}
+
+TEST_F(IbMRsaTest, MediatedSignatureVerifies) {
+  auto alice = enroll_mrsa_user(test_system(), sem_, "alice", rng_);
+  const Bytes m = str_bytes("signed statement");
+  const BigInt sig = alice.sign(m, sem_);
+  EXPECT_TRUE(ib_mrsa_verify(test_system().params(), "alice", m, sig));
+  EXPECT_FALSE(ib_mrsa_verify(test_system().params(), "alice",
+                              str_bytes("other"), sig));
+  EXPECT_FALSE(ib_mrsa_verify(test_system().params(), "bob", m, sig));
+  EXPECT_FALSE(ib_mrsa_verify(test_system().params(), "alice", m,
+                              sig + BigInt(1)));
+}
+
+TEST_F(IbMRsaTest, TamperedCiphertextRejected) {
+  auto alice = enroll_mrsa_user(test_system(), sem_, "alice", rng_);
+  const Bytes m = str_bytes("msg");
+  Bytes ct = ib_mrsa_encrypt(test_system().params(), "alice", m, rng_);
+  ct[10] ^= 0x80;
+  EXPECT_THROW(alice.decrypt(ct, sem_), DecryptionError);
+}
+
+TEST_F(IbMRsaTest, TransportIsModulusSized) {
+  // mRSA token = one full modulus-sized value (1024 bits at paper size) —
+  // the number mediated GDH beats by ~6x.
+  auto alice = enroll_mrsa_user(test_system(), sem_, "alice", rng_);
+  const Bytes m = str_bytes("msg");
+  const Bytes ct = ib_mrsa_encrypt(test_system().params(), "alice", m, rng_);
+  sim::Transport transport;
+  EXPECT_EQ(alice.decrypt(ct, sem_, &transport), m);
+  EXPECT_EQ(transport.stats().to_client.bytes,
+            test_system().params().byte_size());
+}
+
+TEST_F(IbMRsaTest, CollusionWithSemFactorsModulus) {
+  // The §2/§4 attack: a user who corrupts the SEM holds both halves,
+  // hence a full (e_ID, d_ID) pair for the COMMON modulus — enough to
+  // factor n and break every other identity.
+  const auto keys = test_system().issue("mallory", rng_);
+  const BigInt d = keys.d_user + keys.d_sem;  // what the collusion learns
+  const BigInt e = identity_exponent(test_system().params(), "mallory");
+  const BigInt& n = test_system().params().modulus;
+
+  const auto factors = rsa::factor_from_exponents(n, e, d, rng_);
+  ASSERT_TRUE(factors.has_value());
+  EXPECT_EQ(factors->first * factors->second, n);
+  EXPECT_GT(factors->first, BigInt(1));
+  EXPECT_GT(factors->second, BigInt(1));
+
+  // With the factorization, the adversary derives ANY identity's key and
+  // reads messages meant for alice.
+  const BigInt phi = (factors->first - BigInt(1)) * (factors->second - BigInt(1));
+  const BigInt alice_e = identity_exponent(test_system().params(), "alice");
+  const BigInt alice_d = alice_e.mod_inverse(phi);
+  const Bytes m = str_bytes("for alice only");
+  const Bytes ct = ib_mrsa_encrypt(test_system().params(), "alice", m, rng_);
+  const BigInt c = BigInt::from_bytes_be(ct);
+  EXPECT_EQ(rsa::oaep_decode(c.pow_mod(alice_d, n),
+                             test_system().params().byte_size()),
+            m);
+}
+
+TEST_F(IbMRsaTest, RejectsMalformedInputs) {
+  auto alice = enroll_mrsa_user(test_system(), sem_, "alice", rng_);
+  EXPECT_THROW(alice.decrypt(Bytes(7, 1), sem_), InvalidArgument);
+  EXPECT_THROW(sem_.issue_token("alice", test_system().params().modulus),
+               InvalidArgument);
+  EXPECT_THROW(sem_.issue_token("nobody", BigInt(5)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace medcrypt::mediated

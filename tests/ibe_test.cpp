@@ -1,0 +1,208 @@
+// Tests for the Boneh–Franklin IBE (BasicIdent and FullIdent) and the PKG:
+// round trips, wrong-identity failures, FO validity checks, malleability
+// of BasicIdent (a documented non-property), serialization.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "hash/drbg.h"
+#include "hash/kdf.h"
+#include "ibe/boneh_franklin.h"
+#include "ibe/pkg.h"
+#include "pairing/params.h"
+
+namespace medcrypt::ibe {
+namespace {
+
+using hash::HmacDrbg;
+
+class IbeTest : public ::testing::Test {
+ protected:
+  IbeTest() : rng_(90), pkg_(pairing::toy_params(), 32, rng_) {}
+
+  Bytes random_message() {
+    Bytes m(pkg_.params().message_len);
+    rng_.fill(m);
+    return m;
+  }
+
+  HmacDrbg rng_;
+  Pkg pkg_;
+};
+
+TEST_F(IbeTest, PkgParamsConsistent) {
+  const SystemParams& p = pkg_.params();
+  EXPECT_EQ(p.p_pub, p.generator().mul(pkg_.master_key()));
+  EXPECT_FALSE(p.p_pub.is_infinity());
+}
+
+TEST_F(IbeTest, ExtractIsDeterministicAndIdentityBound) {
+  EXPECT_EQ(pkg_.extract("alice"), pkg_.extract("alice"));
+  EXPECT_NE(pkg_.extract("alice"), pkg_.extract("bob"));
+}
+
+TEST_F(IbeTest, ExtractedKeyMatchesDefinition) {
+  const Point q_id = map_identity(pkg_.params(), "alice");
+  EXPECT_EQ(pkg_.extract("alice"), q_id.mul(pkg_.master_key()));
+}
+
+TEST_F(IbeTest, BasicRoundTrip) {
+  const Bytes m = random_message();
+  const auto ct = basic_encrypt(pkg_.params(), "alice", m, rng_);
+  EXPECT_EQ(basic_decrypt(pkg_.params(), pkg_.extract("alice"), ct), m);
+}
+
+TEST_F(IbeTest, BasicWrongIdentityGivesGarbage) {
+  const Bytes m = random_message();
+  const auto ct = basic_encrypt(pkg_.params(), "alice", m, rng_);
+  EXPECT_NE(basic_decrypt(pkg_.params(), pkg_.extract("bob"), ct), m);
+}
+
+TEST_F(IbeTest, BasicIsRandomized) {
+  const Bytes m = random_message();
+  const auto c1 = basic_encrypt(pkg_.params(), "alice", m, rng_);
+  const auto c2 = basic_encrypt(pkg_.params(), "alice", m, rng_);
+  EXPECT_NE(c1.to_bytes(), c2.to_bytes());
+}
+
+TEST_F(IbeTest, BasicIsMalleable) {
+  // Documented CPA-only property (paper §3.3: "This scheme is malleable"):
+  // flipping a bit of V flips the same bit of the plaintext.
+  const Bytes m = random_message();
+  auto ct = basic_encrypt(pkg_.params(), "alice", m, rng_);
+  ct.v[0] ^= 0x01;
+  Bytes expected = m;
+  expected[0] ^= 0x01;
+  EXPECT_EQ(basic_decrypt(pkg_.params(), pkg_.extract("alice"), ct), expected);
+}
+
+TEST_F(IbeTest, BasicRejectsWrongSizeMessage) {
+  EXPECT_THROW(basic_encrypt(pkg_.params(), "alice", Bytes(5, 0), rng_),
+               InvalidArgument);
+}
+
+TEST_F(IbeTest, FullRoundTrip) {
+  const Bytes m = random_message();
+  const auto ct = full_encrypt(pkg_.params(), "alice", m, rng_);
+  EXPECT_EQ(full_decrypt(pkg_.params(), pkg_.extract("alice"), ct), m);
+}
+
+TEST_F(IbeTest, FullRejectsTamperedV) {
+  const Bytes m = random_message();
+  auto ct = full_encrypt(pkg_.params(), "alice", m, rng_);
+  ct.v[3] ^= 0x40;
+  EXPECT_THROW(full_decrypt(pkg_.params(), pkg_.extract("alice"), ct),
+               DecryptionError);
+}
+
+TEST_F(IbeTest, FullRejectsTamperedW) {
+  // Unlike BasicIdent, FullIdent is NOT malleable: the FO check catches it.
+  const Bytes m = random_message();
+  auto ct = full_encrypt(pkg_.params(), "alice", m, rng_);
+  ct.w[0] ^= 0x01;
+  EXPECT_THROW(full_decrypt(pkg_.params(), pkg_.extract("alice"), ct),
+               DecryptionError);
+}
+
+TEST_F(IbeTest, FullRejectsReplacedU) {
+  const Bytes m = random_message();
+  auto ct = full_encrypt(pkg_.params(), "alice", m, rng_);
+  ct.u = pkg_.params().generator().mul(BigInt(12345));
+  EXPECT_THROW(full_decrypt(pkg_.params(), pkg_.extract("alice"), ct),
+               DecryptionError);
+}
+
+TEST_F(IbeTest, FullWrongIdentityRejects) {
+  const Bytes m = random_message();
+  const auto ct = full_encrypt(pkg_.params(), "alice", m, rng_);
+  EXPECT_THROW(full_decrypt(pkg_.params(), pkg_.extract("bob"), ct),
+               DecryptionError);
+}
+
+TEST_F(IbeTest, BasicSerializationRoundTrip) {
+  const Bytes m = random_message();
+  const auto ct = basic_encrypt(pkg_.params(), "alice", m, rng_);
+  const auto ct2 = BasicCiphertext::from_bytes(pkg_.params(), ct.to_bytes());
+  EXPECT_EQ(ct2.u, ct.u);
+  EXPECT_EQ(ct2.v, ct.v);
+  EXPECT_THROW(BasicCiphertext::from_bytes(pkg_.params(), Bytes(3, 0)),
+               InvalidArgument);
+}
+
+TEST_F(IbeTest, FullSerializationRoundTrip) {
+  const Bytes m = random_message();
+  const auto ct = full_encrypt(pkg_.params(), "alice", m, rng_);
+  const auto ct2 = FullCiphertext::from_bytes(pkg_.params(), ct.to_bytes());
+  EXPECT_EQ(full_decrypt(pkg_.params(), pkg_.extract("alice"), ct2), m);
+}
+
+TEST_F(IbeTest, SplitKeyRecombines) {
+  const SplitKey split = pkg_.extract_split("alice", rng_);
+  EXPECT_EQ(split.user + split.sem, pkg_.extract("alice"));
+}
+
+TEST_F(IbeTest, SplitIsRandomizedPerCall) {
+  const SplitKey s1 = pkg_.extract_split("alice", rng_);
+  const SplitKey s2 = pkg_.extract_split("alice", rng_);
+  EXPECT_NE(s1.user, s2.user);
+  EXPECT_EQ(s1.user + s1.sem, s2.user + s2.sem);
+}
+
+TEST_F(IbeTest, SplitHalvesDecryptViaMaskRecombination) {
+  // The §4 identity: g = ê(U, d_user) · ê(U, d_sem) decrypts FullIdent.
+  const Bytes m = random_message();
+  const auto ct = full_encrypt(pkg_.params(), "alice", m, rng_);
+  const SplitKey split = pkg_.extract_split("alice", rng_);
+  const pairing::TatePairing e(pkg_.params().curve());
+  const auto g = e.pair(ct.u, split.user) * e.pair(ct.u, split.sem);
+  EXPECT_EQ(full_decrypt_with_mask(pkg_.params(), g, ct), m);
+}
+
+TEST_F(IbeTest, SingleHalfIsUseless) {
+  const Bytes m = random_message();
+  const auto ct = full_encrypt(pkg_.params(), "alice", m, rng_);
+  const SplitKey split = pkg_.extract_split("alice", rng_);
+  const pairing::TatePairing e(pkg_.params().curve());
+  EXPECT_THROW(
+      full_decrypt_with_mask(pkg_.params(), e.pair(ct.u, split.user), ct),
+      DecryptionError);
+  EXPECT_THROW(
+      full_decrypt_with_mask(pkg_.params(), e.pair(ct.u, split.sem), ct),
+      DecryptionError);
+}
+
+TEST_F(IbeTest, DeriveRNeverZero) {
+  const BigInt& q = pkg_.params().order();
+  for (int i = 0; i < 50; ++i) {
+    Bytes sigma(32), msg(32);
+    rng_.fill(sigma);
+    rng_.fill(msg);
+    const BigInt r = derive_r(sigma, msg, q);
+    EXPECT_FALSE(r.is_zero());
+    EXPECT_LT(r, q);
+  }
+}
+
+TEST_F(IbeTest, MasksAreLabelSeparatedAndSized) {
+  Bytes sigma(32);
+  rng_.fill(sigma);
+  EXPECT_EQ(mask_from_sigma(sigma, 32).size(), 32u);
+  EXPECT_NE(mask_from_sigma(sigma, 32), hash::expand("BF.H2", sigma, 32));
+}
+
+// Message length sweep.
+class IbeMessageLen : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IbeMessageLen, FullRoundTripAcrossSizes) {
+  HmacDrbg rng(91);
+  Pkg pkg(pairing::toy_params(), GetParam(), rng);
+  Bytes m(GetParam());
+  rng.fill(m);
+  const auto ct = full_encrypt(pkg.params(), "carol", m, rng);
+  EXPECT_EQ(full_decrypt(pkg.params(), pkg.extract("carol"), ct), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IbeMessageLen,
+                         ::testing::Values(1, 16, 32, 64, 100));
+
+}  // namespace
+}  // namespace medcrypt::ibe

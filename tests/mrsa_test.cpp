@@ -1,0 +1,107 @@
+// Tests for per-user-modulus mRSA [4] and the trust-model contrast with
+// IB-mRSA: a SEM+user collusion here compromises only that one user.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "hash/drbg.h"
+#include "mediated/mrsa.h"
+
+namespace medcrypt::mediated {
+namespace {
+
+using hash::HmacDrbg;
+
+class MRsaTest : public ::testing::Test {
+ protected:
+  MRsaTest()
+      : rng_(210), revocations_(std::make_shared<RevocationList>()),
+        sem_(revocations_),
+        alice_(enroll_per_user_mrsa(768, sem_, "alice", rng_)),
+        bob_(enroll_per_user_mrsa(768, sem_, "bob", rng_)) {}
+
+  HmacDrbg rng_;
+  std::shared_ptr<RevocationList> revocations_;
+  PerUserRsaMediator sem_;
+  MRsaUser alice_;
+  MRsaUser bob_;
+};
+
+TEST_F(MRsaTest, PerUserModuliDiffer) {
+  EXPECT_NE(alice_.public_key().n, bob_.public_key().n);
+}
+
+TEST_F(MRsaTest, DecryptRoundTrip) {
+  const Bytes m = str_bytes("per-user mrsa message");
+  const Bytes ct = mrsa_encrypt(alice_.public_key(), m, rng_);
+  EXPECT_EQ(alice_.decrypt(ct, sem_), m);
+}
+
+TEST_F(MRsaTest, SignVerifyRoundTrip) {
+  const Bytes m = str_bytes("statement");
+  const bigint::BigInt sig = alice_.sign(m, sem_);
+  EXPECT_TRUE(mrsa_verify(alice_.public_key(), m, sig));
+  EXPECT_FALSE(mrsa_verify(alice_.public_key(), str_bytes("other"), sig));
+  EXPECT_FALSE(mrsa_verify(bob_.public_key(), m, sig));
+}
+
+TEST_F(MRsaTest, RevocationBlocksBothCapabilities) {
+  const Bytes m = str_bytes("msg");
+  const Bytes ct = mrsa_encrypt(alice_.public_key(), m, rng_);
+  revocations_->revoke("alice");
+  EXPECT_THROW(alice_.decrypt(ct, sem_), RevokedError);
+  EXPECT_THROW(alice_.sign(m, sem_), RevokedError);
+  // Bob unaffected.
+  const Bytes ct_bob = mrsa_encrypt(bob_.public_key(), m, rng_);
+  EXPECT_EQ(bob_.decrypt(ct_bob, sem_), m);
+}
+
+TEST_F(MRsaTest, CollusionCompromisesOnlyThatUser) {
+  // Alice corrupts the SEM: she gets her own d_sem. Her combined
+  // exponent decrypts HER mail — but bob's modulus is unrelated, so the
+  // §2 total-break of IB-mRSA does not occur.
+  HmacDrbg rng(211);
+  const MRsaKeygenResult mallory = mrsa_keygen(768, rng);
+  const bigint::BigInt d = mallory.d_user + mallory.d_sem;
+
+  // Her own ciphertexts open with the combined exponent...
+  const Bytes m = str_bytes("to mallory");
+  const Bytes ct = mrsa_encrypt(mallory.pub, m, rng);
+  const bigint::BigInt c = bigint::BigInt::from_bytes_be(ct);
+  EXPECT_EQ(rsa::oaep_decode(c.pow_mod(d, mallory.pub.n),
+                             mallory.pub.byte_size()),
+            m);
+
+  // ...but the knowledge is useless against Bob: his modulus shares no
+  // factor with hers.
+  EXPECT_EQ(bigint::BigInt::gcd(mallory.pub.n, bob_.public_key().n),
+            bigint::BigInt(1));
+}
+
+TEST_F(MRsaTest, SemHalfAloneInsufficient) {
+  const Bytes m = str_bytes("msg");
+  const Bytes ct = mrsa_encrypt(alice_.public_key(), m, rng_);
+  const bigint::BigInt c = bigint::BigInt::from_bytes_be(ct);
+  const bigint::BigInt half = sem_.issue_token("alice", c);
+  // The half-result alone fails OAEP with overwhelming probability.
+  EXPECT_THROW(rsa::oaep_decode(half, alice_.public_key().byte_size()),
+               DecryptionError);
+}
+
+TEST_F(MRsaTest, MalformedInputsRejected) {
+  EXPECT_THROW(alice_.decrypt(Bytes(5, 1), sem_), InvalidArgument);
+  EXPECT_THROW(sem_.issue_token("alice", alice_.public_key().n),
+               InvalidArgument);
+  EXPECT_THROW(sem_.issue_token("nobody", bigint::BigInt(5)),
+               InvalidArgument);
+}
+
+TEST_F(MRsaTest, TransportAccounting) {
+  const Bytes m = str_bytes("msg");
+  const Bytes ct = mrsa_encrypt(alice_.public_key(), m, rng_);
+  sim::Transport tr;
+  EXPECT_EQ(alice_.decrypt(ct, sem_, &tr), m);
+  EXPECT_EQ(tr.stats().to_client.bytes, alice_.public_key().byte_size());
+}
+
+}  // namespace
+}  // namespace medcrypt::mediated

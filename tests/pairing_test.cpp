@@ -1,0 +1,162 @@
+// Tests for the modified Tate pairing: bilinearity, non-degeneracy,
+// symmetry, subgroup order of outputs, and the BDH-style consistency the
+// Boneh–Franklin constructions rely on.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "ec/hash_to_point.h"
+#include "hash/drbg.h"
+#include "pairing/params.h"
+#include "pairing/tate.h"
+
+namespace medcrypt::pairing {
+namespace {
+
+using bigint::BigInt;
+using ec::hash_to_subgroup;
+using field::Fp2;
+using hash::HmacDrbg;
+
+class PairingTest : public ::testing::Test {
+ protected:
+  const ParamSet& params() const { return toy_params(); }
+  TatePairing engine() const { return TatePairing(params().curve); }
+};
+
+TEST_F(PairingTest, NonDegenerate) {
+  const auto e = engine();
+  const Fp2 g = e.pair(params().generator, params().generator);
+  EXPECT_FALSE(g.is_one());
+  EXPECT_FALSE(g.is_zero());
+}
+
+TEST_F(PairingTest, OutputHasOrderQ) {
+  const auto e = engine();
+  const Fp2 g = e.pair(params().generator, params().generator);
+  EXPECT_TRUE(g.pow(params().order()).is_one());
+}
+
+TEST_F(PairingTest, InfinityMapsToOne) {
+  const auto e = engine();
+  EXPECT_TRUE(e.pair(params().curve->infinity(), params().generator).is_one());
+  EXPECT_TRUE(e.pair(params().generator, params().curve->infinity()).is_one());
+}
+
+TEST_F(PairingTest, BilinearInFirstArgument) {
+  const auto e = engine();
+  HmacDrbg rng(40);
+  const auto& P = params().generator;
+  const BigInt a = BigInt::random_unit(rng, params().order());
+  EXPECT_EQ(e.pair(P.mul(a), P), e.pair(P, P).pow(a));
+}
+
+TEST_F(PairingTest, BilinearInSecondArgument) {
+  const auto e = engine();
+  HmacDrbg rng(41);
+  const auto& P = params().generator;
+  const BigInt b = BigInt::random_unit(rng, params().order());
+  EXPECT_EQ(e.pair(P, P.mul(b)), e.pair(P, P).pow(b));
+}
+
+TEST_F(PairingTest, FullBilinearity) {
+  const auto e = engine();
+  HmacDrbg rng(42);
+  const auto& P = params().generator;
+  const BigInt a = BigInt::random_unit(rng, params().order());
+  const BigInt b = BigInt::random_unit(rng, params().order());
+  const Fp2 lhs = e.pair(P.mul(a), P.mul(b));
+  const Fp2 rhs = e.pair(P, P).pow(a.mul_mod(b, params().order()));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_F(PairingTest, Symmetry) {
+  // The modified pairing with both arguments in G1 is symmetric.
+  const auto e = engine();
+  HmacDrbg rng(43);
+  const auto& P = params().generator;
+  const auto Q = P.mul(BigInt::random_unit(rng, params().order()));
+  EXPECT_EQ(e.pair(P, Q), e.pair(Q, P));
+}
+
+TEST_F(PairingTest, AdditiveInFirstArgument) {
+  const auto e = engine();
+  HmacDrbg rng(44);
+  const auto& P = params().generator;
+  const auto A = P.mul(BigInt::random_unit(rng, params().order()));
+  const auto B = P.mul(BigInt::random_unit(rng, params().order()));
+  EXPECT_EQ(e.pair(A + B, P), e.pair(A, P) * e.pair(B, P));
+}
+
+TEST_F(PairingTest, BdhConsistency) {
+  // The identity the Boneh–Franklin scheme uses at every decryption:
+  //   ê(rP, s Q_ID) = ê(sP, Q_ID)^r
+  const auto e = engine();
+  HmacDrbg rng(45);
+  const auto& P = params().generator;
+  const BigInt& q = params().order();
+  const BigInt s = BigInt::random_unit(rng, q);  // master key
+  const BigInt r = BigInt::random_unit(rng, q);  // encryption randomness
+  const auto Q_id = hash_to_subgroup(params().curve, "H1", str_bytes("alice"));
+
+  const Fp2 left = e.pair(P.mul(r), Q_id.mul(s));   // user side
+  const Fp2 right = e.pair(P.mul(s), Q_id).pow(r);  // sender side
+  EXPECT_EQ(left, right);
+}
+
+TEST_F(PairingTest, TwoOfTwoKeySplitRecombines) {
+  // The mediated-IBE identity (§4): for d_ID = d_user + d_sem,
+  //   ê(U, d_user) * ê(U, d_sem) = ê(U, d_ID).
+  const auto e = engine();
+  HmacDrbg rng(46);
+  const auto& P = params().generator;
+  const BigInt& q = params().order();
+  const auto d_id = hash_to_subgroup(params().curve, "H1", str_bytes("bob"))
+                        .mul(BigInt::random_unit(rng, q));
+  const auto d_user = P.mul(BigInt::random_unit(rng, q));
+  const auto d_sem = d_id - d_user;
+  const auto U = P.mul(BigInt::random_unit(rng, q));
+  EXPECT_EQ(e.pair(U, d_user) * e.pair(U, d_sem), e.pair(U, d_id));
+}
+
+TEST_F(PairingTest, RejectsForeignCurvePoints) {
+  const auto e = engine();
+  const auto& other = named_params("mid128");
+  EXPECT_THROW(e.pair(other.generator, other.generator), InvalidArgument);
+}
+
+TEST(TatePairing, RejectsNonSupersingularCurve) {
+  auto f = field::PrimeField::make(BigInt(103));
+  // y^2 = x^3 + x + 1 is not the supersingular family we support.
+  auto c = ec::Curve::make(f, f->one(), f->one(), BigInt(7), BigInt(16));
+  EXPECT_THROW(TatePairing{c}, InvalidArgument);
+}
+
+TEST(TatePairing, PaperParamsSmokeTest) {
+  // One pairing at the paper's 512-bit setting to keep runtimes sane.
+  const auto& params = paper_params();
+  const TatePairing e(params.curve);
+  HmacDrbg rng(47);
+  const BigInt a = BigInt::random_unit(rng, params.order());
+  const auto& P = params.generator;
+  EXPECT_EQ(e.pair(P.mul(a), P), e.pair(P, P.mul(a)));
+}
+
+// Pairing laws across parameter sets.
+class PairingParamSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PairingParamSweep, BilinearityHolds) {
+  const auto& params = named_params(GetParam());
+  const TatePairing e(params.curve);
+  HmacDrbg rng(48);
+  const auto& P = params.generator;
+  const BigInt a = BigInt::random_unit(rng, params.order());
+  const BigInt b = BigInt::random_unit(rng, params.order());
+  EXPECT_EQ(e.pair(P.mul(a), P.mul(b)),
+            e.pair(P, P).pow(a.mul_mod(b, params.order())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sets, PairingParamSweep,
+                         ::testing::Values("toy64", "mid128"));
+
+}  // namespace
+}  // namespace medcrypt::pairing

@@ -1,0 +1,148 @@
+// Tests for RSA keygen, raw ops, OAEP padding, and the mRSA exponent
+// split. Reduced modulus sizes keep safe-prime generation fast.
+#include <gtest/gtest.h>
+
+#include "bigint/prime.h"
+#include "common/error.h"
+#include "hash/drbg.h"
+#include "rsa/oaep.h"
+#include "rsa/rsa.h"
+
+namespace medcrypt::rsa {
+namespace {
+
+using hash::HmacDrbg;
+
+PrivateKey test_key(std::uint64_t seed, std::size_t bits = 768) {
+  HmacDrbg rng(seed);
+  KeyGenOptions opts;
+  opts.modulus_bits = bits;
+  return generate_key(opts, rng);
+}
+
+TEST(Rsa, KeyGenInvariants) {
+  const PrivateKey key = test_key(70);
+  EXPECT_EQ(key.pub.n.bit_length(), 768u);
+  EXPECT_EQ(key.p * key.q, key.pub.n);
+  EXPECT_EQ((key.p - BigInt(1)) * (key.q - BigInt(1)), key.phi);
+  EXPECT_EQ(key.pub.e.mul_mod(key.d, key.phi), BigInt(1));
+}
+
+TEST(Rsa, RawRoundTrip) {
+  const PrivateKey key = test_key(71);
+  HmacDrbg rng(72);
+  for (int i = 0; i < 5; ++i) {
+    const BigInt m = BigInt::random_below(rng, key.pub.n);
+    EXPECT_EQ(private_op(key, public_op(key.pub, m)), m);
+    EXPECT_EQ(public_op(key.pub, private_op(key, m)), m);  // sign direction
+  }
+}
+
+TEST(Rsa, RejectsOutOfRange) {
+  const PrivateKey key = test_key(73);
+  EXPECT_THROW(public_op(key.pub, key.pub.n), InvalidArgument);
+  EXPECT_THROW(public_op(key.pub, BigInt(-1)), InvalidArgument);
+  EXPECT_THROW(private_op(key, key.pub.n + BigInt(5)), InvalidArgument);
+}
+
+TEST(Rsa, SafePrimeKeyGen) {
+  HmacDrbg rng(74);
+  KeyGenOptions opts;
+  opts.modulus_bits = 256;  // tiny, but safe primes are slow
+  opts.safe_primes = true;
+  opts.public_exponent = BigInt(3);
+  const PrivateKey key = generate_key(opts, rng);
+  // p = 2p' + 1 with p' prime
+  const BigInt p_half = (key.p - BigInt(1)) / BigInt(2);
+  const BigInt q_half = (key.q - BigInt(1)) / BigInt(2);
+  EXPECT_TRUE(bigint::is_probable_prime(p_half, rng));
+  EXPECT_TRUE(bigint::is_probable_prime(q_half, rng));
+}
+
+TEST(Rsa, SplitExponentRecombines) {
+  const PrivateKey key = test_key(75);
+  HmacDrbg rng(76);
+  const auto [d_user, d_sem] = split_exponent(key.d, key.phi, rng);
+  EXPECT_EQ(d_user.add_mod(d_sem, key.phi), key.d.mod(key.phi));
+
+  // The two-exponent decryption of mRSA: c^d = c^d_user * c^d_sem.
+  const BigInt m = BigInt::random_below(rng, key.pub.n);
+  const BigInt c = public_op(key.pub, m);
+  const BigInt m_user = c.pow_mod(d_user, key.pub.n);
+  const BigInt m_sem = c.pow_mod(d_sem, key.pub.n);
+  EXPECT_EQ(m_user.mul_mod(m_sem, key.pub.n), m);
+}
+
+TEST(Rsa, SplitsAreRandomized) {
+  const PrivateKey key = test_key(77);
+  HmacDrbg rng(78);
+  const auto [u1, s1] = split_exponent(key.d, key.phi, rng);
+  const auto [u2, s2] = split_exponent(key.d, key.phi, rng);
+  EXPECT_NE(u1, u2);
+  EXPECT_NE(s1, s2);
+}
+
+TEST(Oaep, MaxMessageLength) {
+  EXPECT_EQ(oaep_max_message(128), 128u - 64u - 2u);  // 1024-bit modulus
+  EXPECT_EQ(oaep_max_message(66), 0u);
+  EXPECT_EQ(oaep_max_message(10), 0u);
+}
+
+TEST(Oaep, EncodeDecodeRoundTrip) {
+  HmacDrbg rng(79);
+  const std::size_t k = 96;  // 768-bit modulus
+  for (std::size_t len : {0u, 1u, 16u, 30u}) {
+    Bytes msg(len);
+    rng.fill(msg);
+    const BigInt block = oaep_encode(msg, k, rng);
+    EXPECT_LT(block.bit_length(), 8 * k);  // leading zero byte
+    EXPECT_EQ(oaep_decode(block, k), msg);
+  }
+}
+
+TEST(Oaep, EncodingIsRandomized) {
+  HmacDrbg rng(80);
+  const Bytes msg = str_bytes("same message");
+  EXPECT_NE(oaep_encode(msg, 96, rng), oaep_encode(msg, 96, rng));
+}
+
+TEST(Oaep, RejectsOversizeMessage) {
+  HmacDrbg rng(81);
+  const Bytes msg(40, 0xaa);  // max for k=96 is 30
+  EXPECT_THROW(oaep_encode(msg, 96, rng), InvalidArgument);
+}
+
+TEST(Oaep, DecodeRejectsTamperedBlock) {
+  HmacDrbg rng(82);
+  const Bytes msg = str_bytes("attack at dawn");
+  const BigInt block = oaep_encode(msg, 96, rng);
+  // Flip one bit.
+  const BigInt tampered = block + BigInt(1);
+  EXPECT_THROW(oaep_decode(tampered, 96), DecryptionError);
+}
+
+TEST(Oaep, DecodeRejectsRandomBlocks) {
+  HmacDrbg rng(83);
+  int rejects = 0;
+  for (int i = 0; i < 20; ++i) {
+    const BigInt junk = BigInt::random_bits(rng, 8 * 95);
+    try {
+      (void)oaep_decode(junk, 96);
+    } catch (const DecryptionError&) {
+      ++rejects;
+    }
+  }
+  EXPECT_EQ(rejects, 20);  // overwhelming probability
+}
+
+TEST(Oaep, FullRsaOaepRoundTrip) {
+  const PrivateKey key = test_key(84);
+  HmacDrbg rng(85);
+  const std::size_t k = key.pub.byte_size();
+  const Bytes msg = str_bytes("OAEP over RSA-768");
+  const BigInt c = public_op(key.pub, oaep_encode(msg, k, rng));
+  EXPECT_EQ(oaep_decode(private_op(key, c), k), msg);
+}
+
+}  // namespace
+}  // namespace medcrypt::rsa

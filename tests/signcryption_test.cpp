@@ -1,0 +1,155 @@
+// Tests for mediated signcryption (§7 open problem): round trip, both
+// revocation directions, binding properties, non-repudiation.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "hash/drbg.h"
+#include "mediated/signcryption.h"
+#include "pairing/params.h"
+
+namespace medcrypt::mediated {
+namespace {
+
+using hash::HmacDrbg;
+
+class SigncryptionTest : public ::testing::Test {
+ protected:
+  SigncryptionTest()
+      : rng_(200),
+        pkg_(make_signcryption_pkg(pairing::toy_params(),
+                                   pairing::toy_params(), 32, rng_)),
+        revocations_(std::make_shared<RevocationList>()),
+        ibe_sem_(pkg_.params(), revocations_),
+        sig_sem_(pairing::toy_params(), revocations_),
+        params_(make_signcryption_params(pkg_.params(), pairing::toy_params(),
+                                         32)),
+        alice_(params_,
+               enroll_gdh_user(pairing::toy_params(), sig_sem_, "alice", rng_)),
+        bob_(params_, enroll_ibe_user(pkg_, ibe_sem_, "bob", rng_)) {}
+
+  Bytes random_message() {
+    Bytes m(32);
+    rng_.fill(m);
+    return m;
+  }
+
+  HmacDrbg rng_;
+  ibe::Pkg pkg_;
+  std::shared_ptr<RevocationList> revocations_;
+  IbeMediator ibe_sem_;
+  GdhMediator sig_sem_;
+  SigncryptionParams params_;
+  Signcrypter alice_;
+  Unsigncrypter bob_;
+};
+
+TEST_F(SigncryptionTest, RoundTrip) {
+  const Bytes m = random_message();
+  const Signcrypted sc = alice_.signcrypt(m, "bob", sig_sem_, rng_);
+  EXPECT_EQ(sc.sender, "alice");
+  EXPECT_EQ(bob_.unsigncrypt(sc, alice_.verification_key(), ibe_sem_), m);
+}
+
+TEST_F(SigncryptionTest, SenderRevocationBlocksSigncryption) {
+  revocations_->revoke("alice");
+  EXPECT_THROW(alice_.signcrypt(random_message(), "bob", sig_sem_, rng_),
+               RevokedError);
+}
+
+TEST_F(SigncryptionTest, ReceiverRevocationBlocksUnsigncryption) {
+  const Signcrypted sc =
+      alice_.signcrypt(random_message(), "bob", sig_sem_, rng_);
+  revocations_->revoke("bob");
+  EXPECT_THROW(bob_.unsigncrypt(sc, alice_.verification_key(), ibe_sem_),
+               RevokedError);
+}
+
+TEST_F(SigncryptionTest, RevocationsAreIndependent) {
+  // Revoking the receiver does not stop the sender from producing
+  // messages (they just pile up unopenable), and vice versa.
+  revocations_->revoke("bob");
+  EXPECT_NO_THROW(alice_.signcrypt(random_message(), "bob", sig_sem_, rng_));
+}
+
+TEST_F(SigncryptionTest, WrongSenderKeyRejected) {
+  const Bytes m = random_message();
+  const Signcrypted sc = alice_.signcrypt(m, "bob", sig_sem_, rng_);
+  // Verify against a different key: signature check fails.
+  auto mallory = enroll_gdh_user(pairing::toy_params(), sig_sem_, "mallory", rng_);
+  EXPECT_THROW(bob_.unsigncrypt(sc, mallory.public_key(), ibe_sem_),
+               ProofError);
+}
+
+TEST_F(SigncryptionTest, SenderSpoofingDetected) {
+  // Mallory re-labels Alice's signcryption as her own: the embedded
+  // signature no longer verifies under Mallory's key.
+  const Signcrypted sc =
+      alice_.signcrypt(random_message(), "bob", sig_sem_, rng_);
+  auto mallory = enroll_gdh_user(pairing::toy_params(), sig_sem_, "mallory", rng_);
+  Signcrypted forged = sc;
+  forged.sender = "mallory";
+  EXPECT_THROW(bob_.unsigncrypt(forged, mallory.public_key(), ibe_sem_),
+               ProofError);
+}
+
+TEST_F(SigncryptionTest, RecipientBindingPreventsReencryption) {
+  // A signature extracted from a message to Bob is NOT valid for the
+  // same plaintext sent to Carol: the statement binds the recipient.
+  const Bytes m = random_message();
+  const Signcrypted sc = alice_.signcrypt(m, "bob", sig_sem_, rng_);
+  const Bytes opened = bob_.unsigncrypt(sc, alice_.verification_key(), ibe_sem_);
+  EXPECT_EQ(opened, m);
+
+  // Recover sigma (Bob can: he opened the payload).
+  const auto d_bob = pkg_.extract("bob");
+  const Bytes payload = ibe::full_decrypt(pkg_.params(), d_bob, sc.ct);
+  const auto sigma = params_.sig_group.curve->decompress(
+      BytesView(payload.data() + 32, payload.size() - 32));
+
+  EXPECT_TRUE(verify_opened(params_, m, sigma, "alice", "bob",
+                            alice_.verification_key()));
+  EXPECT_FALSE(verify_opened(params_, m, sigma, "alice", "carol",
+                             alice_.verification_key()));
+}
+
+TEST_F(SigncryptionTest, TamperedCiphertextRejected) {
+  Signcrypted sc = alice_.signcrypt(random_message(), "bob", sig_sem_, rng_);
+  sc.ct.w[0] ^= 1;
+  EXPECT_THROW(bob_.unsigncrypt(sc, alice_.verification_key(), ibe_sem_),
+               DecryptionError);
+}
+
+TEST_F(SigncryptionTest, NonRepudiation) {
+  // Bob exhibits (M, sigma) to a third party who verifies without any
+  // SEM or secret material.
+  const Bytes m = random_message();
+  const Signcrypted sc = alice_.signcrypt(m, "bob", sig_sem_, rng_);
+  const auto d_bob = pkg_.extract("bob");
+  const Bytes payload = ibe::full_decrypt(pkg_.params(), d_bob, sc.ct);
+  const auto sigma = params_.sig_group.curve->decompress(
+      BytesView(payload.data() + 32, payload.size() - 32));
+  EXPECT_TRUE(verify_opened(params_, m, sigma, "alice", "bob",
+                            alice_.verification_key()));
+}
+
+TEST_F(SigncryptionTest, ParamsValidation) {
+  // Mismatched PKG block size is rejected.
+  HmacDrbg rng(201);
+  ibe::Pkg wrong(pairing::toy_params(), 32, rng);  // block = 32, not 32+65
+  EXPECT_THROW(
+      make_signcryption_params(wrong.params(), pairing::toy_params(), 32),
+      InvalidArgument);
+  EXPECT_THROW(alice_.signcrypt(Bytes(5, 0), "bob", sig_sem_, rng),
+               InvalidArgument);
+}
+
+TEST_F(SigncryptionTest, BindingEncodingIsInjective) {
+  // Length framing: ("ab", "c") vs ("a", "bc") must differ.
+  EXPECT_NE(signcryption_binding(str_bytes("ab"), "c", "d"),
+            signcryption_binding(str_bytes("a"), "bc", "d"));
+  EXPECT_NE(signcryption_binding(str_bytes("a"), "bc", "d"),
+            signcryption_binding(str_bytes("a"), "b", "cd"));
+}
+
+}  // namespace
+}  // namespace medcrypt::mediated

@@ -1,0 +1,70 @@
+// Tests for the simulated clock, link statistics and transport.
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+#include "sim/stats.h"
+#include "sim/transport.h"
+
+namespace medcrypt::sim {
+namespace {
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now_ns(), 0u);
+  clock.advance_ns(5);
+  clock.advance_ns(10);
+  EXPECT_EQ(clock.now_ns(), 15u);
+  clock.advance_to(12);  // in the past: no-op
+  EXPECT_EQ(clock.now_ns(), 15u);
+  clock.advance_to(100);
+  EXPECT_EQ(clock.now_ns(), 100u);
+}
+
+TEST(LatencyModel, DelayComposition) {
+  const LatencyModel m{1000, 2.0};
+  EXPECT_EQ(m.delay_for(0), 1000u);
+  EXPECT_EQ(m.delay_for(100), 1200u);
+}
+
+TEST(LatencyModel, Presets) {
+  EXPECT_GT(LatencyModel::wan().propagation_ns,
+            LatencyModel::lan().propagation_ns);
+}
+
+TEST(Transport, CountsBothDirections) {
+  Transport t;
+  t.send_to_server(100);
+  t.send_to_server(50);
+  t.send_to_client(20);
+  EXPECT_EQ(t.stats().to_server.messages, 2u);
+  EXPECT_EQ(t.stats().to_server.bytes, 150u);
+  EXPECT_EQ(t.stats().to_client.messages, 1u);
+  EXPECT_EQ(t.stats().to_client.bytes, 20u);
+  EXPECT_EQ(t.stats().total_bytes(), 170u);
+  EXPECT_EQ(t.stats().total_messages(), 3u);
+}
+
+TEST(Transport, ResetClearsCounters) {
+  Transport t;
+  t.send_to_server(10);
+  t.reset_stats();
+  EXPECT_EQ(t.stats().total_bytes(), 0u);
+  EXPECT_EQ(t.stats().total_messages(), 0u);
+}
+
+TEST(Transport, ChargesClock) {
+  SimClock clock;
+  Transport t(&clock, LatencyModel{1000, 1.0});
+  t.send_to_server(500);   // 1000 + 500
+  t.send_to_client(100);   // 1000 + 100
+  EXPECT_EQ(clock.now_ns(), 2600u);
+}
+
+TEST(Transport, NoClockMeansNoTimeCharge) {
+  Transport t;
+  t.send_to_server(1 << 20);
+  SUCCEED();  // accounting-only transport must not crash or charge time
+}
+
+}  // namespace
+}  // namespace medcrypt::sim

@@ -1,0 +1,347 @@
+// Tests for the threshold schemes of §3 and §5: threshold BF-IBE with
+// share verification and robustness proofs, threshold GDH, threshold
+// ElGamal, cheater detection and recovery.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "hash/drbg.h"
+#include "pairing/params.h"
+#include "threshold/threshold_elgamal.h"
+#include "threshold/threshold_gdh.h"
+#include "threshold/threshold_ibe.h"
+
+namespace medcrypt::threshold {
+namespace {
+
+using hash::HmacDrbg;
+
+class ThresholdIbeTest : public ::testing::Test {
+ protected:
+  ThresholdIbeTest()
+      : rng_(110), dealer_(pairing::toy_params(), 32, 3, 5, rng_) {}
+
+  Bytes random_message() {
+    Bytes m(32);
+    rng_.fill(m);
+    return m;
+  }
+
+  std::vector<DecryptionShare> shares_for(const std::vector<KeyShare>& keys,
+                                          const ec::Point& u, bool prove,
+                                          const std::vector<int>& idx) {
+    std::vector<DecryptionShare> out;
+    for (int i : idx) {
+      out.push_back(compute_decryption_share(dealer_.setup(), keys[i], u,
+                                             prove, rng_));
+    }
+    return out;
+  }
+
+  HmacDrbg rng_;
+  ThresholdDealer dealer_;
+};
+
+TEST_F(ThresholdIbeTest, SetupShapes) {
+  const ThresholdSetup& s = dealer_.setup();
+  EXPECT_EQ(s.threshold, 3u);
+  EXPECT_EQ(s.players, 5u);
+  EXPECT_EQ(s.verification_keys.size(), 5u);
+  EXPECT_THROW(s.verification_key(0), InvalidArgument);
+  EXPECT_THROW(s.verification_key(6), InvalidArgument);
+}
+
+TEST_F(ThresholdIbeTest, SetupConsistencyCheckPasses) {
+  // Σ L_i P_pub^(i) = P_pub for every t-subset tried.
+  const std::vector<std::vector<std::uint32_t>> subsets = {
+      {1, 2, 3}, {1, 2, 4}, {3, 4, 5}, {1, 3, 5}};
+  for (const auto& subset : subsets) {
+    EXPECT_TRUE(verify_setup_consistency(dealer_.setup(), subset));
+  }
+  // Wrong-size subsets fail.
+  const std::vector<std::uint32_t> small = {1, 2};
+  EXPECT_FALSE(verify_setup_consistency(dealer_.setup(), small));
+}
+
+TEST_F(ThresholdIbeTest, KeySharesVerify) {
+  const auto keys = dealer_.extract_shares("alice");
+  ASSERT_EQ(keys.size(), 5u);
+  for (const KeyShare& k : keys) {
+    EXPECT_TRUE(verify_key_share(dealer_.setup(), "alice", k));
+    EXPECT_FALSE(verify_key_share(dealer_.setup(), "bob", k));
+  }
+}
+
+TEST_F(ThresholdIbeTest, CorruptKeyShareDetected) {
+  auto keys = dealer_.extract_shares("alice");
+  keys[2].value = keys[2].value.dbl();  // tamper
+  EXPECT_FALSE(verify_key_share(dealer_.setup(), "alice", keys[2]));
+}
+
+TEST_F(ThresholdIbeTest, ThresholdDecryptionMatchesDirect) {
+  const Bytes m = random_message();
+  const auto ct =
+      ibe::full_encrypt(dealer_.setup().params, "alice", m, rng_);
+  const auto keys = dealer_.extract_shares("alice");
+
+  const auto shares = shares_for(keys, ct.u, false, {0, 2, 4});
+  EXPECT_EQ(threshold_full_decrypt(dealer_.setup(), shares, ct), m);
+
+  // Cross-check against the unshared key.
+  EXPECT_EQ(ibe::full_decrypt(dealer_.setup().params,
+                              dealer_.extract_full_key("alice"), ct),
+            m);
+}
+
+TEST_F(ThresholdIbeTest, AnyTSubsetDecrypts) {
+  const Bytes m = random_message();
+  const auto ct = ibe::full_encrypt(dealer_.setup().params, "alice", m, rng_);
+  const auto keys = dealer_.extract_shares("alice");
+  for (const auto& idx : std::vector<std::vector<int>>{
+           {0, 1, 2}, {1, 3, 4}, {0, 3, 4}, {2, 3, 4}}) {
+    const auto shares = shares_for(keys, ct.u, false, idx);
+    EXPECT_EQ(threshold_full_decrypt(dealer_.setup(), shares, ct), m);
+  }
+}
+
+TEST_F(ThresholdIbeTest, TooFewSharesRejected) {
+  const Bytes m = random_message();
+  const auto ct = ibe::full_encrypt(dealer_.setup().params, "alice", m, rng_);
+  const auto keys = dealer_.extract_shares("alice");
+  const auto shares = shares_for(keys, ct.u, false, {0, 1});
+  EXPECT_THROW(combine_decryption_shares(dealer_.setup(), shares),
+               InvalidArgument);
+}
+
+TEST_F(ThresholdIbeTest, DuplicateSharesRejected) {
+  const Bytes m = random_message();
+  const auto ct = ibe::full_encrypt(dealer_.setup().params, "alice", m, rng_);
+  const auto keys = dealer_.extract_shares("alice");
+  auto shares = shares_for(keys, ct.u, false, {0, 1, 1});
+  EXPECT_THROW(combine_decryption_shares(dealer_.setup(), shares),
+               InvalidArgument);
+}
+
+TEST_F(ThresholdIbeTest, WrongSubsetOfSharesGivesGarbage) {
+  // t-1 honest shares + 1 share for another identity: FO check fails.
+  const Bytes m = random_message();
+  const auto ct = ibe::full_encrypt(dealer_.setup().params, "alice", m, rng_);
+  const auto alice_keys = dealer_.extract_shares("alice");
+  const auto bob_keys = dealer_.extract_shares("bob");
+  std::vector<DecryptionShare> shares = {
+      compute_decryption_share(dealer_.setup(), alice_keys[0], ct.u, false, rng_),
+      compute_decryption_share(dealer_.setup(), alice_keys[1], ct.u, false, rng_),
+      compute_decryption_share(dealer_.setup(), bob_keys[2], ct.u, false, rng_)};
+  EXPECT_THROW(threshold_full_decrypt(dealer_.setup(), shares, ct),
+               DecryptionError);
+}
+
+TEST_F(ThresholdIbeTest, RobustProofsVerify) {
+  const Bytes m = random_message();
+  const auto ct = ibe::full_encrypt(dealer_.setup().params, "alice", m, rng_);
+  const auto keys = dealer_.extract_shares("alice");
+  const auto shares = shares_for(keys, ct.u, true, {0, 1, 2, 3, 4});
+  const auto valid =
+      select_valid_shares(dealer_.setup(), "alice", ct.u, shares);
+  EXPECT_EQ(valid.size(), 3u);
+  EXPECT_EQ(threshold_full_decrypt(dealer_.setup(), valid, ct), m);
+}
+
+TEST_F(ThresholdIbeTest, CheaterShareRejectedByProofCheck) {
+  const Bytes m = random_message();
+  const auto ct = ibe::full_encrypt(dealer_.setup().params, "alice", m, rng_);
+  const auto keys = dealer_.extract_shares("alice");
+  auto shares = shares_for(keys, ct.u, true, {0, 1, 2, 3});
+
+  // Player 1 (shares[0]) lies: swaps in a random pairing value, keeps its
+  // (now inconsistent) proof.
+  shares[0].value = shares[0].value.square();
+  const auto valid =
+      select_valid_shares(dealer_.setup(), "alice", ct.u, shares);
+  ASSERT_EQ(valid.size(), 3u);
+  EXPECT_EQ(valid[0].index, 2u);  // cheater excluded
+  EXPECT_EQ(threshold_full_decrypt(dealer_.setup(), valid, ct), m);
+}
+
+TEST_F(ThresholdIbeTest, ForgedProofRejected) {
+  const Bytes m = random_message();
+  const auto ct = ibe::full_encrypt(dealer_.setup().params, "alice", m, rng_);
+  const auto keys = dealer_.extract_shares("alice");
+  auto shares = shares_for(keys, ct.u, true, {0, 1, 2});
+
+  // Tamper with the proof response.
+  shares[1].proof->v = shares[1].proof->v.dbl();
+  EXPECT_THROW(select_valid_shares(dealer_.setup(), "alice", ct.u, shares),
+               ProofError);
+}
+
+TEST_F(ThresholdIbeTest, SharesWithoutProofsRejectedInRobustMode) {
+  const Bytes m = random_message();
+  const auto ct = ibe::full_encrypt(dealer_.setup().params, "alice", m, rng_);
+  const auto keys = dealer_.extract_shares("alice");
+  const auto shares = shares_for(keys, ct.u, false, {0, 1, 2});
+  EXPECT_THROW(select_valid_shares(dealer_.setup(), "alice", ct.u, shares),
+               ProofError);
+}
+
+TEST_F(ThresholdIbeTest, CheaterKeyShareRecovery) {
+  // §3.2: t honest players reconstruct the cheater's key share.
+  const auto keys = dealer_.extract_shares("alice");
+  const std::vector<KeyShare> honest = {keys[0], keys[2], keys[4]};
+  const ec::Point recovered =
+      recover_key_share(dealer_.setup(), honest, /*target=*/2);
+  EXPECT_EQ(recovered, keys[1].value);
+
+  // Too few honest players:
+  const std::vector<KeyShare> few = {keys[0], keys[2]};
+  EXPECT_THROW(recover_key_share(dealer_.setup(), few, 2), InvalidArgument);
+}
+
+TEST_F(ThresholdIbeTest, RejectsBadThresholds) {
+  HmacDrbg rng(111);
+  EXPECT_THROW(ThresholdDealer(pairing::toy_params(), 32, 0, 5, rng),
+               InvalidArgument);
+  EXPECT_THROW(ThresholdDealer(pairing::toy_params(), 32, 6, 5, rng),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+
+class ThresholdGdhTest : public ::testing::Test {
+ protected:
+  ThresholdGdhTest() : rng_(112) {}
+  HmacDrbg rng_;
+};
+
+TEST_F(ThresholdGdhTest, ThresholdSignatureVerifies) {
+  auto dealing = gdh_threshold_setup(pairing::toy_params(), 2, 4, rng_);
+  const Bytes msg = str_bytes("board resolution #7");
+
+  std::vector<GdhSignatureShare> shares = {
+      gdh_sign_share(dealing.setup, dealing.shares[1], msg),
+      gdh_sign_share(dealing.setup, dealing.shares[3], msg)};
+  for (const auto& s : shares) {
+    EXPECT_TRUE(gdh_verify_share(dealing.setup, msg, s));
+  }
+  const ec::Point sig = gdh_combine_shares(dealing.setup, shares);
+  EXPECT_TRUE(gdh::verify(dealing.setup.group, dealing.setup.public_key, msg, sig));
+}
+
+TEST_F(ThresholdGdhTest, CombinedSignatureEqualsDirectSignature) {
+  // Determinism of BLS: every t-subset combines to the same σ = x·h(M).
+  auto dealing = gdh_threshold_setup(pairing::toy_params(), 3, 5, rng_);
+  const Bytes msg = str_bytes("m");
+  auto make = [&](std::initializer_list<int> idx) {
+    std::vector<GdhSignatureShare> shares;
+    for (int i : idx) {
+      shares.push_back(gdh_sign_share(dealing.setup, dealing.shares[i], msg));
+    }
+    return gdh_combine_shares(dealing.setup, shares);
+  };
+  const ec::Point s1 = make({0, 1, 2});
+  const ec::Point s2 = make({2, 3, 4});
+  EXPECT_EQ(s1, s2);
+}
+
+TEST_F(ThresholdGdhTest, BadShareDetected) {
+  auto dealing = gdh_threshold_setup(pairing::toy_params(), 2, 3, rng_);
+  const Bytes msg = str_bytes("m");
+  GdhSignatureShare bad = gdh_sign_share(dealing.setup, dealing.shares[0], msg);
+  bad.value = bad.value.dbl();
+  EXPECT_FALSE(gdh_verify_share(dealing.setup, msg, bad));
+  EXPECT_FALSE(gdh_verify_share(dealing.setup, str_bytes("other"),
+                                gdh_sign_share(dealing.setup, dealing.shares[0], msg)));
+}
+
+TEST_F(ThresholdGdhTest, TooFewSharesRejected) {
+  auto dealing = gdh_threshold_setup(pairing::toy_params(), 3, 4, rng_);
+  const Bytes msg = str_bytes("m");
+  std::vector<GdhSignatureShare> shares = {
+      gdh_sign_share(dealing.setup, dealing.shares[0], msg)};
+  EXPECT_THROW(gdh_combine_shares(dealing.setup, shares), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+
+class ThresholdElGamalTest : public ::testing::Test {
+ protected:
+  ThresholdElGamalTest() : rng_(113) {
+    params_.group = pairing::toy_params();
+    params_.message_len = 32;
+  }
+  HmacDrbg rng_;
+  elgamal::Params params_;
+};
+
+TEST_F(ThresholdElGamalTest, ThresholdDecryptionRoundTrip) {
+  auto dealing = elgamal_threshold_setup(params_, 2, 3, rng_);
+  Bytes m(32);
+  rng_.fill(m);
+  const auto ct =
+      elgamal::fo_encrypt(dealing.setup.params, dealing.setup.public_key, m, rng_);
+
+  std::vector<ElGamalDecryptionShare> shares = {
+      elgamal_decrypt_share(dealing.shares[0], ct.c1),
+      elgamal_decrypt_share(dealing.shares[2], ct.c1)};
+  for (const auto& s : shares) {
+    EXPECT_TRUE(elgamal_verify_share(dealing.setup, ct.c1, s));
+  }
+  const ec::Point shared = elgamal_combine_shares(dealing.setup, shares);
+  EXPECT_EQ(elgamal::fo_decrypt_with_shared(dealing.setup.params, shared, ct), m);
+}
+
+TEST_F(ThresholdElGamalTest, BadShareDetected) {
+  auto dealing = elgamal_threshold_setup(params_, 2, 3, rng_);
+  Bytes m(32);
+  rng_.fill(m);
+  const auto ct =
+      elgamal::fo_encrypt(dealing.setup.params, dealing.setup.public_key, m, rng_);
+  ElGamalDecryptionShare bad = elgamal_decrypt_share(dealing.shares[0], ct.c1);
+  bad.value = bad.value + dealing.setup.params.group.generator;
+  EXPECT_FALSE(elgamal_verify_share(dealing.setup, ct.c1, bad));
+}
+
+TEST_F(ThresholdElGamalTest, TwoOfTwoSplitIsMediatedShape) {
+  // The (2,2) instance behind mediated ElGamal.
+  auto dealing = elgamal_threshold_setup(params_, 2, 2, rng_);
+  Bytes m(32);
+  rng_.fill(m);
+  const auto ct =
+      elgamal::fo_encrypt(dealing.setup.params, dealing.setup.public_key, m, rng_);
+  std::vector<ElGamalDecryptionShare> shares = {
+      elgamal_decrypt_share(dealing.shares[0], ct.c1),
+      elgamal_decrypt_share(dealing.shares[1], ct.c1)};
+  const ec::Point shared = elgamal_combine_shares(dealing.setup, shares);
+  EXPECT_EQ(elgamal::fo_decrypt_with_shared(dealing.setup.params, shared, ct), m);
+}
+
+// Threshold grid sweep for the IBE.
+class ThresholdIbeGrid
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ThresholdIbeGrid, DecryptsAcrossGrid) {
+  const auto [t, n] = GetParam();
+  HmacDrbg rng(120 + t * 16 + n);
+  ThresholdDealer dealer(pairing::toy_params(), 32, t, n, rng);
+  Bytes m(32);
+  rng.fill(m);
+  const auto ct = ibe::full_encrypt(dealer.setup().params, "grid", m, rng);
+  const auto keys = dealer.extract_shares("grid");
+  std::vector<DecryptionShare> shares;
+  for (std::size_t i = 0; i < t; ++i) {
+    shares.push_back(
+        compute_decryption_share(dealer.setup(), keys[i], ct.u, false, rng));
+  }
+  EXPECT_EQ(threshold_full_decrypt(dealer.setup(), shares, ct), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ThresholdIbeGrid,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{1, 3},
+                      std::pair<std::size_t, std::size_t>{2, 2},
+                      std::pair<std::size_t, std::size_t>{2, 5},
+                      std::pair<std::size_t, std::size_t>{4, 7},
+                      std::pair<std::size_t, std::size_t>{5, 9}));
+
+}  // namespace
+}  // namespace medcrypt::threshold

@@ -1,0 +1,192 @@
+// medcrypt_cli — a file-based command-line front end for the mediated
+// IBE system, demonstrating a full deployment across separate process
+// invocations (state persisted as hex in a directory).
+//
+//   medcrypt_cli setup <dir>                       create PKG + SEM state
+//   medcrypt_cli enroll <dir> <identity>           split + store keys
+//   medcrypt_cli encrypt <dir> <identity> <text>   print ciphertext hex
+//   medcrypt_cli decrypt <dir> <identity> <hex>    mediated decryption
+//   medcrypt_cli revoke <dir> <identity>           instant revocation
+//   medcrypt_cli unrevoke <dir> <identity>
+//   medcrypt_cli status <dir>                      list users/revocations
+//
+// The "SEM" and the "user" are this same binary reading different key
+// files; a real deployment would put sem.d/* behind a network service.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "hash/drbg.h"
+#include "mediated/mediated_ibe.h"
+#include "pairing/params.h"
+
+namespace fs = std::filesystem;
+using namespace medcrypt;
+
+namespace {
+
+constexpr std::size_t kBlock = 32;
+
+void write_file(const fs::path& p, const std::string& content) {
+  std::ofstream out(p);
+  if (!out) throw Error("cannot write " + p.string());
+  out << content << "\n";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p);
+  if (!in) throw Error("cannot read " + p.string() + " (run setup/enroll?)");
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+// State layout: <dir>/master.key, <dir>/ppub.pt, <dir>/sem.d/<id>.pt,
+// <dir>/users/<id>.pt, <dir>/revoked/<id> (empty marker files).
+struct Deployment {
+  explicit Deployment(const fs::path& dir)
+      : dir(dir), params{pairing::paper_params(), {}, kBlock} {
+    params.p_pub = params.curve()->decompress(from_hex(read_file(dir / "ppub.pt")));
+  }
+
+  ibe::SystemParams system_params() const {
+    ibe::SystemParams p;
+    p.group = pairing::paper_params();
+    p.p_pub = params.p_pub;
+    p.message_len = kBlock;
+    return p;
+  }
+
+  fs::path dir;
+  struct {
+    pairing::ParamSet group;
+    ec::Point p_pub;
+    std::size_t message_len;
+    const std::shared_ptr<const ec::Curve>& curve() const { return group.curve; }
+  } params;
+};
+
+int cmd_setup(const fs::path& dir) {
+  fs::create_directories(dir / "sem.d");
+  fs::create_directories(dir / "users");
+  fs::create_directories(dir / "revoked");
+  hash::SystemRandom rng;
+  ibe::Pkg pkg(pairing::paper_params(), kBlock, rng);
+  write_file(dir / "master.key", pkg.master_key().to_hex());
+  write_file(dir / "ppub.pt", to_hex(pkg.params().p_pub.to_bytes()));
+  std::cout << "initialized deployment in " << dir
+            << " (paper parameters: 512-bit p, 160-bit q)\n"
+            << "NOTE: master.key would live only on the offline PKG.\n";
+  return 0;
+}
+
+ibe::Pkg load_pkg(const fs::path& dir) {
+  const auto master = bigint::BigInt::from_hex(read_file(dir / "master.key"));
+  return ibe::Pkg(pairing::paper_params(), kBlock, master);
+}
+
+int cmd_enroll(const fs::path& dir, const std::string& identity) {
+  ibe::Pkg pkg = load_pkg(dir);
+  hash::SystemRandom rng;
+  const ibe::SplitKey split = pkg.extract_split(identity, rng);
+  write_file(dir / "sem.d" / (identity + ".pt"), to_hex(split.sem.to_bytes()));
+  write_file(dir / "users" / (identity + ".pt"), to_hex(split.user.to_bytes()));
+  std::cout << "enrolled " << identity << " (key split user/SEM)\n";
+  return 0;
+}
+
+Bytes pad_block(const std::string& text) {
+  Bytes b = str_bytes(text);
+  if (b.size() > kBlock) throw Error("message longer than 32 bytes");
+  b.resize(kBlock, ' ');
+  return b;
+}
+
+int cmd_encrypt(const fs::path& dir, const std::string& identity,
+                const std::string& text) {
+  Deployment d(dir);
+  hash::SystemRandom rng;
+  const auto ct =
+      ibe::full_encrypt(d.system_params(), identity, pad_block(text), rng);
+  std::cout << to_hex(ct.to_bytes()) << "\n";
+  return 0;
+}
+
+int cmd_decrypt(const fs::path& dir, const std::string& identity,
+                const std::string& hex) {
+  Deployment d(dir);
+  const auto params = d.system_params();
+
+  // SEM side (reads only the SEM half + revocation marker).
+  auto revocations = std::make_shared<mediated::RevocationList>();
+  if (fs::exists(dir / "revoked" / identity)) revocations->revoke(identity);
+  mediated::IbeMediator sem(params, revocations);
+  sem.install_key(identity, params.curve()->decompress(from_hex(
+                                read_file(dir / "sem.d" / (identity + ".pt")))));
+
+  // User side.
+  mediated::MediatedIbeUser user(
+      params, identity,
+      params.curve()->decompress(
+          from_hex(read_file(dir / "users" / (identity + ".pt")))));
+
+  const auto ct = ibe::FullCiphertext::from_bytes(params, from_hex(hex));
+  const Bytes plain = user.decrypt(ct, sem);
+  std::string text(plain.begin(), plain.end());
+  while (!text.empty() && text.back() == ' ') text.pop_back();
+  std::cout << text << "\n";
+  return 0;
+}
+
+int cmd_revoke(const fs::path& dir, const std::string& identity, bool on) {
+  const fs::path marker = dir / "revoked" / identity;
+  if (on) {
+    write_file(marker, "revoked");
+    std::cout << identity << " revoked (next SEM request will be denied)\n";
+  } else {
+    fs::remove(marker);
+    std::cout << identity << " restored\n";
+  }
+  return 0;
+}
+
+int cmd_status(const fs::path& dir) {
+  std::cout << "deployment: " << dir << "\nusers:\n";
+  for (const auto& e : fs::directory_iterator(dir / "users")) {
+    const std::string id = e.path().stem().string();
+    const bool revoked = fs::exists(dir / "revoked" / id);
+    std::cout << "  " << id << (revoked ? "  [REVOKED]" : "") << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto usage = [] {
+    std::cerr << "usage: medcrypt_cli "
+                 "setup|enroll|encrypt|decrypt|revoke|unrevoke|status <dir> "
+                 "[args]\n";
+    return 2;
+  };
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const fs::path dir = argv[2];
+  try {
+    if (cmd == "setup") return cmd_setup(dir);
+    if (cmd == "enroll" && argc == 4) return cmd_enroll(dir, argv[3]);
+    if (cmd == "encrypt" && argc == 5) return cmd_encrypt(dir, argv[3], argv[4]);
+    if (cmd == "decrypt" && argc == 5) return cmd_decrypt(dir, argv[3], argv[4]);
+    if (cmd == "revoke" && argc == 4) return cmd_revoke(dir, argv[3], true);
+    if (cmd == "unrevoke" && argc == 4) return cmd_revoke(dir, argv[3], false);
+    if (cmd == "status") return cmd_status(dir);
+    return usage();
+  } catch (const RevokedError& e) {
+    std::cerr << "DENIED: " << e.what() << "\n";
+    return 3;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
