@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_encrypt.dir/bench_encrypt.cpp.o"
+  "CMakeFiles/bench_encrypt.dir/bench_encrypt.cpp.o.d"
+  "bench_encrypt"
+  "bench_encrypt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_encrypt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

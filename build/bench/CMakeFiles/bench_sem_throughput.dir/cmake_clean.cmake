@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sem_throughput.dir/bench_sem_throughput.cpp.o"
+  "CMakeFiles/bench_sem_throughput.dir/bench_sem_throughput.cpp.o.d"
+  "bench_sem_throughput"
+  "bench_sem_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sem_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sign.dir/bench_sign.cpp.o"
+  "CMakeFiles/bench_sign.dir/bench_sign.cpp.o.d"
+  "bench_sign"
+  "bench_sign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

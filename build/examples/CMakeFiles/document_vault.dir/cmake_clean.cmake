@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_vault.dir/document_vault.cpp.o"
+  "CMakeFiles/document_vault.dir/document_vault.cpp.o.d"
+  "document_vault"
+  "document_vault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_vault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_email.dir/secure_email.cpp.o"
+  "CMakeFiles/secure_email.dir/secure_email.cpp.o.d"
+  "secure_email"
+  "secure_email.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_email.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

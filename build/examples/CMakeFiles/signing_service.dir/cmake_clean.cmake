@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signing_service.dir/signing_service.cpp.o"
+  "CMakeFiles/signing_service.dir/signing_service.cpp.o.d"
+  "signing_service"
+  "signing_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signing_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

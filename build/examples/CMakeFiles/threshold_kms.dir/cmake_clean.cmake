@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_kms.dir/threshold_kms.cpp.o"
+  "CMakeFiles/threshold_kms.dir/threshold_kms.cpp.o.d"
+  "threshold_kms"
+  "threshold_kms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_kms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bigint/bigint.cpp" "src/CMakeFiles/medcrypt.dir/bigint/bigint.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/bigint/bigint.cpp.o.d"
+  "/root/repo/src/bigint/montgomery.cpp" "src/CMakeFiles/medcrypt.dir/bigint/montgomery.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/bigint/montgomery.cpp.o.d"
+  "/root/repo/src/bigint/prime.cpp" "src/CMakeFiles/medcrypt.dir/bigint/prime.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/bigint/prime.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/medcrypt.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/medcrypt.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/common/error.cpp.o.d"
+  "/root/repo/src/ec/curve.cpp" "src/CMakeFiles/medcrypt.dir/ec/curve.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/ec/curve.cpp.o.d"
+  "/root/repo/src/ec/hash_to_point.cpp" "src/CMakeFiles/medcrypt.dir/ec/hash_to_point.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/ec/hash_to_point.cpp.o.d"
+  "/root/repo/src/ec/jacobian.cpp" "src/CMakeFiles/medcrypt.dir/ec/jacobian.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/ec/jacobian.cpp.o.d"
+  "/root/repo/src/ec/point.cpp" "src/CMakeFiles/medcrypt.dir/ec/point.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/ec/point.cpp.o.d"
+  "/root/repo/src/elgamal/ec_elgamal.cpp" "src/CMakeFiles/medcrypt.dir/elgamal/ec_elgamal.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/elgamal/ec_elgamal.cpp.o.d"
+  "/root/repo/src/elgamal/fo_transform.cpp" "src/CMakeFiles/medcrypt.dir/elgamal/fo_transform.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/elgamal/fo_transform.cpp.o.d"
+  "/root/repo/src/field/fp.cpp" "src/CMakeFiles/medcrypt.dir/field/fp.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/field/fp.cpp.o.d"
+  "/root/repo/src/field/fp2.cpp" "src/CMakeFiles/medcrypt.dir/field/fp2.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/field/fp2.cpp.o.d"
+  "/root/repo/src/games/ind_id_cca.cpp" "src/CMakeFiles/medcrypt.dir/games/ind_id_cca.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/games/ind_id_cca.cpp.o.d"
+  "/root/repo/src/games/ind_id_tcpa.cpp" "src/CMakeFiles/medcrypt.dir/games/ind_id_tcpa.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/games/ind_id_tcpa.cpp.o.d"
+  "/root/repo/src/games/ind_mid_wcca.cpp" "src/CMakeFiles/medcrypt.dir/games/ind_mid_wcca.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/games/ind_mid_wcca.cpp.o.d"
+  "/root/repo/src/games/reduction.cpp" "src/CMakeFiles/medcrypt.dir/games/reduction.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/games/reduction.cpp.o.d"
+  "/root/repo/src/games/tcpa_simulator.cpp" "src/CMakeFiles/medcrypt.dir/games/tcpa_simulator.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/games/tcpa_simulator.cpp.o.d"
+  "/root/repo/src/gdh/aggregate.cpp" "src/CMakeFiles/medcrypt.dir/gdh/aggregate.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/gdh/aggregate.cpp.o.d"
+  "/root/repo/src/gdh/bls.cpp" "src/CMakeFiles/medcrypt.dir/gdh/bls.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/gdh/bls.cpp.o.d"
+  "/root/repo/src/hash/drbg.cpp" "src/CMakeFiles/medcrypt.dir/hash/drbg.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/hash/drbg.cpp.o.d"
+  "/root/repo/src/hash/hmac.cpp" "src/CMakeFiles/medcrypt.dir/hash/hmac.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/hash/hmac.cpp.o.d"
+  "/root/repo/src/hash/kdf.cpp" "src/CMakeFiles/medcrypt.dir/hash/kdf.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/hash/kdf.cpp.o.d"
+  "/root/repo/src/hash/sha256.cpp" "src/CMakeFiles/medcrypt.dir/hash/sha256.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/hash/sha256.cpp.o.d"
+  "/root/repo/src/ibe/boneh_franklin.cpp" "src/CMakeFiles/medcrypt.dir/ibe/boneh_franklin.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/ibe/boneh_franklin.cpp.o.d"
+  "/root/repo/src/ibe/hybrid.cpp" "src/CMakeFiles/medcrypt.dir/ibe/hybrid.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/ibe/hybrid.cpp.o.d"
+  "/root/repo/src/ibe/pkg.cpp" "src/CMakeFiles/medcrypt.dir/ibe/pkg.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/ibe/pkg.cpp.o.d"
+  "/root/repo/src/ibs/hess.cpp" "src/CMakeFiles/medcrypt.dir/ibs/hess.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/ibs/hess.cpp.o.d"
+  "/root/repo/src/mediated/ib_mrsa.cpp" "src/CMakeFiles/medcrypt.dir/mediated/ib_mrsa.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/mediated/ib_mrsa.cpp.o.d"
+  "/root/repo/src/mediated/mediated_elgamal.cpp" "src/CMakeFiles/medcrypt.dir/mediated/mediated_elgamal.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/mediated/mediated_elgamal.cpp.o.d"
+  "/root/repo/src/mediated/mediated_gdh.cpp" "src/CMakeFiles/medcrypt.dir/mediated/mediated_gdh.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/mediated/mediated_gdh.cpp.o.d"
+  "/root/repo/src/mediated/mediated_ibe.cpp" "src/CMakeFiles/medcrypt.dir/mediated/mediated_ibe.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/mediated/mediated_ibe.cpp.o.d"
+  "/root/repo/src/mediated/mediated_ibs.cpp" "src/CMakeFiles/medcrypt.dir/mediated/mediated_ibs.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/mediated/mediated_ibs.cpp.o.d"
+  "/root/repo/src/mediated/mrsa.cpp" "src/CMakeFiles/medcrypt.dir/mediated/mrsa.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/mediated/mrsa.cpp.o.d"
+  "/root/repo/src/mediated/sem_server.cpp" "src/CMakeFiles/medcrypt.dir/mediated/sem_server.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/mediated/sem_server.cpp.o.d"
+  "/root/repo/src/mediated/signcryption.cpp" "src/CMakeFiles/medcrypt.dir/mediated/signcryption.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/mediated/signcryption.cpp.o.d"
+  "/root/repo/src/pairing/param_gen.cpp" "src/CMakeFiles/medcrypt.dir/pairing/param_gen.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/pairing/param_gen.cpp.o.d"
+  "/root/repo/src/pairing/params.cpp" "src/CMakeFiles/medcrypt.dir/pairing/params.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/pairing/params.cpp.o.d"
+  "/root/repo/src/pairing/tate.cpp" "src/CMakeFiles/medcrypt.dir/pairing/tate.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/pairing/tate.cpp.o.d"
+  "/root/repo/src/revocation/crl.cpp" "src/CMakeFiles/medcrypt.dir/revocation/crl.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/revocation/crl.cpp.o.d"
+  "/root/repo/src/revocation/revocation.cpp" "src/CMakeFiles/medcrypt.dir/revocation/revocation.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/revocation/revocation.cpp.o.d"
+  "/root/repo/src/revocation/validity_period.cpp" "src/CMakeFiles/medcrypt.dir/revocation/validity_period.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/revocation/validity_period.cpp.o.d"
+  "/root/repo/src/rsa/oaep.cpp" "src/CMakeFiles/medcrypt.dir/rsa/oaep.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/rsa/oaep.cpp.o.d"
+  "/root/repo/src/rsa/rsa.cpp" "src/CMakeFiles/medcrypt.dir/rsa/rsa.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/rsa/rsa.cpp.o.d"
+  "/root/repo/src/shamir/shamir.cpp" "src/CMakeFiles/medcrypt.dir/shamir/shamir.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/shamir/shamir.cpp.o.d"
+  "/root/repo/src/sim/clock.cpp" "src/CMakeFiles/medcrypt.dir/sim/clock.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/sim/clock.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/medcrypt.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/transport.cpp" "src/CMakeFiles/medcrypt.dir/sim/transport.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/sim/transport.cpp.o.d"
+  "/root/repo/src/threshold/dkg.cpp" "src/CMakeFiles/medcrypt.dir/threshold/dkg.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/threshold/dkg.cpp.o.d"
+  "/root/repo/src/threshold/robust.cpp" "src/CMakeFiles/medcrypt.dir/threshold/robust.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/threshold/robust.cpp.o.d"
+  "/root/repo/src/threshold/threshold_elgamal.cpp" "src/CMakeFiles/medcrypt.dir/threshold/threshold_elgamal.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/threshold/threshold_elgamal.cpp.o.d"
+  "/root/repo/src/threshold/threshold_gdh.cpp" "src/CMakeFiles/medcrypt.dir/threshold/threshold_gdh.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/threshold/threshold_gdh.cpp.o.d"
+  "/root/repo/src/threshold/threshold_ibe.cpp" "src/CMakeFiles/medcrypt.dir/threshold/threshold_ibe.cpp.o" "gcc" "src/CMakeFiles/medcrypt.dir/threshold/threshold_ibe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aggregate.dir/aggregate_test.cpp.o"
+  "CMakeFiles/test_aggregate.dir/aggregate_test.cpp.o.d"
+  "test_aggregate"
+  "test_aggregate.pdb"
+  "test_aggregate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

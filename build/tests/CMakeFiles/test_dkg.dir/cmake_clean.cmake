@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dkg.dir/dkg_test.cpp.o"
+  "CMakeFiles/test_dkg.dir/dkg_test.cpp.o.d"
+  "test_dkg"
+  "test_dkg.pdb"
+  "test_dkg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dkg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ib_mrsa.dir/ib_mrsa_test.cpp.o"
+  "CMakeFiles/test_ib_mrsa.dir/ib_mrsa_test.cpp.o.d"
+  "test_ib_mrsa"
+  "test_ib_mrsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ib_mrsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

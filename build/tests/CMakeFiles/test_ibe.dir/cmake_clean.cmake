@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ibe.dir/ibe_test.cpp.o"
+  "CMakeFiles/test_ibe.dir/ibe_test.cpp.o.d"
+  "test_ibe"
+  "test_ibe.pdb"
+  "test_ibe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ibe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ibs.dir/ibs_test.cpp.o"
+  "CMakeFiles/test_ibs.dir/ibs_test.cpp.o.d"
+  "test_ibs"
+  "test_ibs.pdb"
+  "test_ibs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ibs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mediated.dir/mediated_test.cpp.o"
+  "CMakeFiles/test_mediated.dir/mediated_test.cpp.o.d"
+  "test_mediated"
+  "test_mediated.pdb"
+  "test_mediated[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mediated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mrsa.dir/mrsa_test.cpp.o"
+  "CMakeFiles/test_mrsa.dir/mrsa_test.cpp.o.d"
+  "test_mrsa"
+  "test_mrsa.pdb"
+  "test_mrsa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mrsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

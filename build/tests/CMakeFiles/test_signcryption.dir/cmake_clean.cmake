@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signcryption.dir/signcryption_test.cpp.o"
+  "CMakeFiles/test_signcryption.dir/signcryption_test.cpp.o.d"
+  "test_signcryption"
+  "test_signcryption.pdb"
+  "test_signcryption[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signcryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bigint[1]_include.cmake")
+include("/root/repo/build/tests/test_hash[1]_include.cmake")
+include("/root/repo/build/tests/test_field[1]_include.cmake")
+include("/root/repo/build/tests/test_ec[1]_include.cmake")
+include("/root/repo/build/tests/test_pairing[1]_include.cmake")
+include("/root/repo/build/tests/test_shamir[1]_include.cmake")
+include("/root/repo/build/tests/test_rsa[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_ibe[1]_include.cmake")
+include("/root/repo/build/tests/test_gdh[1]_include.cmake")
+include("/root/repo/build/tests/test_elgamal[1]_include.cmake")
+include("/root/repo/build/tests/test_threshold[1]_include.cmake")
+include("/root/repo/build/tests/test_mediated[1]_include.cmake")
+include("/root/repo/build/tests/test_revocation[1]_include.cmake")
+include("/root/repo/build/tests/test_security[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_games[1]_include.cmake")
+include("/root/repo/build/tests/test_signcryption[1]_include.cmake")
+include("/root/repo/build/tests/test_mrsa[1]_include.cmake")
+include("/root/repo/build/tests/test_dkg[1]_include.cmake")
+include("/root/repo/build/tests/test_aggregate[1]_include.cmake")
+include("/root/repo/build/tests/test_crl[1]_include.cmake")
+include("/root/repo/build/tests/test_ibs[1]_include.cmake")
+include("/root/repo/build/tests/test_hybrid[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_edge[1]_include.cmake")
+add_test(test_ib_mrsa "/root/repo/build/tests/test_ib_mrsa")
+set_tests_properties(test_ib_mrsa PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;28;add_test;/root/repo/tests/CMakeLists.txt;0;")

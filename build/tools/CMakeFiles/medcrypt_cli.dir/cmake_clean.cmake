@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medcrypt_cli.dir/medcrypt_cli.cpp.o"
+  "CMakeFiles/medcrypt_cli.dir/medcrypt_cli.cpp.o.d"
+  "medcrypt_cli"
+  "medcrypt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medcrypt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
