@@ -518,6 +518,21 @@ BigInt BigInt::mod_inverse(const BigInt& m) const {
 }
 
 // ---------------------------------------------------------------------------
+// secret hygiene
+// ---------------------------------------------------------------------------
+
+void BigInt::wipe() {
+  if (!limbs_.empty()) {
+    // Volatile stores so the scrub survives dead-store elimination even
+    // though the vector is cleared immediately after.
+    volatile std::uint64_t* p = limbs_.data();
+    for (std::size_t i = 0; i < limbs_.size(); ++i) p[i] = 0;
+  }
+  limbs_.clear();
+  negative_ = false;
+}
+
+// ---------------------------------------------------------------------------
 // randomness
 // ---------------------------------------------------------------------------
 

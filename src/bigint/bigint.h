@@ -130,6 +130,15 @@ class BigInt {
   /// Modular inverse in [0, m). Throws InvalidArgument if gcd(this, m) != 1.
   BigInt mod_inverse(const BigInt& m) const;
 
+  // --- secret hygiene -------------------------------------------------------
+
+  /// Scrubs the limbs through volatile stores and resets to zero. Secret
+  /// holders (key structs, DRBG state, Shamir dealers) call this from
+  /// their destructors so freed limb vectors never retain key material.
+  /// Note this wipes only *this* value: arithmetic temporaries still pass
+  /// through ordinary heap allocations (see docs/SECRET_HYGIENE.md).
+  void wipe();
+
   // --- randomness -----------------------------------------------------------
 
   /// Uniform integer with exactly `bits` random bits (top bit may be zero).

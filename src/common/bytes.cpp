@@ -1,5 +1,7 @@
 #include "common/bytes.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace medcrypt {
@@ -73,9 +75,16 @@ Bytes str_bytes(std::string_view s) {
 }
 
 bool ct_equal(BytesView a, BytesView b) {
-  if (a.size() != b.size()) return false;
-  std::uint8_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  // No early length short-circuit: a length mismatch is folded into the
+  // accumulator and the scan still covers max(a.size(), b.size()) bytes,
+  // so timing depends only on the (public) lengths, never the contents.
+  const std::size_t n = std::max(a.size(), b.size());
+  std::size_t acc = a.size() ^ b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t av = i < a.size() ? a[i] : 0;
+    const std::uint8_t bv = i < b.size() ? b[i] : 0;
+    acc |= static_cast<std::size_t>(av ^ bv);
+  }
   return acc == 0;
 }
 

@@ -39,7 +39,23 @@ Bytes xor_bytes(BytesView a, BytesView b);
 /// Converts a UTF-8/ASCII string to bytes (no copy of the terminator).
 Bytes str_bytes(std::string_view s);
 
-/// Constant-time-ish equality (length leak only); used for tag checks.
+/// Constant-time equality for secret-dependent comparisons (MAC tags,
+/// KEM keys, SEM tokens).
+///
+/// Contract:
+///  - The *contents* of both buffers are treated as secret: the running
+///    time never depends on where (or whether) the buffers differ — the
+///    comparison always walks max(a.size(), b.size()) bytes and folds
+///    every difference into one accumulator; there is no early exit, not
+///    even for unequal lengths.
+///  - The *lengths* are treated as public. Unequal lengths return false,
+///    and the loop bound (max of the two sizes) is visible in the running
+///    time. This is the right trade for this library: every caller
+///    compares fixed-format values (32-byte tags, fixed-width group
+///    elements) whose lengths appear on the wire anyway.
+///
+/// `tools/medlint` bans memcmp / operator== on secret buffers in favor
+/// of this function (check `secret-memcmp` / `secret-equality`).
 bool ct_equal(BytesView a, BytesView b);
 
 }  // namespace medcrypt

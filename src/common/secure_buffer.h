@@ -1,0 +1,115 @@
+// Zero-on-destroy byte storage for secret material.
+//
+// Raw `Bytes` (std::vector<uint8_t>) leaves key material in freed heap
+// blocks: vector's destructor and reallocation both release memory
+// without clearing it. SecureBuffer owns its bytes directly and runs
+// secure_wipe() over them before every deallocation — destruction,
+// assignment, resize and clear all scrub first. Every long-lived secret
+// byte buffer in the library (DRBG state, KDF intermediates, key seeds)
+// must use SecureBuffer instead of Bytes; `tools/medlint` enforces this
+// (check `secret-vector`). See docs/SECRET_HYGIENE.md for the full
+// rules.
+//
+// The wipe itself goes through a volatile pointer so the compiler cannot
+// elide the "dead" stores (the classic memset-before-free optimization
+// that CWE-14 describes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+
+namespace medcrypt {
+
+/// Scrubs `data` with zeros through a volatile pointer; the stores are
+/// not elidable. Also advances the global wipe counter (see
+/// secure_wipe_total) so tests can observe that destruction paths wiped.
+void secure_wipe(std::span<std::uint8_t> data);
+
+/// Wipes the vector's contents, then clears it. The vector keeps its
+/// capacity-released state; use for transient secret temporaries that
+/// must not outlive their scope.
+void secure_wipe(Bytes& data);
+
+/// Total number of bytes scrubbed by secure_wipe since process start.
+/// Observability hook: unit tests use the delta across a destructor to
+/// prove zeroization happened without reading freed memory (which would
+/// be UB and an ASan report).
+std::uint64_t secure_wipe_total();
+
+/// Owning byte buffer that zeroizes before every deallocation.
+///
+/// Deliberately minimal: exact-size allocations (no capacity growth
+/// doubling — secrets are small and reallocation would strand copies),
+/// implicit read-only view conversion so it drops into every API taking
+/// BytesView, and constant-time equality.
+class SecureBuffer {
+ public:
+  SecureBuffer() = default;
+
+  /// `size` bytes, all set to `fill`.
+  explicit SecureBuffer(std::size_t size, std::uint8_t fill = 0);
+
+  /// Copies `data` (e.g. a just-derived key) into owned storage. The
+  /// caller is responsible for wiping its own copy.
+  explicit SecureBuffer(BytesView data);
+
+  /// Adopts the contents of an expiring Bytes (a KDF/HMAC return value),
+  /// wiping the source before it can reach the allocator. This is the
+  /// idiom for capturing `Bytes`-returning derivation results:
+  ///   SecureBuffer k(hash::expand("label", seed, 32));
+  explicit SecureBuffer(Bytes&& data);
+
+  SecureBuffer(const SecureBuffer& other);
+  SecureBuffer(SecureBuffer&& other) noexcept;
+  SecureBuffer& operator=(const SecureBuffer& other);
+  SecureBuffer& operator=(SecureBuffer&& other) noexcept;
+  ~SecureBuffer();
+
+  /// Replaces the contents with a copy of `data`; the old contents are
+  /// wiped first.
+  void assign(BytesView data);
+
+  /// Resizes to `size` bytes, preserving the common prefix and
+  /// zero-filling any growth. The old allocation is wiped.
+  void resize(std::size_t size);
+
+  /// Wipes and releases the storage.
+  void clear();
+
+  std::uint8_t* data() { return data_; }
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::uint8_t& operator[](std::size_t i) { return data_[i]; }
+  std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+
+  std::uint8_t* begin() { return data_; }
+  std::uint8_t* end() { return data_ + size_; }
+  const std::uint8_t* begin() const { return data_; }
+  const std::uint8_t* end() const { return data_ + size_; }
+
+  /// Mutable view (for RandomSource::fill and in-place derivation).
+  std::span<std::uint8_t> span() { return {data_, size_}; }
+
+  /// Read-only view; also available implicitly so SecureBuffer can be
+  /// passed wherever BytesView is expected.
+  BytesView view() const { return {data_, size_}; }
+  operator BytesView() const { return view(); }  // NOLINT(google-explicit-constructor)
+
+  /// Copies the contents out into an ordinary Bytes. Only for data that
+  /// is about to leave the secret domain (serialization); deliberately a
+  /// named function, not a conversion.
+  Bytes to_bytes() const { return Bytes(begin(), end()); }
+
+  /// Constant-time equality (ct_equal semantics: lengths are public).
+  bool operator==(const SecureBuffer& other) const;
+
+ private:
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace medcrypt

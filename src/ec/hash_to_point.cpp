@@ -12,14 +12,15 @@ Point hash_to_subgroup(const std::shared_ptr<const Curve>& curve,
   const std::size_t xbytes = field->byte_size() + 16;
 
   for (std::uint32_t counter = 0;; ++counter) {
-    Bytes seed;
-    seed.reserve(4 + input.size());
+    // counter ‖ input — public hash-to-curve material, not a key seed.
+    Bytes ctr_input;
+    ctr_input.reserve(4 + input.size());
     for (int i = 0; i < 4; ++i) {
-      seed.push_back(static_cast<std::uint8_t>(counter >> (24 - 8 * i)));
+      ctr_input.push_back(static_cast<std::uint8_t>(counter >> (24 - 8 * i)));
     }
-    seed.insert(seed.end(), input.begin(), input.end());
+    ctr_input.insert(ctr_input.end(), input.begin(), input.end());
 
-    const Bytes material = hash::expand(domain, seed, xbytes + 1);
+    const Bytes material = hash::expand(domain, ctr_input, xbytes + 1);
     const Fp x = field->from_bigint(
         BigInt::from_bytes_be(BytesView(material.data(), xbytes)));
     const Fp rhs = curve->rhs(x);

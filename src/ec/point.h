@@ -47,6 +47,16 @@ class Point {
   /// compressed_size), else 0x02|parity(y) followed by big-endian x.
   Bytes to_bytes() const;
 
+  /// Scrubs the coordinates and resets to the default (curveless) state.
+  /// Secret key points (d_ID halves, threshold key shares) are wiped by
+  /// their owning structs' destructors via this.
+  void wipe() {
+    x_.wipe();
+    y_.wipe();
+    infinity_ = true;
+    curve_.reset();
+  }
+
  private:
   friend class Curve;
   Point(std::shared_ptr<const Curve> curve, bool infinity, Fp x, Fp y)

@@ -28,8 +28,17 @@ struct Params {
   const BigInt& order() const { return group.order(); }
 };
 
-/// ElGamal key pair.
+/// ElGamal key pair. The secret scalar is wiped on destruction.
 struct KeyPair {
+  KeyPair() = default;
+  KeyPair(BigInt secret, Point pub)
+      : secret(std::move(secret)), pub(std::move(pub)) {}
+  KeyPair(const KeyPair&) = default;
+  KeyPair(KeyPair&&) = default;
+  KeyPair& operator=(const KeyPair&) = default;
+  KeyPair& operator=(KeyPair&&) = default;
+  ~KeyPair() { secret.wipe(); }
+
   BigInt secret;  // x
   Point pub;      // Y = xP
 };

@@ -106,6 +106,13 @@ class Fp {
   /// representative.
   bool parity() const { return to_bigint().is_odd(); }
 
+  /// Scrubs the element and detaches it from its field (the element
+  /// becomes default-constructed). Called by secret holders' destructors.
+  void wipe() {
+    mont_value_.wipe();
+    field_.reset();
+  }
+
  private:
   friend class PrimeField;
   Fp(std::shared_ptr<const PrimeField> field, BigInt mont_value)

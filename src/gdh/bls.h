@@ -18,8 +18,17 @@ namespace medcrypt::gdh {
 using bigint::BigInt;
 using ec::Point;
 
-/// GDH signature key pair.
+/// GDH signature key pair. The secret scalar is wiped on destruction.
 struct KeyPair {
+  KeyPair() = default;
+  KeyPair(BigInt secret, Point pub)
+      : secret(std::move(secret)), pub(std::move(pub)) {}
+  KeyPair(const KeyPair&) = default;
+  KeyPair(KeyPair&&) = default;
+  KeyPair& operator=(const KeyPair&) = default;
+  KeyPair& operator=(KeyPair&&) = default;
+  ~KeyPair() { secret.wipe(); }
+
   BigInt secret;  // x
   Point pub;      // R = xP
 };

@@ -7,6 +7,15 @@
 
 namespace medcrypt::hash {
 
+namespace {
+// hmac_sha256 returns an ordinary Bytes; move the digest into the
+// SecureBuffer state and scrub the transient copy.
+void assign_wiping(SecureBuffer& dst, Bytes digest) {
+  dst.assign(digest);
+  secure_wipe(digest);
+}
+}  // namespace
+
 HmacDrbg::HmacDrbg(BytesView seed) : key_(32, 0x00), value_(32, 0x01) {
   update(seed);
 }
@@ -15,27 +24,30 @@ HmacDrbg::HmacDrbg(std::uint64_t seed) : key_(32, 0x00), value_(32, 0x01) {
   Bytes s(8);
   for (int i = 0; i < 8; ++i) s[i] = static_cast<std::uint8_t>(seed >> (56 - 8 * i));
   update(s);
+  secure_wipe(s);
 }
 
 void HmacDrbg::update(BytesView material) {
-  Bytes msg = value_;
+  Bytes msg(value_.begin(), value_.end());
   msg.push_back(0x00);
   msg.insert(msg.end(), material.begin(), material.end());
-  key_ = hmac_sha256(key_, msg);
-  value_ = hmac_sha256(key_, value_);
+  assign_wiping(key_, hmac_sha256(key_, msg));
+  assign_wiping(value_, hmac_sha256(key_, value_));
+  secure_wipe(msg);
   if (!material.empty()) {
-    msg = value_;
+    msg.assign(value_.begin(), value_.end());
     msg.push_back(0x01);
     msg.insert(msg.end(), material.begin(), material.end());
-    key_ = hmac_sha256(key_, msg);
-    value_ = hmac_sha256(key_, value_);
+    assign_wiping(key_, hmac_sha256(key_, msg));
+    assign_wiping(value_, hmac_sha256(key_, value_));
+    secure_wipe(msg);
   }
 }
 
 void HmacDrbg::fill(std::span<std::uint8_t> out) {
   std::size_t offset = 0;
   while (offset < out.size()) {
-    value_ = hmac_sha256(key_, value_);
+    assign_wiping(value_, hmac_sha256(key_, value_));
     const std::size_t take = std::min(value_.size(), out.size() - offset);
     std::copy_n(value_.begin(), take, out.begin() + offset);
     offset += take;
@@ -45,18 +57,18 @@ void HmacDrbg::fill(std::span<std::uint8_t> out) {
 
 void HmacDrbg::reseed(BytesView material) { update(material); }
 
-SystemRandom::SystemRandom()
-    : drbg_([] {
-        std::random_device rd;
-        Bytes seed(48);
-        for (std::size_t i = 0; i < seed.size(); i += 4) {
-          const std::uint32_t v = rd();
-          for (std::size_t j = 0; j < 4 && i + j < seed.size(); ++j) {
-            seed[i + j] = static_cast<std::uint8_t>(v >> (8 * j));
-          }
-        }
-        return seed;
-      }()) {}
+SystemRandom::SystemRandom() : drbg_(BytesView{}) {
+  std::random_device rd;
+  Bytes seed(48);
+  for (std::size_t i = 0; i < seed.size(); i += 4) {
+    const std::uint32_t v = rd();
+    for (std::size_t j = 0; j < 4 && i + j < seed.size(); ++j) {
+      seed[i + j] = static_cast<std::uint8_t>(v >> (8 * j));
+    }
+  }
+  drbg_.reseed(seed);
+  secure_wipe(seed);
+}
 
 void SystemRandom::fill(std::span<std::uint8_t> out) { drbg_.fill(out); }
 

@@ -10,6 +10,7 @@
 
 #include "common/bytes.h"
 #include "common/random_source.h"
+#include "common/secure_buffer.h"
 
 namespace medcrypt::hash {
 
@@ -30,8 +31,10 @@ class HmacDrbg final : public RandomSource {
  private:
   void update(BytesView material);
 
-  Bytes key_;
-  Bytes value_;
+  // K and V of SP 800-90A. SecureBuffer so a dropped DRBG leaves no key
+  // stream state behind (the K/V pair predicts all future output).
+  SecureBuffer key_;
+  SecureBuffer value_;
 };
 
 /// RandomSource seeded from std::random_device; the default source for

@@ -1,5 +1,6 @@
 #include "hash/hmac.h"
 
+#include "common/secure_buffer.h"
 #include "hash/sha256.h"
 
 namespace medcrypt::hash {
@@ -23,6 +24,12 @@ Bytes hmac_sha256(BytesView key, BytesView data) {
   Sha256 outer;
   outer.update(opad).update(BytesView(inner_digest.data(), inner_digest.size()));
   const auto outer_digest = outer.finalize();
+
+  // k / ipad / opad are all key-equivalent material; scrub before the
+  // stack frame is recycled.
+  secure_wipe(k);
+  secure_wipe(ipad);
+  secure_wipe(opad);
   return Bytes(outer_digest.begin(), outer_digest.end());
 }
 

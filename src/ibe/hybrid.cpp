@@ -1,6 +1,7 @@
 #include "ibe/hybrid.h"
 
 #include "common/error.h"
+#include "common/secure_buffer.h"
 #include "hash/hmac.h"
 #include "hash/kdf.h"
 
@@ -10,13 +11,14 @@ namespace {
 constexpr std::size_t kTagLen = 32;
 
 // Independent keys for the stream and the MAC, derived from the session
-// key (which is used once, so no nonce is needed).
-Bytes stream_key(BytesView session_key, std::size_t len) {
-  return hash::expand("Hybrid.stream", session_key, len);
+// key (which is used once, so no nonce is needed). SecureBuffer adopts
+// the expand() temporary, wiping it, and zeroizes on destruction.
+SecureBuffer stream_key(BytesView session_key, std::size_t len) {
+  return SecureBuffer(hash::expand("Hybrid.stream", session_key, len));
 }
 
-Bytes mac_key(BytesView session_key) {
-  return hash::expand("Hybrid.mac", session_key, 32);
+SecureBuffer mac_key(BytesView session_key) {
+  return SecureBuffer(hash::expand("Hybrid.mac", session_key, 32));
 }
 }  // namespace
 
@@ -48,8 +50,8 @@ HybridCiphertext seal(const SystemParams& params, std::string_view identity,
     throw InvalidArgument(
         "hybrid seal: PKG must be set up with message_len == kSessionKeyLen");
   }
-  Bytes session_key(kSessionKeyLen);
-  rng.fill(session_key);
+  SecureBuffer session_key(kSessionKeyLen);
+  rng.fill(session_key.span());
 
   HybridCiphertext out;
   out.key_block = full_encrypt(params, identity, session_key, rng);
@@ -69,7 +71,7 @@ Bytes open_with_session_key(BytesView session_key,
 
 Bytes open(const SystemParams& params, const ec::Point& private_key,
            const HybridCiphertext& ct) {
-  const Bytes session_key = full_decrypt(params, private_key, ct.key_block);
+  const SecureBuffer session_key(full_decrypt(params, private_key, ct.key_block));
   return open_with_session_key(session_key, ct);
 }
 

@@ -16,8 +16,22 @@
 namespace medcrypt::ibe {
 
 /// A private key split between the user and the security mediator:
-/// d_ID = user + sem (point addition in G1).
+/// d_ID = user + sem (point addition in G1). Both halves are secret key
+/// material (either half plus the other reconstructs d_ID) and are wiped
+/// on destruction.
 struct SplitKey {
+  SplitKey() = default;
+  SplitKey(Point user, Point sem)
+      : user(std::move(user)), sem(std::move(sem)) {}
+  SplitKey(const SplitKey&) = default;
+  SplitKey(SplitKey&&) = default;
+  SplitKey& operator=(const SplitKey&) = default;
+  SplitKey& operator=(SplitKey&&) = default;
+  ~SplitKey() {
+    user.wipe();
+    sem.wipe();
+  }
+
   Point user;
   Point sem;
 };
@@ -31,6 +45,14 @@ class Pkg {
   /// Restores a PKG from a persisted master key (key backup / the CLI
   /// tool). Requires 0 < master_key < group order.
   Pkg(pairing::ParamSet group, std::size_t message_len, BigInt master_key);
+
+  /// Wipes the master key s — the single most valuable secret in the
+  /// system (it derives every identity's d_ID).
+  ~Pkg() { master_key_.wipe(); }
+  Pkg(const Pkg&) = default;
+  Pkg(Pkg&&) = default;
+  Pkg& operator=(const Pkg&) = default;
+  Pkg& operator=(Pkg&&) = default;
 
   /// Public system parameters to distribute to all parties.
   const SystemParams& params() const { return params_; }

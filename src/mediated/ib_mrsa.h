@@ -71,8 +71,21 @@ class IbMRsaSystem {
 
   const IbMRsaParams& params() const { return params_; }
 
-  /// User + SEM exponent halves for one identity.
+  /// User + SEM exponent halves for one identity. Wiped on destruction
+  /// (d_user + d_sem with the public e_ID factors the common modulus).
   struct UserKeys {
+    UserKeys() = default;
+    UserKeys(BigInt d_user, BigInt d_sem)
+        : d_user(std::move(d_user)), d_sem(std::move(d_sem)) {}
+    UserKeys(const UserKeys&) = default;
+    UserKeys(UserKeys&&) = default;
+    UserKeys& operator=(const UserKeys&) = default;
+    UserKeys& operator=(UserKeys&&) = default;
+    ~UserKeys() {
+      d_user.wipe();
+      d_sem.wipe();
+    }
+
     BigInt d_user;
     BigInt d_sem;
   };
@@ -83,6 +96,14 @@ class IbMRsaSystem {
   /// The full private exponent (tests only; a deployment never extracts
   /// this).
   BigInt full_exponent(std::string_view identity) const;
+
+  /// Wipes φ(n) — with the public modulus it is equivalent to the
+  /// factorization of n, i.e. every user's key at once.
+  ~IbMRsaSystem() { phi_.wipe(); }
+  IbMRsaSystem(const IbMRsaSystem&) = default;
+  IbMRsaSystem(IbMRsaSystem&&) = default;
+  IbMRsaSystem& operator=(const IbMRsaSystem&) = default;
+  IbMRsaSystem& operator=(IbMRsaSystem&&) = default;
 
  private:
   IbMRsaParams params_;

@@ -21,8 +21,23 @@
 
 namespace medcrypt::mediated {
 
-/// CA-side result of one user's mRSA keygen.
+/// CA-side result of one user's mRSA keygen. Both exponent halves are
+/// wiped on destruction.
 struct MRsaKeygenResult {
+  MRsaKeygenResult() = default;
+  MRsaKeygenResult(rsa::PublicKey pub, bigint::BigInt d_user,
+                   bigint::BigInt d_sem)
+      : pub(std::move(pub)), d_user(std::move(d_user)),
+        d_sem(std::move(d_sem)) {}
+  MRsaKeygenResult(const MRsaKeygenResult&) = default;
+  MRsaKeygenResult(MRsaKeygenResult&&) = default;
+  MRsaKeygenResult& operator=(const MRsaKeygenResult&) = default;
+  MRsaKeygenResult& operator=(MRsaKeygenResult&&) = default;
+  ~MRsaKeygenResult() {
+    d_user.wipe();
+    d_sem.wipe();
+  }
+
   rsa::PublicKey pub;   // certified and published
   bigint::BigInt d_user;
   bigint::BigInt d_sem;
@@ -45,7 +60,20 @@ bool mrsa_verify(const rsa::PublicKey& pub, BytesView message,
                  const bigint::BigInt& signature);
 
 /// The SEM's per-user record: the modulus and its exponent half.
+/// SEM-side record for one per-user-modulus mRSA identity. The exponent
+/// half is wiped on destruction (and by MediatorBase teardown).
 struct MRsaSemRecord {
+  MRsaSemRecord() = default;
+  MRsaSemRecord(bigint::BigInt modulus, bigint::BigInt d_sem)
+      : modulus(std::move(modulus)), d_sem(std::move(d_sem)) {}
+  MRsaSemRecord(const MRsaSemRecord&) = default;
+  MRsaSemRecord(MRsaSemRecord&&) = default;
+  MRsaSemRecord& operator=(const MRsaSemRecord&) = default;
+  MRsaSemRecord& operator=(MRsaSemRecord&&) = default;
+  ~MRsaSemRecord() { wipe(); }
+
+  void wipe() { d_sem.wipe(); }
+
   bigint::BigInt modulus;
   bigint::BigInt d_sem;
 };

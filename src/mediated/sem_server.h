@@ -68,6 +68,18 @@ class MediatorBase {
     }
   }
 
+  /// Wipes every installed SEM key half on teardown (each one is half of
+  /// some user's private key — leaking it halves the attacker's work).
+  /// KeyHalf types expose wipe() (BigInt, ec::Point); the constraint is
+  /// checked at compile time so a new half type cannot silently opt out.
+  ~MediatorBase() {
+    static_assert(requires(KeyHalf& h) { h.wipe(); },
+                  "SEM key-half types must provide wipe()");
+    for (auto& entry : keys_) entry.second.wipe();
+  }
+  MediatorBase(const MediatorBase&) = delete;
+  MediatorBase& operator=(const MediatorBase&) = delete;
+
   /// Installs (or replaces) the SEM key half for `identity`.
   void install_key(std::string identity, KeyHalf half) {
     std::scoped_lock lock(mu_);

@@ -1,6 +1,7 @@
 #include "rsa/oaep.h"
 
 #include "common/error.h"
+#include "common/secure_buffer.h"
 #include "hash/kdf.h"
 #include "hash/sha256.h"
 
@@ -32,13 +33,16 @@ BigInt oaep_encode(BytesView message, std::size_t k, RandomSource& rng) {
   std::copy(message.begin(), message.end(),
             db.end() - static_cast<std::ptrdiff_t>(message.size()));
 
-  Bytes seed(kHashLen);
-  rng.fill(seed);
+  // The random seed and the unmasked DB (which embeds M) are secret
+  // until masked; keep them in wiping storage and scrub the mask stream.
+  SecureBuffer seed(kHashLen);
+  rng.fill(seed.span());
 
-  const Bytes db_mask = hash::mgf1(seed, db.size());
+  SecureBuffer db_mask(hash::mgf1(seed, db.size()));
   const Bytes masked_db = xor_bytes(db, db_mask);
-  const Bytes seed_mask = hash::mgf1(masked_db, kHashLen);
+  const SecureBuffer seed_mask(hash::mgf1(masked_db, kHashLen));
   const Bytes masked_seed = xor_bytes(seed, seed_mask);
+  secure_wipe(db);
 
   Bytes em;
   em.reserve(k);
@@ -63,10 +67,13 @@ Bytes oaep_decode(const BigInt& block, std::size_t k) {
   const BytesView masked_seed(em.data() + 1, kHashLen);
   const BytesView masked_db(em.data() + 1 + kHashLen, k - kHashLen - 1);
 
-  const Bytes seed_mask = hash::mgf1(masked_db, kHashLen);
-  const Bytes seed = xor_bytes(masked_seed, seed_mask);
-  const Bytes db_mask = hash::mgf1(seed, masked_db.size());
-  const Bytes db = xor_bytes(masked_db, db_mask);
+  // Unmasking recovers secret material (the seed, then DB with the
+  // plaintext); SecureBuffer scrubs it on every exit path, including the
+  // DecryptionError throws.
+  const SecureBuffer seed_mask(hash::mgf1(masked_db, kHashLen));
+  SecureBuffer seed(xor_bytes(masked_seed, seed_mask));
+  SecureBuffer db_mask(hash::mgf1(seed, masked_db.size()));
+  SecureBuffer db(xor_bytes(masked_db, db_mask));
 
   if (!ct_equal(BytesView(db.data(), kHashLen), empty_label_hash())) {
     throw DecryptionError("oaep_decode: label hash mismatch");

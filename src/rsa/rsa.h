@@ -30,7 +30,23 @@ struct PublicKey {
 
 /// RSA private key with factorization (kept by the key generator; a
 /// mediated deployment never hands the full d to any single party).
+/// Wipes its secret components on destruction (medlint: missing-wipe-dtor).
 struct PrivateKey {
+  PrivateKey() = default;
+  PrivateKey(PublicKey pub, BigInt d, BigInt p, BigInt q, BigInt phi)
+      : pub(std::move(pub)), d(std::move(d)), p(std::move(p)),
+        q(std::move(q)), phi(std::move(phi)) {}
+  PrivateKey(const PrivateKey&) = default;
+  PrivateKey(PrivateKey&&) = default;
+  PrivateKey& operator=(const PrivateKey&) = default;
+  PrivateKey& operator=(PrivateKey&&) = default;
+  ~PrivateKey() {
+    d.wipe();
+    p.wipe();
+    q.wipe();
+    phi.wipe();
+  }
+
   PublicKey pub;
   BigInt d;
   BigInt p;

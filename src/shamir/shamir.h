@@ -28,7 +28,21 @@ struct Share {
 /// A full dealing: the shares plus the polynomial coefficients
 /// (coefficients[0] is the secret; the rest are the blinding terms the
 /// dealer publishes in the exponent as verification keys).
+///
+/// Everything here is secret: coefficients[0] IS the dealt secret, the
+/// other coefficients let anyone recompute every share, and any t share
+/// values reconstruct the secret — so the destructor wipes both vectors.
 struct Sharing {
+  Sharing() = default;
+  Sharing(const Sharing&) = default;
+  Sharing(Sharing&&) = default;
+  Sharing& operator=(const Sharing&) = default;
+  Sharing& operator=(Sharing&&) = default;
+  ~Sharing() {
+    for (Share& s : shares) s.value.wipe();
+    for (BigInt& c : coefficients) c.wipe();
+  }
+
   std::vector<Share> shares;
   std::vector<BigInt> coefficients;
 };

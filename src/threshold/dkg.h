@@ -74,8 +74,16 @@ class DkgParticipant {
   /// Players that were complained about by this participant.
   const std::vector<std::uint32_t>& complaints() const { return complaints_; }
 
-  /// Output of the protocol for this player.
+  /// Output of the protocol for this player. The secret share is wiped
+  /// on destruction; the rest is public protocol output.
   struct Result {
+    Result() = default;
+    Result(const Result&) = default;
+    Result(Result&&) = default;
+    Result& operator=(const Result&) = default;
+    Result& operator=(Result&&) = default;
+    ~Result() { secret_share.wipe(); }
+
     bigint::BigInt secret_share;          // x_j
     ec::Point public_key;                 // Y
     std::vector<ec::Point> verification_keys;  // Y_1 .. Y_n
@@ -85,6 +93,17 @@ class DkgParticipant {
   /// Finalizes. Requires this player's own share and every qualified
   /// player's commitment + valid share to have been received.
   Result finalize() const;
+
+  /// Wipes this player's secret polynomial and every received share
+  /// (each s_ij is a point on sender i's secret polynomial).
+  ~DkgParticipant() {
+    for (auto& c : my_coefficients_) c.wipe();
+    for (auto& entry : received_shares_) entry.second.wipe();
+  }
+  DkgParticipant(const DkgParticipant&) = default;
+  DkgParticipant(DkgParticipant&&) = default;
+  DkgParticipant& operator=(const DkgParticipant&) = default;
+  DkgParticipant& operator=(DkgParticipant&&) = default;
 
  private:
   ec::Point evaluate_commitment(const DkgCommitment& commitment,

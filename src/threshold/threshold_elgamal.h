@@ -19,8 +19,17 @@ namespace medcrypt::threshold {
 using bigint::BigInt;
 using ec::Point;
 
-/// One player's ElGamal key share x_i = f(i).
+/// One player's ElGamal key share x_i = f(i). Wiped on destruction.
 struct ElGamalKeyShare {
+  ElGamalKeyShare() = default;
+  ElGamalKeyShare(std::uint32_t index, BigInt value)
+      : index(index), value(std::move(value)) {}
+  ElGamalKeyShare(const ElGamalKeyShare&) = default;
+  ElGamalKeyShare(ElGamalKeyShare&&) = default;
+  ElGamalKeyShare& operator=(const ElGamalKeyShare&) = default;
+  ElGamalKeyShare& operator=(ElGamalKeyShare&&) = default;
+  ~ElGamalKeyShare() { value.wipe(); }
+
   std::uint32_t index = 0;
   BigInt value;
 };

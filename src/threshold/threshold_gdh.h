@@ -20,8 +20,17 @@ namespace medcrypt::threshold {
 using bigint::BigInt;
 using ec::Point;
 
-/// One signer's key share.
+/// One signer's key share. The scalar is wiped on destruction.
 struct GdhKeyShare {
+  GdhKeyShare() = default;
+  GdhKeyShare(std::uint32_t index, BigInt value)
+      : index(index), value(std::move(value)) {}
+  GdhKeyShare(const GdhKeyShare&) = default;
+  GdhKeyShare(GdhKeyShare&&) = default;
+  GdhKeyShare& operator=(const GdhKeyShare&) = default;
+  GdhKeyShare& operator=(GdhKeyShare&&) = default;
+  ~GdhKeyShare() { value.wipe(); }
+
   std::uint32_t index = 0;
   BigInt value;  // x_i = f(i)
 };

@@ -30,8 +30,18 @@ using bigint::BigInt;
 using ec::Point;
 using field::Fp2;
 
-/// One player's private key share d_IDi = f(i)·Q_ID.
+/// One player's private key share d_IDi = f(i)·Q_ID. The share point is
+/// wiped on destruction (t of these recombine to the full identity key).
 struct KeyShare {
+  KeyShare() = default;
+  KeyShare(std::uint32_t index, Point value)
+      : index(index), value(std::move(value)) {}
+  KeyShare(const KeyShare&) = default;
+  KeyShare(KeyShare&&) = default;
+  KeyShare& operator=(const KeyShare&) = default;
+  KeyShare& operator=(KeyShare&&) = default;
+  ~KeyShare() { value.wipe(); }
+
   std::uint32_t index = 0;
   Point value;
 };
@@ -63,6 +73,15 @@ class ThresholdDealer {
   /// The full (unshared) private key — used by tests to cross-check
   /// recombination against direct decryption.
   Point extract_full_key(std::string_view identity) const;
+
+  /// Wipes the secret polynomial f (f(0) = s is the master secret).
+  ~ThresholdDealer() {
+    for (auto& c : coefficients_) c.wipe();
+  }
+  ThresholdDealer(const ThresholdDealer&) = default;
+  ThresholdDealer(ThresholdDealer&&) = default;
+  ThresholdDealer& operator=(const ThresholdDealer&) = default;
+  ThresholdDealer& operator=(ThresholdDealer&&) = default;
 
  private:
   std::vector<BigInt> coefficients_;  // f; coefficients_[0] = s

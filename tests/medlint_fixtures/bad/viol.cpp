@@ -1,0 +1,26 @@
+// medlint test fixture: every banned pattern once, at a known line.
+// Line numbers are asserted in medlint_test.cpp — keep them stable.
+#include <cstring>
+#include <random>
+#include <vector>
+using Bytes = std::vector<unsigned char>;
+
+struct PrivateKey {  // line 8: missing-wipe-dtor
+  Bytes key_bytes;   // line 9: secret-vector
+};
+
+bool check_tag(const unsigned char* a, const unsigned char* b) {
+  return memcmp(a, b, 32) == 0;  // line 13: secret-memcmp
+}
+
+int roll() {
+  std::random_device rd;  // line 17: banned-randomness
+  return static_cast<int>(rd());
+}
+
+bool same_key(const Bytes& user_key, const Bytes& other_key) {
+  return user_key == other_key;  // line 22: secret-equality
+}
+
+// memcmp( inside a comment must not fire
+const char* kMsg = "and rand( inside a string must not fire";

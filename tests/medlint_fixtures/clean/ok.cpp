@@ -1,0 +1,22 @@
+// medlint test fixture: hygienic code that must produce zero findings.
+#include <cstdint>
+#include <span>
+
+struct PrivateKey {
+  ~PrivateKey() { wipe(); }
+  void wipe() {}
+};
+
+// ct_equal-style comparison: no banned primitive involved.
+bool ct_equal_demo(std::span<const std::uint8_t> a,
+                   std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+// Public metadata comparisons are fine.
+bool fits(std::size_t key_len, std::size_t max_len) {
+  return key_len == max_len;
+}

@@ -1,0 +1,182 @@
+// SecureBuffer / secure_wipe / ct_equal: the secret-hygiene substrate.
+//
+// Zeroize-on-destroy is observed through the secure_wipe_total() counter
+// delta rather than by reading freed memory (which would be UB and an
+// ASan use-after-free). The counter is advanced inside secure_wipe, the
+// single scrubbing primitive every destruction path funnels through.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "bigint/bigint.h"
+#include "common/bytes.h"
+#include "common/secure_buffer.h"
+
+namespace medcrypt {
+namespace {
+
+TEST(SecureWipe, ZeroesSpanInPlace) {
+  Bytes buf = {1, 2, 3, 4, 5};
+  secure_wipe(std::span<std::uint8_t>(buf.data(), buf.size()));
+  EXPECT_EQ(buf, Bytes(5, 0));
+}
+
+TEST(SecureWipe, VectorOverloadWipesAndClears) {
+  Bytes buf = {9, 9, 9};
+  const std::uint64_t before = secure_wipe_total();
+  secure_wipe(buf);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(secure_wipe_total() - before, 3u);
+}
+
+TEST(SecureBuffer, DestructorWipes) {
+  const std::uint64_t before = secure_wipe_total();
+  {
+    SecureBuffer b(BytesView(Bytes{1, 2, 3, 4}));
+    EXPECT_EQ(b.size(), 4u);
+  }
+  // The destructor must have scrubbed exactly the buffer's bytes.
+  EXPECT_GE(secure_wipe_total() - before, 4u);
+}
+
+TEST(SecureBuffer, FillConstructor) {
+  SecureBuffer b(8, 0xab);
+  ASSERT_EQ(b.size(), 8u);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b[i], 0xab);
+}
+
+TEST(SecureBuffer, AdoptingConstructorWipesSource) {
+  Bytes src = {7, 7, 7, 7};
+  SecureBuffer b(std::move(src));
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 7);
+  // The source was scrubbed before any reallocation could strand it.
+  EXPECT_TRUE(src.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(SecureBuffer, MoveLeavesSourceEmptyWithoutWiping) {
+  SecureBuffer a(BytesView(Bytes{1, 2, 3}));
+  const std::uint8_t* stolen = a.data();
+  SecureBuffer b(std::move(a));
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b.data(), stolen);  // ownership transferred, no copy
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[2], 3);
+}
+
+TEST(SecureBuffer, MoveAssignWipesOldContents) {
+  SecureBuffer a(BytesView(Bytes{1, 2, 3}));
+  SecureBuffer b(BytesView(Bytes{4, 5}));
+  const std::uint64_t before = secure_wipe_total();
+  a = std::move(b);
+  EXPECT_GE(secure_wipe_total() - before, 3u);  // a's old bytes scrubbed
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], 4);
+}
+
+TEST(SecureBuffer, CopyIsDeep) {
+  SecureBuffer a(BytesView(Bytes{1, 2, 3}));
+  SecureBuffer b(a);
+  EXPECT_NE(a.data(), b.data());
+  b[0] = 42;
+  EXPECT_EQ(a[0], 1);
+}
+
+TEST(SecureBuffer, ResizeGrowPreservesAndZeroFills) {
+  SecureBuffer b(BytesView(Bytes{1, 2}));
+  const std::uint64_t before = secure_wipe_total();
+  b.resize(5);
+  EXPECT_GE(secure_wipe_total() - before, 2u);  // old allocation scrubbed
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_EQ(b[0], 1);
+  EXPECT_EQ(b[1], 2);
+  EXPECT_EQ(b[2], 0);
+  EXPECT_EQ(b[4], 0);
+}
+
+TEST(SecureBuffer, ResizeShrinkWipesTail) {
+  SecureBuffer b(BytesView(Bytes{1, 2, 3, 4, 5}));
+  const std::uint64_t before = secure_wipe_total();
+  b.resize(2);
+  EXPECT_GE(secure_wipe_total() - before, 5u);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[1], 2);
+}
+
+TEST(SecureBuffer, AssignReplacesAndWipesOld) {
+  SecureBuffer b(BytesView(Bytes{1, 1, 1}));
+  const std::uint64_t before = secure_wipe_total();
+  const Bytes next = {2, 2};
+  b.assign(next);
+  EXPECT_GE(secure_wipe_total() - before, 3u);
+  EXPECT_EQ(b.view().size(), 2u);
+  EXPECT_EQ(b[0], 2);
+}
+
+TEST(SecureBuffer, AssignFromOwnViewIsSafe) {
+  SecureBuffer b(BytesView(Bytes{1, 2, 3, 4}));
+  b.assign(b.view().subspan(1, 2));
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 2);
+  EXPECT_EQ(b[1], 3);
+}
+
+TEST(SecureBuffer, ImplicitViewConversion) {
+  SecureBuffer b(BytesView(Bytes{0xde, 0xad}));
+  const std::string hex = to_hex(b);  // takes BytesView
+  EXPECT_EQ(hex, "dead");
+}
+
+TEST(SecureBuffer, ConstantTimeEquality) {
+  SecureBuffer a(BytesView(Bytes{1, 2, 3}));
+  SecureBuffer b(BytesView(Bytes{1, 2, 3}));
+  SecureBuffer c(BytesView(Bytes{1, 2, 4}));
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BigIntWipe, ResetsToZero) {
+  bigint::BigInt v = bigint::BigInt::from_hex("deadbeefcafef00d12345678");
+  v.wipe();
+  EXPECT_TRUE(v.is_zero());
+  EXPECT_FALSE(v.is_negative());
+  EXPECT_EQ(v.to_hex(), "0");
+}
+
+// --- ct_equal contract (satellite: length-independent comparison) ------
+
+TEST(CtEqual, EqualBuffers) {
+  const Bytes a = {1, 2, 3};
+  EXPECT_TRUE(ct_equal(a, a));
+  EXPECT_TRUE(ct_equal(BytesView{}, BytesView{}));
+}
+
+TEST(CtEqual, DetectsDifferenceAtEveryPosition) {
+  const Bytes a(32, 0x55);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    Bytes b = a;
+    b[i] ^= 0x01;
+    EXPECT_FALSE(ct_equal(a, b)) << "position " << i;
+  }
+}
+
+TEST(CtEqual, UnequalLengthsReturnFalseEitherOrder) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3, 0};
+  EXPECT_FALSE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(b, a));
+  // Zero-padding must not make a longer buffer "equal" (the accumulator
+  // folds the length difference itself, not just the padded bytes).
+  const Bytes zeros = {0, 0};
+  EXPECT_FALSE(ct_equal(zeros, BytesView{}));
+  EXPECT_FALSE(ct_equal(BytesView{}, zeros));
+}
+
+TEST(CtEqual, EmptyVsNonEmpty) {
+  const Bytes a = {7};
+  EXPECT_FALSE(ct_equal(a, BytesView{}));
+  EXPECT_FALSE(ct_equal(BytesView{}, a));
+}
+
+}  // namespace
+}  // namespace medcrypt

@@ -1,0 +1,547 @@
+// medlint — secret-hygiene static analysis for the medcrypt tree.
+//
+// The paper's security model (Libert–Quisquater §4–§5) rests on each
+// secret being *split*: the SEM holds d_ID,sem / x_sem, the user holds
+// d_ID,user / x_user, and threshold players hold Shamir shares f(i).
+// Any half-key that leaks through a non-wiped buffer or a variable-time
+// comparison silently voids the revocation guarantee, so this checker
+// enforces the repository's secret-handling rules over every PR:
+//
+//   secret-memcmp      byte-wise libc comparisons (memcmp/strcmp/...)
+//                      are banned; secret comparisons go through
+//                      medcrypt::ct_equal (timing-safe), public ones
+//                      through std::equal/operator== on containers.
+//   secret-equality    operator==/!= applied to an identifier that names
+//                      secret material (key/tag/token/share/...) — use
+//                      ct_equal on byte views instead.
+//   secret-vector      raw Bytes / std::vector<uint8_t> declarations
+//                      with secret-bearing names — use SecureBuffer
+//                      (zero-on-destroy) from common/secure_buffer.h.
+//   banned-randomness  direct rand()/srand()/std::random_device/
+//                      std::mt19937 use; all randomness flows through
+//                      RandomSource so tests stay deterministic and
+//                      entropy handling stays auditable.
+//   missing-wipe-dtor  known secret-bearing types must wipe in their
+//                      destructor (call .wipe() / hold SecureBuffer).
+//
+// Scanning is lexical: comments and string/char literals are stripped
+// first, then line-based patterns run over the residue. Lexical analysis
+// has false positives by design — vetted exceptions go in the allowlist
+// file (one `path-suffix:check-id` per line), never by weakening a rule.
+//
+// Usage:
+//   medlint --src <dir> [--src <dir> ...] [--allowlist <file>] [--verbose]
+//   medlint --list-checks
+//
+// Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// diagnostics
+// ---------------------------------------------------------------------------
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string check;
+  std::string message;
+};
+
+struct CheckInfo {
+  const char* id;
+  const char* summary;
+};
+
+constexpr CheckInfo kChecks[] = {
+    {"secret-memcmp",
+     "libc byte comparison (memcmp/bcmp/strcmp/strncmp); use "
+     "medcrypt::ct_equal for secret data"},
+    {"secret-equality",
+     "operator==/!= on a secret-named buffer; use medcrypt::ct_equal"},
+    {"secret-vector",
+     "raw Bytes/std::vector<uint8_t> holding secret material; use "
+     "medcrypt::SecureBuffer"},
+    {"banned-randomness",
+     "direct rand()/std::random_device/std::mt19937; route randomness "
+     "through medcrypt::RandomSource"},
+    {"missing-wipe-dtor",
+     "secret-bearing type lacks a wiping destructor (call wipe() or hold "
+     "SecureBuffer members)"},
+};
+
+// Types whose definitions must wipe their secrets on destruction. Names
+// match the paper's secret holders: §3 Shamir/threshold shares, §4
+// d_ID halves, §5 x halves, the DRBG state, and RSA private material.
+const std::set<std::string> kSecretTypes = {
+    "PrivateKey",     "SplitKey",       "KeyPair",        "KeyShare",
+    "GdhKeyShare",    "ElGamalKeyShare", "Sharing",       "HmacDrbg",
+    "Pkg",            "DkgParticipant", "ThresholdDealer", "SemHalfKey",
+    "MRsaKeygenResult", "MRsaSemRecord", "UserKeys",
+};
+
+// Identifier components that mark a name as secret for *comparison*
+// purposes (timing): includes tags and MACs, which are public on the
+// wire but must still be compared in constant time.
+const std::set<std::string> kSecretWords = {
+    "key",    "keys",   "secret", "secrets", "seed",     "seeds",
+    "token",  "tokens", "tag",    "tags",    "mac",      "macs",
+    "share",  "shares", "priv",   "password", "passwd",
+};
+
+// Components that mark a name as secret for *storage* purposes
+// (confidentiality): excludes tag/mac/token — those live in ciphertexts
+// and wire messages, so holding them in plain Bytes is fine.
+const std::set<std::string> kSecretStorageWords = {
+    "key",   "keys",   "secret",   "secrets", "seed", "seeds",
+    "share", "shares", "priv",     "password", "passwd",
+};
+
+// Leading components that mark a value as blinded/public even when a
+// secret word follows (masked_seed is a ciphertext component).
+const std::set<std::string> kPublicPrefixes = {"masked", "pub", "public"};
+
+// ---------------------------------------------------------------------------
+// lexical stripping: comments and string/char literals -> spaces
+// ---------------------------------------------------------------------------
+
+// Removes comments and literal contents while preserving line structure,
+// so patterns never fire on documentation or log-message text. Handles
+// //, /*...*/, "..." and '...' with escapes, and plain R"(...)" raw
+// strings (no custom delimiters — the tree does not use them).
+std::vector<std::string> strip_code(const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  enum class State { kCode, kBlockComment, kRawString };
+  State state = State::kCode;
+  for (const std::string& line : lines) {
+    std::string stripped;
+    stripped.reserve(line.size());
+    for (std::size_t i = 0; i < line.size();) {
+      if (state == State::kBlockComment) {
+        if (line.compare(i, 2, "*/") == 0) {
+          state = State::kCode;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      if (state == State::kRawString) {
+        if (line.compare(i, 2, ")\"") == 0) {
+          state = State::kCode;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      if (line.compare(i, 2, "//") == 0) break;
+      if (line.compare(i, 2, "/*") == 0) {
+        state = State::kBlockComment;
+        i += 2;
+        continue;
+      }
+      if (line.compare(i, 3, "R\"(") == 0) {
+        state = State::kRawString;
+        i += 3;
+        continue;
+      }
+      if (line[i] == '"' || line[i] == '\'') {
+        const char quote = line[i];
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            i += 2;
+          } else if (line[i] == quote) {
+            ++i;
+            break;
+          } else {
+            ++i;
+          }
+        }
+        stripped.push_back(quote);  // keep delimiters as tokens
+        stripped.push_back(quote);
+        continue;
+      }
+      stripped.push_back(line[i]);
+      ++i;
+    }
+    out.push_back(std::move(stripped));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// name classification
+// ---------------------------------------------------------------------------
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+// "pkg.master_key_" -> "master_key_"; "sem->d_sem" -> "d_sem".
+std::string last_member(const std::string& path) {
+  std::size_t pos = path.size();
+  for (const char* sep : {".", "->", "::"}) {
+    const std::size_t p = path.rfind(sep);
+    if (p != std::string::npos) {
+      const std::size_t after = p + std::string(sep).size();
+      pos = std::min(pos, path.size() - after);
+    }
+  }
+  return path.substr(path.size() - pos);
+}
+
+// Splits snake_case/camelCase into lowercase components.
+std::vector<std::string> name_components(const std::string& name) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : name) {
+    if (c == '_') {
+      if (!cur.empty()) parts.push_back(to_lower(cur));
+      cur.clear();
+    } else if (std::isupper(static_cast<unsigned char>(c)) && !cur.empty() &&
+               std::islower(static_cast<unsigned char>(cur.back()))) {
+      parts.push_back(to_lower(cur));
+      cur.assign(1, c);
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) parts.push_back(to_lower(cur));
+  return parts;
+}
+
+bool is_secret_name(const std::string& identifier_path) {
+  for (const std::string& part : name_components(last_member(identifier_path))) {
+    if (kSecretWords.count(part)) return true;
+  }
+  return false;
+}
+
+bool is_secret_storage_name(const std::string& name) {
+  const std::vector<std::string> parts = name_components(name);
+  if (!parts.empty() && kPublicPrefixes.count(parts.front())) return false;
+  for (const std::string& part : parts) {
+    if (kSecretStorageWords.count(part)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// per-line checks
+// ---------------------------------------------------------------------------
+
+const std::regex kMemcmpRe(R"(\b(memcmp|bcmp|strcmp|strncmp)\s*\()");
+// Note: a bare `random(` is NOT banned — the field/point layers expose
+// `Fp random(RandomSource&)` methods, which are exactly the sanctioned
+// path. Only the std/libc generators are.
+const std::regex kRandomRe(
+    R"((std::random_device|std::mt19937|std::minstd_rand|\bsrand\s*\(|\brand\s*\(|\bdrand48\b))");
+// Terminators deliberately exclude '(' so `Bytes make_key(...)` function
+// declarations and paren-initialized locals don't match; members and
+// assignments (`Bytes key_;`, `Bytes k = ...`) do.
+const std::regex kSecretVecRe(
+    R"(\b(?:medcrypt::)?(Bytes|std::vector<\s*(?:std::)?uint8_t\s*>)\s+([A-Za-z_]\w*)\s*[;={])");
+const std::regex kCompareRe(
+    R"(([A-Za-z_]\w*(?:(?:\.|->|::)[A-Za-z_]\w*)*)\s*(==|!=)\s*([A-Za-z_]\w*(?:(?:\.|->|::)[A-Za-z_]\w*)*|[0-9]\w*|""|''))");
+
+bool is_benign_operand(const std::string& op) {
+  if (op.empty()) return true;
+  if (std::isdigit(static_cast<unsigned char>(op[0]))) return true;  // literal
+  if (op == "nullptr" || op == "true" || op == "false" || op == "\"\"" ||
+      op == "''") {
+    return true;
+  }
+  const std::string last = last_member(op);
+  // Iterator/size protocol names compare handles, not contents.
+  if (last == "end" || last == "begin" || last == "size" || last == "empty" ||
+      last == "length" || last == "npos") {
+    return true;
+  }
+  // Quantity-valued names (message_len, kSessionKeyLen, share_count) are
+  // public metadata even when a secret word appears earlier in the name.
+  const std::vector<std::string> parts = name_components(last);
+  if (parts.empty()) return false;
+  const std::string& tail = parts.back();
+  return tail == "len" || tail == "size" || tail == "count" ||
+         tail == "bits" || tail == "bytes" || tail == "index";
+}
+
+void check_line(const std::string& file, std::size_t lineno,
+                const std::string& code, std::vector<Violation>& out) {
+  std::smatch m;
+  if (std::regex_search(code, m, kMemcmpRe)) {
+    out.push_back({file, lineno, "secret-memcmp",
+                   m[1].str() + "() is banned: byte comparisons on "
+                   "key/share/token material leak timing; use "
+                   "medcrypt::ct_equal (common/bytes.h)"});
+  }
+  if (std::regex_search(code, m, kRandomRe)) {
+    out.push_back({file, lineno, "banned-randomness",
+                   "direct libc/std randomness is banned outside the "
+                   "RandomSource implementation; take a RandomSource& "
+                   "(common/random_source.h)"});
+  }
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kSecretVecRe);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[2].str();
+    if (is_secret_storage_name(name)) {
+      out.push_back({file, lineno, "secret-vector",
+                     "'" + (*it)[1].str() + " " + name +
+                         "' holds secret material in a non-wiping buffer; "
+                         "use medcrypt::SecureBuffer "
+                         "(common/secure_buffer.h)"});
+    }
+  }
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kCompareRe);
+       it != std::sregex_iterator(); ++it) {
+    const std::string lhs = (*it)[1].str();
+    const std::string rhs = (*it)[3].str();
+    if (is_benign_operand(lhs) || is_benign_operand(rhs)) continue;
+    if (is_secret_name(lhs) || is_secret_name(rhs)) {
+      out.push_back({file, lineno, "secret-equality",
+                     "'" + lhs + " " + (*it)[2].str() + " " + rhs +
+                         "' compares secret-named values with a "
+                         "short-circuiting operator; use medcrypt::ct_equal "
+                         "on byte views"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// struct/class body check: missing-wipe-dtor
+// ---------------------------------------------------------------------------
+
+const std::regex kTypeDefRe(R"(^\s*(?:struct|class)\s+([A-Za-z_]\w*))");
+
+void check_secret_types(const std::string& file,
+                        const std::vector<std::string>& code,
+                        std::vector<Violation>& out) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(code[i], m, kTypeDefRe)) continue;
+    const std::string name = m[1].str();
+    if (!kSecretTypes.count(name)) continue;
+
+    // Find the opening brace; a ';' first means a forward declaration.
+    std::size_t line = i;
+    std::size_t col = static_cast<std::size_t>(m.position(0)) + m.length(0);
+    int depth = 0;
+    bool found_open = false;
+    bool fwd_decl = false;
+    while (line < code.size() && !found_open && !fwd_decl) {
+      for (; col < code[line].size(); ++col) {
+        const char c = code[line][col];
+        if (c == '{') {
+          found_open = true;
+          ++col;
+          break;
+        }
+        if (c == ';') {
+          fwd_decl = true;
+          break;
+        }
+      }
+      if (!found_open && !fwd_decl) {
+        ++line;
+        col = 0;
+      }
+    }
+    if (!found_open) continue;
+
+    // Collect the brace-matched body.
+    std::string body;
+    depth = 1;
+    for (; line < code.size() && depth > 0; ++line, col = 0) {
+      for (; col < code[line].size(); ++col) {
+        const char c = code[line][col];
+        if (c == '{') ++depth;
+        if (c == '}') {
+          --depth;
+          if (depth == 0) break;
+        }
+        body.push_back(c);
+      }
+      body.push_back('\n');
+    }
+
+    const bool wipes = body.find("~" + name) != std::string::npos &&
+                       (body.find("wipe") != std::string::npos ||
+                        body.find("SecureBuffer") != std::string::npos);
+    const bool delegates = body.find("SecureBuffer") != std::string::npos &&
+                           body.find("~" + name) == std::string::npos;
+    if (!wipes && !delegates) {
+      out.push_back(
+          {file, i + 1, "missing-wipe-dtor",
+           "secret-bearing type '" + name +
+               "' must zeroize on destruction: declare ~" + name +
+               "() calling wipe() on secret members, or hold them in "
+               "SecureBuffer"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// allowlist
+// ---------------------------------------------------------------------------
+
+struct AllowEntry {
+  std::string path_suffix;
+  std::string check;  // "*" allows every check for the file
+};
+
+std::vector<AllowEntry> load_allowlist(const std::string& path) {
+  std::vector<AllowEntry> entries;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "medlint: cannot open allowlist: " << path << "\n";
+    std::exit(2);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(line.back())))
+      line.pop_back();
+    std::size_t start = 0;
+    while (start < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[start])))
+      ++start;
+    line.erase(0, start);
+    if (line.empty()) continue;
+    const std::size_t colon = line.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "medlint: malformed allowlist entry (want path:check): "
+                << line << "\n";
+      std::exit(2);
+    }
+    entries.push_back({line.substr(0, colon), line.substr(colon + 1)});
+  }
+  return entries;
+}
+
+bool is_allowlisted(const Violation& v, const std::vector<AllowEntry>& allow) {
+  for (const AllowEntry& e : allow) {
+    if (e.check != "*" && e.check != v.check) continue;
+    if (v.file.size() >= e.path_suffix.size() &&
+        v.file.compare(v.file.size() - e.path_suffix.size(),
+                       e.path_suffix.size(), e.path_suffix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// driver
+// ---------------------------------------------------------------------------
+
+bool scannable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".h" || ext == ".hpp";
+}
+
+std::vector<std::string> read_lines(const fs::path& p) {
+  std::ifstream in(p);
+  if (!in) {
+    std::cerr << "medlint: cannot read " << p << "\n";
+    std::exit(2);
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(std::move(line));
+  return lines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> src_dirs;
+  std::string allowlist_path;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--src" && i + 1 < argc) {
+      src_dirs.push_back(argv[++i]);
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_path = argv[++i];
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--list-checks") {
+      for (const CheckInfo& c : kChecks)
+        std::cout << c.id << "\t" << c.summary << "\n";
+      return 0;
+    } else {
+      std::cerr << "usage: medlint --src <dir> [--src <dir>...] "
+                   "[--allowlist <file>] [--verbose] [--list-checks]\n";
+      return 2;
+    }
+  }
+  if (src_dirs.empty()) {
+    std::cerr << "medlint: no --src directory given\n";
+    return 2;
+  }
+
+  std::vector<AllowEntry> allow;
+  if (!allowlist_path.empty()) allow = load_allowlist(allowlist_path);
+
+  std::vector<fs::path> files;
+  for (const std::string& dir : src_dirs) {
+    if (!fs::is_directory(dir)) {
+      std::cerr << "medlint: not a directory: " << dir << "\n";
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (entry.is_regular_file() && scannable(entry.path()))
+        files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Violation> violations;
+  std::size_t allowlisted = 0;
+  for (const fs::path& file : files) {
+    const std::vector<std::string> code = strip_code(read_lines(file));
+    std::vector<Violation> found;
+    for (std::size_t i = 0; i < code.size(); ++i)
+      check_line(file.string(), i + 1, code[i], found);
+    check_secret_types(file.string(), code, found);
+    for (Violation& v : found) {
+      if (is_allowlisted(v, allow)) {
+        ++allowlisted;
+        if (verbose)
+          std::cout << v.file << ":" << v.line << ": allowlisted [" << v.check
+                    << "]\n";
+      } else {
+        violations.push_back(std::move(v));
+      }
+    }
+  }
+
+  for (const Violation& v : violations) {
+    std::cout << v.file << ":" << v.line << ": [" << v.check << "] "
+              << v.message << "\n";
+  }
+  std::cout << "medlint: scanned " << files.size() << " file(s), "
+            << violations.size() << " violation(s), " << allowlisted
+            << " allowlisted\n";
+  return violations.empty() ? 0 : 1;
+}
