@@ -80,8 +80,9 @@ BigInt MRsaMediator::issue_token(std::string_view identity,
   if (c.is_negative() || c >= params_.modulus) {
     throw InvalidArgument("MRsaMediator: ciphertext out of range");
   }
-  const BigInt d_sem = checked_key(identity);
-  return c.pow_mod(d_sem, params_.modulus);
+  return with_key(identity, [&](const BigInt& d_sem) {
+    return c.pow_mod(d_sem, params_.modulus);
+  });
 }
 
 IbMRsaUser::IbMRsaUser(IbMRsaParams params, std::string identity,

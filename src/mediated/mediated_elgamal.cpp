@@ -8,8 +8,8 @@ ElGamalMediator::ElGamalMediator(elgamal::Params params,
 
 Point ElGamalMediator::issue_token(std::string_view identity,
                                    const Point& c1) const {
-  const BigInt x_sem = checked_key(identity);
-  return c1.mul(x_sem);
+  return with_key(identity,
+                  [&](const BigInt& x_sem) { return c1.mul(x_sem); });
 }
 
 MediatedElGamalUser::MediatedElGamalUser(elgamal::Params params,

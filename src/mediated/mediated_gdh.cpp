@@ -8,8 +8,11 @@ GdhMediator::GdhMediator(pairing::ParamSet group,
 
 Point GdhMediator::issue_token(std::string_view identity,
                                BytesView message) const {
-  const BigInt x_sem = checked_key(identity);
-  return gdh::hash_message(group_, message).mul(x_sem);
+  // Hash outside the lock scope — only the scalar multiplication needs
+  // the lent key half.
+  const Point h = gdh::hash_message(group_, message);
+  return with_key(identity,
+                  [&](const BigInt& x_sem) { return h.mul(x_sem); });
 }
 
 Point GdhMediator::issue_blind_token(std::string_view identity,
@@ -17,8 +20,8 @@ Point GdhMediator::issue_blind_token(std::string_view identity,
   if (blinded.is_infinity() || !blinded.in_subgroup()) {
     throw InvalidArgument("GdhMediator: blinded point not in the subgroup");
   }
-  const BigInt x_sem = checked_key(identity);
-  return blinded.mul(x_sem);
+  return with_key(identity,
+                  [&](const BigInt& x_sem) { return blinded.mul(x_sem); });
 }
 
 MediatedGdhUser::MediatedGdhUser(pairing::ParamSet group, std::string identity,

@@ -4,12 +4,41 @@ namespace medcrypt::mediated {
 
 IbeMediator::IbeMediator(ibe::SystemParams params,
                          std::shared_ptr<RevocationList> revocations)
-    : MediatorBase<Point>(std::move(revocations)), params_(std::move(params)),
-      pairing_(params_.curve()) {}
+    : MediatorBase<IbeSemKey>(std::move(revocations)),
+      params_(std::move(params)), pairing_(params_.curve()) {}
+
+void IbeMediator::install_key(std::string identity, Point d_sem) {
+  IbeSemKey record(pairing_.prepare(d_sem));
+  d_sem.wipe();
+  MediatorBase<IbeSemKey>::install_key(std::move(identity), std::move(record));
+}
 
 Fp2 IbeMediator::issue_token(std::string_view identity, const Point& u) const {
-  const Point d_sem = checked_key(identity);
-  return pairing_.pair(u, d_sem);
+  return with_key(identity, [&](const IbeSemKey& key) {
+    return pairing_.pair_with(key.prepared, u);
+  });
+}
+
+std::vector<std::optional<Fp2>> IbeMediator::issue_tokens(
+    std::span<const TokenRequest> requests) const {
+  std::vector<std::optional<Fp2>> out;
+  out.reserve(requests.size());
+  const auto snapshot = revocations()->snapshot();
+  for (const TokenRequest& request : requests) {
+    if (request.u == nullptr) {
+      out.emplace_back(std::nullopt);
+      continue;
+    }
+    try {
+      out.emplace_back(
+          with_key_at(*snapshot, request.identity, [&](const IbeSemKey& key) {
+            return pairing_.pair_with(key.prepared, *request.u);
+          }));
+    } catch (const Error&) {
+      out.emplace_back(std::nullopt);
+    }
+  }
+  return out;
 }
 
 MediatedIbeUser::MediatedIbeUser(ibe::SystemParams params,

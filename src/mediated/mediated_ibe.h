@@ -19,6 +19,8 @@
 #pragma once
 
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "ibe/pkg.h"
 #include "mediated/sem_server.h"
@@ -29,18 +31,58 @@ namespace medcrypt::mediated {
 using ec::Point;
 using field::Fp2;
 
+/// SEM-side registry record for one identity: the Miller-loop program of
+/// d_ID,sem (pairing::TatePairing::prepare). The raw point is not
+/// retained — by pairing symmetry ê(U, d_sem) = ê(d_sem, U), so the
+/// prepared program alone computes every token while skipping the
+/// fixed-argument Jacobian chain. The program's coefficients derive from
+/// the secret half, so the record wipes them on destruction.
+struct IbeSemKey {
+  IbeSemKey() = default;
+  explicit IbeSemKey(pairing::PreparedPairing p) : prepared(std::move(p)) {}
+  IbeSemKey(const IbeSemKey&) = default;
+  IbeSemKey(IbeSemKey&&) = default;
+  IbeSemKey& operator=(const IbeSemKey&) = default;
+  IbeSemKey& operator=(IbeSemKey&&) = default;
+  ~IbeSemKey() { wipe(); }
+
+  void wipe() { prepared.wipe(); }
+
+  pairing::PreparedPairing prepared;
+};
+
 /// SEM-side endpoint of the mediated IBE: stores d_ID,sem halves and
 /// issues per-ciphertext decryption tokens.
-class IbeMediator : public MediatorBase<Point> {
+class IbeMediator : public MediatorBase<IbeSemKey> {
  public:
   IbeMediator(ibe::SystemParams params,
               std::shared_ptr<RevocationList> revocations);
 
   const ibe::SystemParams& params() const { return params_; }
 
+  /// Installs (or replaces) the SEM half for `identity`. The half's
+  /// Miller-loop program is precomputed here, once per enrollment, so
+  /// issue_token pays only the line evaluations; the raw point argument
+  /// is wiped before returning.
+  void install_key(std::string identity, Point d_sem);
+
   /// Issues the token g_sem = ê(U, d_ID,sem) for one ciphertext.
   /// Throws RevokedError if `identity` is revoked.
   Fp2 issue_token(std::string_view identity, const Point& u) const;
+
+  /// One entry of an issue_tokens() batch; `u` must outlive the call.
+  struct TokenRequest {
+    std::string_view identity;
+    const Point* u = nullptr;
+  };
+
+  /// Issues a batch of tokens against ONE revocation snapshot, so every
+  /// request in the batch sees the same epoch. Per-request failures
+  /// (revoked, unknown, malformed U) yield std::nullopt in the matching
+  /// slot instead of aborting the batch; audit counters are updated per
+  /// request exactly as for issue_token.
+  std::vector<std::optional<Fp2>> issue_tokens(
+      std::span<const TokenRequest> requests) const;
 
  private:
   ibe::SystemParams params_;

@@ -10,11 +10,11 @@ IbsMediator::IbsMediator(ibe::SystemParams params,
 ec::Point IbsMediator::issue_token(std::string_view identity,
                                    BytesView message,
                                    const Fp2& commitment) const {
-  const ec::Point d_sem = checked_key(identity);
   // The SEM derives the challenge itself — it never multiplies its key
   // half by a caller-chosen scalar.
   const bigint::BigInt v = ibs::hess_challenge(params_, message, commitment);
-  return d_sem.mul(v);
+  return with_key(identity,
+                  [&](const ec::Point& d_sem) { return d_sem.mul(v); });
 }
 
 MediatedIbsUser::MediatedIbsUser(ibe::SystemParams params,

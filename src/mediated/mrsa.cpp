@@ -34,11 +34,15 @@ bool mrsa_verify(const rsa::PublicKey& pub, BytesView message,
 
 BigInt PerUserRsaMediator::issue_token(std::string_view identity,
                                        const BigInt& c) const {
-  const MRsaSemRecord record = checked_key(identity);
-  if (c.is_negative() || c >= record.modulus) {
-    throw InvalidArgument("PerUserRsaMediator: input out of range");
-  }
-  return c.pow_mod(record.d_sem, record.modulus);
+  return with_key(identity, [&](const MRsaSemRecord& record) {
+    // The range check needs the per-user modulus, so it runs under the
+    // lent record; a failure here is counted as neither issued nor
+    // denied.
+    if (c.is_negative() || c >= record.modulus) {
+      throw InvalidArgument("PerUserRsaMediator: input out of range");
+    }
+    return c.pow_mod(record.d_sem, record.modulus);
+  });
 }
 
 MRsaUser::MRsaUser(rsa::PublicKey pub, std::string identity,

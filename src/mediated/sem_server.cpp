@@ -2,25 +2,40 @@
 
 namespace medcrypt::mediated {
 
+// Writers copy the current set, mutate the copy, and publish it as a new
+// immutable snapshot with a bumped epoch, all under the exclusive lock.
+// Readers hold the shared lock only long enough to copy the shared_ptr;
+// the set lookup happens against their private, immutable snapshot. An
+// idempotent no-op (revoking an already revoked identity) publishes
+// nothing, so the epoch moves only on real changes.
+
 void RevocationList::revoke(std::string_view identity) {
-  std::scoped_lock lock(mu_);
-  revoked_.insert(std::string(identity));
+  std::unique_lock lock(mu_);
+  if (snap_->contains(identity)) return;
+  auto next = std::make_shared<Snapshot>();
+  next->revoked = snap_->revoked;
+  next->revoked.insert(std::string(identity));
+  next->epoch = snap_->epoch + 1;
+  snap_ = std::move(next);
 }
 
 void RevocationList::unrevoke(std::string_view identity) {
-  std::scoped_lock lock(mu_);
-  const auto it = revoked_.find(identity);
-  if (it != revoked_.end()) revoked_.erase(it);
+  std::unique_lock lock(mu_);
+  const auto it = snap_->revoked.find(identity);
+  if (it == snap_->revoked.end()) return;
+  auto next = std::make_shared<Snapshot>();
+  next->revoked = snap_->revoked;
+  next->revoked.erase(std::string(identity));
+  next->epoch = snap_->epoch + 1;
+  snap_ = std::move(next);
 }
 
 bool RevocationList::is_revoked(std::string_view identity) const {
-  std::scoped_lock lock(mu_);
-  return revoked_.find(identity) != revoked_.end();
+  return snapshot()->contains(identity);
 }
 
-std::size_t RevocationList::size() const {
-  std::scoped_lock lock(mu_);
-  return revoked_.size();
-}
+std::size_t RevocationList::size() const { return snapshot()->revoked.size(); }
+
+std::uint64_t RevocationList::epoch() const { return snapshot()->epoch; }
 
 }  // namespace medcrypt::mediated

@@ -13,15 +13,39 @@
 // MediatorBase provides the shared machinery (key-half registry,
 // revocation checks, audit counters, thread safety); each scheme derives
 // a mediator that implements its token computation.
+//
+// Concurrency design (docs/SEM_SERVICE.md has the full story):
+//   - The key registry is sharded: N shards keyed by identity hash, each
+//     with its own std::shared_mutex. Token issuance takes a *shared*
+//     lock on one shard, so concurrent requests — even for the same
+//     identity — never serialize on registry locks; install_key takes an
+//     exclusive lock on one shard only.
+//   - Revocation state is an epoch-published immutable snapshot: the hot
+//     path copies the published shared_ptr under a briefly-held shared
+//     lock (a refcount bump, never contending with other readers) and
+//     does a set lookup — no nested locks. A revoke() is visible to
+//     every request that starts after the new snapshot is published;
+//     requests already past the check complete against the old epoch.
+//   - Secrets never leave the registry: derived mediators compute their
+//     token via the protected with_key(identity, fn) hook, which invokes
+//     fn with a `const KeyHalf&` *inside* the shard's shared-lock scope.
+//     No by-value copy of a key half ever escapes onto a caller's stack
+//     (docs/SECRET_HYGIENE.md, "In-flight secrets").
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <type_traits>
+#include <utility>
 
 #include "common/error.h"
 
@@ -29,10 +53,34 @@ namespace medcrypt::mediated {
 
 /// Thread-safe revocation set, shared by all mediators of one SEM
 /// deployment so revoking an identity kills decryption *and* signing.
+///
+/// Readers see an immutable epoch-stamped snapshot published by writers;
+/// is_revoked()/snapshot() copy the published pointer under a shared
+/// lock held only for the refcount bump, so SEM token requests never
+/// contend with each other and only momentarily with revocation updates.
+/// (A lock-free std::atomic<shared_ptr> would also work, but libstdc++'s
+/// implementation trips ThreadSanitizer — its load path unlocks the
+/// embedded spin bit with a relaxed RMW — and the repo's CI runs this
+/// class under TSan, so the snapshot is published with a real lock.)
 class RevocationList {
  public:
-  /// Marks `identity` revoked. Idempotent. Effective on the next token
-  /// request — this is the paper's "instantaneous revocation".
+  /// Immutable view of the revocation set at one epoch. Requests that
+  /// captured a snapshot keep using it even if a revoke() lands
+  /// concurrently — see docs/SEM_SERVICE.md for the visibility contract.
+  struct Snapshot {
+    std::uint64_t epoch = 0;
+    std::set<std::string, std::less<>> revoked;
+
+    bool contains(std::string_view identity) const {
+      return revoked.find(identity) != revoked.end();
+    }
+  };
+
+  RevocationList() : snap_(std::make_shared<const Snapshot>()) {}
+
+  /// Marks `identity` revoked. Idempotent. Publishes a new snapshot, so
+  /// the change is effective for every token request that starts
+  /// afterwards — this is the paper's "instantaneous revocation".
   void revoke(std::string_view identity);
 
   /// Restores a previously revoked identity (the paper notes a corrupted
@@ -43,12 +91,27 @@ class RevocationList {
 
   std::size_t size() const;
 
+  /// Monotone revocation-state version; bumps on every effective
+  /// revoke()/unrevoke() (idempotent no-ops do not bump it).
+  std::uint64_t epoch() const;
+
+  /// The current published snapshot. Never null.
+  std::shared_ptr<const Snapshot> snapshot() const {
+    std::shared_lock lock(mu_);
+    return snap_;
+  }
+
  private:
-  mutable std::mutex mu_;
-  std::set<std::string, std::less<>> revoked_;
+  // Shared lock: copy the published pointer. Exclusive lock: the whole
+  // copy-mutate-publish sequence in revoke()/unrevoke().
+  mutable std::shared_mutex mu_;
+  std::shared_ptr<const Snapshot> snap_;
 };
 
-/// Audit counters every mediator maintains.
+/// Audit counters every mediator maintains. `tokens_issued` counts only
+/// requests whose token computation *completed*; a request that fails
+/// mid-computation (bad input detected under the key, arithmetic error)
+/// is counted in none of the buckets.
 struct SemStats {
   std::uint64_t tokens_issued = 0;
   std::uint64_t denials = 0;
@@ -61,6 +124,9 @@ struct SemStats {
 template <typename KeyHalf>
 class MediatorBase {
  public:
+  /// Registry shard count (power of two; identity-hash keyed).
+  static constexpr std::size_t kShardCount = 16;
+
   explicit MediatorBase(std::shared_ptr<RevocationList> revocations)
       : revocations_(std::move(revocations)) {
     if (!revocations_) {
@@ -75,21 +141,38 @@ class MediatorBase {
   ~MediatorBase() {
     static_assert(requires(KeyHalf& h) { h.wipe(); },
                   "SEM key-half types must provide wipe()");
-    for (auto& entry : keys_) entry.second.wipe();
+    for (Shard& shard : shards_) {
+      std::unique_lock lock(shard.mu);
+      for (auto& entry : shard.keys) entry.second.wipe();
+    }
   }
   MediatorBase(const MediatorBase&) = delete;
   MediatorBase& operator=(const MediatorBase&) = delete;
 
-  /// Installs (or replaces) the SEM key half for `identity`.
+  /// Installs (or replaces) the SEM key half for `identity`. Takes an
+  /// exclusive lock on the identity's shard only; issuance for other
+  /// shards is unaffected.
   void install_key(std::string identity, KeyHalf half) {
-    std::scoped_lock lock(mu_);
-    keys_.insert_or_assign(std::move(identity), std::move(half));
+    Shard& shard = shard_for(identity);
+    std::unique_lock lock(shard.mu);
+    shard.keys.insert_or_assign(std::move(identity), std::move(half));
   }
 
   /// True if the identity has an installed key half.
   bool has_key(std::string_view identity) const {
-    std::scoped_lock lock(mu_);
-    return keys_.find(identity) != keys_.end();
+    const Shard& shard = shard_for(identity);
+    std::shared_lock lock(shard.mu);
+    return shard.keys.find(identity) != shard.keys.end();
+  }
+
+  /// Number of installed key halves across all shards.
+  std::size_t key_count() const {
+    std::size_t n = 0;
+    for (const Shard& shard : shards_) {
+      std::shared_lock lock(shard.mu);
+      n += shard.keys.size();
+    }
+    return n;
   }
 
   const std::shared_ptr<RevocationList>& revocations() const {
@@ -97,34 +180,73 @@ class MediatorBase {
   }
 
   SemStats stats() const {
-    std::scoped_lock lock(mu_);
-    return stats_;
+    SemStats s;
+    s.tokens_issued = tokens_issued_.load(std::memory_order_relaxed);
+    s.denials = denials_.load(std::memory_order_relaxed);
+    s.unknown_identities = unknown_.load(std::memory_order_relaxed);
+    return s;
   }
 
  protected:
-  /// Fetches the key half after the revocation check; throws
-  /// RevokedError for revoked identities (the paper's "return Error")
-  /// and InvalidArgument for unknown ones. Updates the audit counters.
-  KeyHalf checked_key(std::string_view identity) const {
-    std::scoped_lock lock(mu_);
-    if (revocations_->is_revoked(identity)) {
-      ++stats_.denials;
+  /// Runs `fn(const KeyHalf&)` against the installed key half of
+  /// `identity`, entirely inside the shard's shared-lock scope, and
+  /// returns fn's result. The key half is lent by const reference; no
+  /// copy escapes the registry. Throws RevokedError for revoked
+  /// identities (the paper's "return Error") and InvalidArgument for
+  /// unknown ones. `tokens_issued` is counted only after fn returns —
+  /// a throw from fn leaves the issuance counters untouched.
+  template <typename Fn>
+  auto with_key(std::string_view identity, Fn&& fn) const {
+    return with_key_at(*revocations_->snapshot(), identity,
+                       std::forward<Fn>(fn));
+  }
+
+  /// with_key against a caller-held revocation snapshot; batch issuers
+  /// use this to give every request in a batch one consistent epoch.
+  template <typename Fn>
+  auto with_key_at(const RevocationList::Snapshot& snapshot,
+                   std::string_view identity, Fn&& fn) const {
+    if (snapshot.contains(identity)) {
+      denials_.fetch_add(1, std::memory_order_relaxed);
       throw RevokedError("SEM: identity is revoked: " + std::string(identity));
     }
-    const auto it = keys_.find(identity);
-    if (it == keys_.end()) {
-      ++stats_.unknown_identities;
+    const Shard& shard = shard_for(identity);
+    std::shared_lock lock(shard.mu);
+    const auto it = shard.keys.find(identity);
+    if (it == shard.keys.end()) {
+      unknown_.fetch_add(1, std::memory_order_relaxed);
       throw InvalidArgument("SEM: unknown identity: " + std::string(identity));
     }
-    ++stats_.tokens_issued;
-    return it->second;
+    if constexpr (std::is_void_v<std::invoke_result_t<Fn&, const KeyHalf&>>) {
+      std::invoke(fn, std::as_const(it->second));
+      tokens_issued_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      auto result = std::invoke(fn, std::as_const(it->second));
+      tokens_issued_.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, KeyHalf, std::less<>> keys_;
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::map<std::string, KeyHalf, std::less<>> keys;
+  };
+
+  Shard& shard_for(std::string_view identity) {
+    return shards_[std::hash<std::string_view>{}(identity) %
+                   kShardCount];
+  }
+  const Shard& shard_for(std::string_view identity) const {
+    return shards_[std::hash<std::string_view>{}(identity) %
+                   kShardCount];
+  }
+
+  std::array<Shard, kShardCount> shards_;
   std::shared_ptr<RevocationList> revocations_;
-  mutable SemStats stats_;
+  mutable std::atomic<std::uint64_t> tokens_issued_{0};
+  mutable std::atomic<std::uint64_t> denials_{0};
+  mutable std::atomic<std::uint64_t> unknown_{0};
 };
 
 }  // namespace medcrypt::mediated

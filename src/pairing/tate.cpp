@@ -80,6 +80,94 @@ Fp2 TatePairing::final_exponentiation(const Fp2& f) const {
   return powered.pow(exp_tail_);
 }
 
+void PreparedPairing::wipe() {
+  for (Step& step : steps_) {
+    step.c0.wipe();
+    step.c1.wipe();
+    step.c2.wipe();
+  }
+  steps_.clear();
+  steps_.shrink_to_fit();
+  curve_.reset();
+  infinity_ = false;
+}
+
+PreparedPairing TatePairing::prepare(const Point& p) const {
+  if (p.curve() != curve_) {
+    throw InvalidArgument("TatePairing::prepare: point from another curve");
+  }
+  PreparedPairing out;
+  out.curve_ = curve_;
+  if (p.is_infinity()) {
+    out.infinity_ = true;
+    return out;
+  }
+
+  // Walk the exact control flow of miller(), but instead of evaluating
+  // the line functions at a concrete Q', record their coefficients:
+  //   doubling  L = (M·X - 2Y^2) - (M·Z^2)·x' + i·(2YZ^3)·y'
+  //   addition  L = (r·x_P - ZH·y_P) - r·x'   + i·(ZH)·y'
+  // so each recorded step is L = (c0 - c1·x') + i·(c2·y').
+  using Op = PreparedPairing::Op;
+  ec::JacPoint t = ec::jac_from_affine(p);
+  const BigInt& order = curve_->order();
+  out.steps_.reserve(2 * order.bit_length());
+
+  for (std::size_t i = order.bit_length() - 1; i-- > 0;) {
+    out.steps_.push_back({Op::kSquare, {}, {}, {}});
+    const bool have_line = !t.inf && !t.y.is_zero();
+    ec::DblTrace dbl_trace;
+    t = ec::jac_dbl(*curve_, t, have_line ? &dbl_trace : nullptr);
+    if (have_line) {
+      out.steps_.push_back({Op::kMulLine,
+                            dbl_trace.m * dbl_trace.x - dbl_trace.y_sq.dbl(),
+                            dbl_trace.m * dbl_trace.z_sq, dbl_trace.zp_zsq});
+    }
+
+    if (order.bit(i)) {
+      if (t.inf) {
+        t = ec::jac_from_affine(p);
+      } else {
+        ec::AddTrace add_trace;
+        t = ec::jac_add_mixed(*curve_, t, p, &add_trace);
+        if (!add_trace.vertical) {
+          out.steps_.push_back(
+              {Op::kMulLine, add_trace.r * p.x() - add_trace.zh * p.y(),
+               add_trace.r, add_trace.zh});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Fp2 TatePairing::pair_with(const PreparedPairing& prepared,
+                           const Point& q) const {
+  if (prepared.empty()) {
+    throw InvalidArgument("TatePairing::pair_with: empty prepared argument");
+  }
+  if (prepared.curve_ != curve_ || q.curve() != curve_) {
+    throw InvalidArgument("TatePairing::pair_with: points from another curve");
+  }
+  const auto& field = curve_->field();
+  if (prepared.infinity_ || q.is_infinity()) return Fp2::one(field);
+
+  const Fp xq = -q.x();
+  const Fp yq = q.y();
+  Fp2 f = Fp2::one(field);
+  for (const PreparedPairing::Step& step : prepared.steps_) {
+    if (step.op == PreparedPairing::Op::kSquare) {
+      f = f.square();
+    } else {
+      f = f * Fp2(step.c0 - step.c1 * xq, step.c2 * yq);
+    }
+  }
+  if (f.is_zero()) {
+    throw Error("TatePairing: degenerate Miller value");
+  }
+  return final_exponentiation(f);
+}
+
 Fp2 TatePairing::pair(const Point& p, const Point& q) const {
   if (p.curve() != curve_ || q.curve() != curve_) {
     throw InvalidArgument("TatePairing::pair: points from another curve");

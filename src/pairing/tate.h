@@ -14,6 +14,9 @@
 //   symmetry         ê(P, Q) = ê(Q, P)
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "ec/point.h"
 #include "field/fp2.h"
 
@@ -22,7 +25,51 @@ namespace medcrypt::pairing {
 using bigint::BigInt;
 using ec::Curve;
 using ec::Point;
+using field::Fp;
 using field::Fp2;
+
+/// Precomputed Miller-loop program for a *fixed first argument* P.
+///
+/// The Miller loop's Jacobian point chain and line-function coefficients
+/// depend only on P; the second argument Q enters each step as a linear
+/// evaluation L(Q') = (c0 - c1·x(Q)) + i·(c2·y(Q)). Preparing P once
+/// bakes the chain into a flat coefficient program, so every subsequent
+/// pairing against P skips the point arithmetic entirely — the SEM's
+/// per-identity d_sem is exactly such a fixed argument.
+///
+/// The coefficients are derived from P, so when P is secret (a SEM key
+/// half) the prepared form is secret too: wipe() scrubs every
+/// coefficient, and secret holders must call it from their destructors.
+class PreparedPairing {
+ public:
+  PreparedPairing() = default;
+
+  /// True until TatePairing::prepare() has bound this object.
+  bool empty() const { return curve_ == nullptr; }
+
+  /// Number of Miller-loop steps in the program (0 for O).
+  std::size_t step_count() const { return steps_.size(); }
+
+  /// Scrubs all line coefficients and unbinds; the object returns to the
+  /// default-constructed (empty) state.
+  void wipe();
+
+ private:
+  friend class TatePairing;
+
+  enum class Op : std::uint8_t { kSquare, kMulLine };
+
+  // One Miller-loop step: either f <- f^2, or
+  // f <- f · ((c0 - c1·x(Q)) + i·(c2·y(Q))).
+  struct Step {
+    Op op = Op::kSquare;
+    Fp c0, c1, c2;
+  };
+
+  std::shared_ptr<const Curve> curve_;
+  std::vector<Step> steps_;
+  bool infinity_ = false;
+};
 
 /// Modified-Tate-pairing engine bound to one supersingular curve.
 class TatePairing {
@@ -37,6 +84,17 @@ class TatePairing {
   /// have order dividing q. Returns an element of the order-q subgroup of
   /// F*_{p^2} (the multiplicative identity when either input is O).
   Fp2 pair(const Point& p, const Point& q) const;
+
+  /// Precomputes the Miller-loop program of a fixed first argument:
+  /// pair_with(prepare(p), q) == pair(p, q) for every q, with the
+  /// Jacobian chain evaluated once here instead of per pairing. Worth it
+  /// from the second pairing onwards; the SEM prepares each d_sem at
+  /// install time.
+  PreparedPairing prepare(const Point& p) const;
+
+  /// Pairing against a prepared first argument. Throws InvalidArgument
+  /// if `prepared` is empty/wiped or bound to another curve.
+  Fp2 pair_with(const PreparedPairing& prepared, const Point& q) const;
 
  private:
   // Raw reduced Tate pairing e(P, Q') with Q' = φ(Q) given by components

@@ -143,6 +143,74 @@ TEST_F(MediatedIbeTest, AuditCountersTrackUsage) {
   EXPECT_EQ(stats.denials, 1u);
 }
 
+TEST_F(MediatedIbeTest, FailedTokenComputationIsNotCountedAsIssued) {
+  // A request that passes the revocation and registry checks but dies
+  // inside the token computation must not count as an issued token:
+  // a U from a foreign curve makes the pairing throw after key lookup.
+  auto alice = enroll_ibe_user(pkg_, sem_, "alice", rng_);
+  const auto& foreign = pairing::named_params("mid128");
+  EXPECT_THROW(sem_.issue_token("alice", foreign.generator), InvalidArgument);
+
+  SemStats stats = sem_.stats();
+  EXPECT_EQ(stats.tokens_issued, 0u);
+  EXPECT_EQ(stats.denials, 0u);
+  EXPECT_EQ(stats.unknown_identities, 0u);
+
+  // And a completed computation counts exactly once.
+  const Bytes m = random_message();
+  const auto ct = ibe::full_encrypt(pkg_.params(), "alice", m, rng_);
+  (void)sem_.issue_token("alice", ct.u);
+  stats = sem_.stats();
+  EXPECT_EQ(stats.tokens_issued, 1u);
+}
+
+TEST_F(MediatedIbeTest, BatchIssueTokensMatchesSingleRequests) {
+  auto alice = enroll_ibe_user(pkg_, sem_, "alice", rng_);
+  auto bob = enroll_ibe_user(pkg_, sem_, "bob", rng_);
+  const auto ct_a = ibe::full_encrypt(pkg_.params(), "alice",
+                                      random_message(), rng_);
+  const auto ct_b = ibe::full_encrypt(pkg_.params(), "bob",
+                                      random_message(), rng_);
+  revocations_->revoke("bob");
+
+  const std::vector<IbeMediator::TokenRequest> requests = {
+      {"alice", &ct_a.u},
+      {"bob", &ct_b.u},      // revoked -> nullopt
+      {"mallory", &ct_a.u},  // unknown -> nullopt
+  };
+  const auto tokens = sem_.issue_tokens(requests);
+  ASSERT_EQ(tokens.size(), 3u);
+  ASSERT_TRUE(tokens[0].has_value());
+  EXPECT_EQ(*tokens[0], sem_.issue_token("alice", ct_a.u));
+  EXPECT_FALSE(tokens[1].has_value());
+  EXPECT_FALSE(tokens[2].has_value());
+
+  const SemStats stats = sem_.stats();
+  EXPECT_EQ(stats.tokens_issued, 2u);  // batch slot 0 + the single call
+  EXPECT_EQ(stats.denials, 1u);
+  EXPECT_EQ(stats.unknown_identities, 1u);
+}
+
+TEST_F(MediatedIbeTest, RevocationSnapshotsAreEpochPublished) {
+  auto alice = enroll_ibe_user(pkg_, sem_, "alice", rng_);
+  const auto before = revocations_->snapshot();
+  EXPECT_FALSE(before->contains("alice"));
+
+  revocations_->revoke("alice");
+  // A request that captured its snapshot before the revoke completes
+  // against the old epoch; new requests see the new one.
+  EXPECT_FALSE(before->contains("alice"));
+  EXPECT_TRUE(revocations_->snapshot()->contains("alice"));
+  EXPECT_GT(revocations_->epoch(), before->epoch);
+
+  // Idempotent re-revocation publishes nothing.
+  const std::uint64_t epoch = revocations_->epoch();
+  revocations_->revoke("alice");
+  EXPECT_EQ(revocations_->epoch(), epoch);
+  revocations_->unrevoke("alice");
+  EXPECT_EQ(revocations_->epoch(), epoch + 1);
+}
+
 TEST_F(MediatedIbeTest, ReenrollingRotatesTheSplit) {
   auto alice1 = enroll_ibe_user(pkg_, sem_, "alice", rng_);
   auto alice2 = enroll_ibe_user(pkg_, sem_, "alice", rng_);  // new split

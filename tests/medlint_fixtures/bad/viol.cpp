@@ -24,3 +24,8 @@ bool same_key(const Bytes& user_key, const Bytes& other_key) {
 
 // memcmp( inside a comment must not fire
 const char* kMsg = "and rand( inside a string must not fire";
+
+struct SemShard {
+  KeyHalf checked_key() const;  // line 29: secret-return-by-value
+  const KeyHalf& borrow_key() const;  // reference return must not fire
+};

@@ -47,12 +47,15 @@ TEST(Medlint, FlagsEveryViolationWithFileAndLine) {
       << r.output;
   EXPECT_NE(r.output.find("viol.cpp:22: [secret-equality]"), std::string::npos)
       << r.output;
-  EXPECT_NE(r.output.find("5 violation(s)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("viol.cpp:29: [secret-return-by-value]"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("6 violation(s)"), std::string::npos) << r.output;
 }
 
 TEST(Medlint, CommentsAndStringsDoNotFire) {
-  // bad/viol.cpp ends with memcmp( in a comment and rand( in a string;
-  // the exact count of 5 above already proves neither fired. This test
+  // bad/viol.cpp plants memcmp( in a comment and rand( in a string;
+  // the exact count of 6 above already proves neither fired. This test
   // pins the property on the clean tree too.
   const RunResult r = run_medlint("--src " + fixtures("clean"));
   EXPECT_EQ(r.exit_code, 0) << r.output;
@@ -70,15 +73,16 @@ TEST(Medlint, AllowlistSuppressesVettedFindings) {
   const RunResult r = run_medlint("--src " + fixtures("bad") +
                                   " --allowlist " + fixtures("allow.txt"));
   EXPECT_EQ(r.exit_code, 0) << r.output;
-  EXPECT_NE(r.output.find("0 violation(s), 5 allowlisted"), std::string::npos)
+  EXPECT_NE(r.output.find("0 violation(s), 6 allowlisted"), std::string::npos)
       << r.output;
 }
 
-TEST(Medlint, ListChecksEnumeratesAllFive) {
+TEST(Medlint, ListChecksEnumeratesAllSix) {
   const RunResult r = run_medlint("--list-checks");
   EXPECT_EQ(r.exit_code, 0);
   for (const char* id : {"secret-memcmp", "secret-equality", "secret-vector",
-                         "banned-randomness", "missing-wipe-dtor"}) {
+                         "banned-randomness", "missing-wipe-dtor",
+                         "secret-return-by-value"}) {
     EXPECT_NE(r.output.find(id), std::string::npos) << id;
   }
 }

@@ -141,6 +141,63 @@ TEST(TatePairing, PaperParamsSmokeTest) {
   EXPECT_EQ(e.pair(P.mul(a), P), e.pair(P, P.mul(a)));
 }
 
+// --- Prepared (fixed-first-argument) pairing -------------------------------
+
+TEST_F(PairingTest, PreparedMatchesDirectPairing) {
+  const auto e = engine();
+  HmacDrbg rng(49);
+  const auto& P = params().generator;
+  const BigInt a = BigInt::random_unit(rng, params().order());
+  const Point pa = P.mul(a);
+  const PreparedPairing prep = e.prepare(pa);
+  EXPECT_FALSE(prep.empty());
+  // One prepared program serves many second arguments.
+  for (int i = 0; i < 4; ++i) {
+    const BigInt b = BigInt::random_unit(rng, params().order());
+    const Point q = P.mul(b);
+    EXPECT_EQ(e.pair_with(prep, q), e.pair(pa, q));
+  }
+}
+
+TEST_F(PairingTest, PreparedIsBilinear) {
+  const auto e = engine();
+  HmacDrbg rng(50);
+  const auto& P = params().generator;
+  const BigInt b = BigInt::random_unit(rng, params().order());
+  const PreparedPairing prep = e.prepare(P);
+  EXPECT_EQ(e.pair_with(prep, P.mul(b)), e.pair(P, P).pow(b));
+}
+
+TEST_F(PairingTest, PreparedInfinityPairsToOne) {
+  const auto e = engine();
+  const PreparedPairing prep_inf = e.prepare(params().curve->infinity());
+  EXPECT_TRUE(e.pair_with(prep_inf, params().generator).is_one());
+  const PreparedPairing prep = e.prepare(params().generator);
+  EXPECT_TRUE(e.pair_with(prep, params().curve->infinity()).is_one());
+}
+
+TEST_F(PairingTest, PreparedRejectsMismatchesAndWipedPrograms) {
+  const auto e = engine();
+  // Unprepared/default program.
+  EXPECT_THROW(e.pair_with(PreparedPairing(), params().generator),
+               InvalidArgument);
+  // Prepared for another curve.
+  const auto& other = named_params("mid128");
+  const TatePairing other_engine(other.curve);
+  const PreparedPairing foreign = other_engine.prepare(other.generator);
+  EXPECT_THROW(e.pair_with(foreign, params().generator), InvalidArgument);
+  // Preparing a foreign point.
+  EXPECT_THROW(e.prepare(other.generator), InvalidArgument);
+  // Wiping returns the program to the empty state (the SEM relies on
+  // this to scrub d_sem-derived coefficients).
+  PreparedPairing prep = e.prepare(params().generator);
+  EXPECT_GT(prep.step_count(), 0u);
+  prep.wipe();
+  EXPECT_TRUE(prep.empty());
+  EXPECT_EQ(prep.step_count(), 0u);
+  EXPECT_THROW(e.pair_with(prep, params().generator), InvalidArgument);
+}
+
 // Pairing laws across parameter sets.
 class PairingParamSweep : public ::testing::TestWithParam<const char*> {};
 

@@ -23,6 +23,15 @@
 //                      entropy handling stays auditable.
 //   missing-wipe-dtor  known secret-bearing types must wipe in their
 //                      destructor (call .wipe() / hold SecureBuffer).
+//   secret-return-by-value
+//                      a function returning a SEM key-half type
+//                      (KeyHalf, IbeSemKey, ...) by value copies stored
+//                      secret material onto every caller's stack; lend
+//                      `const T&` inside a guarded scope instead (the
+//                      MediatorBase::with_key pattern). Factories that
+//                      *create* a secret (make_/generate_/extract_...)
+//                      are exempt — transferring a newly born secret to
+//                      its owner requires a by-value return.
 //
 // Scanning is lexical: comments and string/char literals are stripped
 // first, then line-based patterns run over the residue. Lexical analysis
@@ -82,6 +91,10 @@ constexpr CheckInfo kChecks[] = {
     {"missing-wipe-dtor",
      "secret-bearing type lacks a wiping destructor (call wipe() or hold "
      "SecureBuffer members)"},
+    {"secret-return-by-value",
+     "SEM key-half type returned by value, leaving an unwiped copy on "
+     "the caller's stack; lend const T& in a guarded scope (with_key "
+     "pattern)"},
 };
 
 // Types whose definitions must wipe their secrets on destruction. Names
@@ -91,7 +104,7 @@ const std::set<std::string> kSecretTypes = {
     "PrivateKey",     "SplitKey",       "KeyPair",        "KeyShare",
     "GdhKeyShare",    "ElGamalKeyShare", "Sharing",       "HmacDrbg",
     "Pkg",            "DkgParticipant", "ThresholdDealer", "SemHalfKey",
-    "MRsaKeygenResult", "MRsaSemRecord", "UserKeys",
+    "MRsaKeygenResult", "MRsaSemRecord", "UserKeys",      "IbeSemKey",
 };
 
 // Identifier components that mark a name as secret for *comparison*
@@ -107,8 +120,9 @@ const std::set<std::string> kSecretWords = {
 // (confidentiality): excludes tag/mac/token — those live in ciphertexts
 // and wire messages, so holding them in plain Bytes is fine.
 const std::set<std::string> kSecretStorageWords = {
-    "key",   "keys",   "secret",   "secrets", "seed", "seeds",
-    "share", "shares", "priv",     "password", "passwd",
+    "key",   "keys",   "secret",   "secrets",  "seed",   "seeds",
+    "share", "shares", "priv",     "password", "passwd", "half",
+    "halves",
 };
 
 // Leading components that mark a value as blinded/public even when a
@@ -262,6 +276,54 @@ const std::regex kSecretVecRe(
     R"(\b(?:medcrypt::)?(Bytes|std::vector<\s*(?:std::)?uint8_t\s*>)\s+([A-Za-z_]\w*)\s*[;={])");
 const std::regex kCompareRe(
     R"(([A-Za-z_]\w*(?:(?:\.|->|::)[A-Za-z_]\w*)*)\s*(==|!=)\s*([A-Za-z_]\w*(?:(?:\.|->|::)[A-Za-z_]\w*)*|[0-9]\w*|""|''))");
+// Function declaration/definition shape: optional specifiers, a plain
+// (possibly qualified/templated) return type with no '&'/'*', then the
+// function name directly followed by '('. Lexical by design: multi-line
+// declarations with the return type on its own line are not seen (the
+// tree's style keeps them on one line).
+const std::regex kFnDeclRe(
+    R"(^\s*(?:(?:virtual|static|inline|constexpr|explicit|friend|const)\s+)*((?:::)?[A-Za-z_][\w:]*(?:<[^;()&*]*>)?)\s+([A-Za-z_]\w*)\s*\()");
+
+// Types that hold a SEM-side key half (sem_server.h's lend-don't-copy
+// contract): a by-value return of one copies registry secrets onto the
+// caller's stack. "KeyHalf" is MediatorBase's template parameter, so the
+// generic machinery itself stays covered. Ubiquitous value types
+// (BigInt, Point, SecureBuffer) are deliberately absent — they carry
+// public values far more often than secrets, and SecureBuffer wipes
+// itself, so flagging them would be all noise.
+const std::set<std::string> kSecretReturnTypes = {
+    "KeyHalf",
+    "IbeSemKey",
+    "SemHalfKey",
+    "MRsaSemRecord",
+};
+
+// True if any identifier token of a (possibly qualified/templated)
+// return-type spelling names a secret key-half type, so that
+// `std::vector<KeyHalf>` and `mediated::IbeSemKey` are caught too.
+bool is_secret_return_type(const std::string& type_spelling) {
+  std::string token;
+  for (const char c : type_spelling + " ") {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      token.push_back(c);
+    } else {
+      if (kSecretReturnTypes.count(token)) return true;
+      token.clear();
+    }
+  }
+  return false;
+}
+
+// Leading name components that mark a function as a *factory*: it mints
+// a fresh secret and must hand it to the new owner by value (the caller
+// becomes responsible for wiping). Accessors of *stored* secrets have no
+// such excuse.
+const std::set<std::string> kFactoryVerbs = {
+    "make",    "create", "generate",    "derive",  "extract", "issue",
+    "split",   "enroll", "keygen",      "gen",     "random",  "sample",
+    "reconstruct",       "recover",     "from",    "to",      "parse",
+    "decrypt", "encrypt", "sign",       "unwrap",  "wrap",
+};
 
 bool is_benign_operand(const std::string& op) {
   if (op.empty()) return true;
@@ -309,6 +371,26 @@ void check_line(const std::string& file, std::size_t lineno,
                          "' holds secret material in a non-wiping buffer; "
                          "use medcrypt::SecureBuffer "
                          "(common/secure_buffer.h)"});
+    }
+  }
+  if (std::regex_search(code, m, kFnDeclRe)) {
+    const std::string ret = m[1].str();
+    const std::string name = m[2].str();
+    // Both conjuncts are needed: the type gate keeps ubiquitous value
+    // types quiet, and the secret-named gate skips paren-initialized
+    // locals (`IbeSemKey record(...)`) that the declaration regex
+    // cannot tell apart from a function signature.
+    if (is_secret_return_type(ret) && is_secret_storage_name(name)) {
+      const std::vector<std::string> parts = name_components(name);
+      if (parts.empty() || !kFactoryVerbs.count(parts.front())) {
+        out.push_back({file, lineno, "secret-return-by-value",
+                       "'" + ret + " " + name +
+                           "(...)' returns a SEM key-half type by value; "
+                           "every call leaves an unwiped copy on the "
+                           "caller's stack — lend a const reference inside "
+                           "a guarded scope (MediatorBase::with_key) or "
+                           "allowlist if this is a vetted factory"});
+      }
     }
   }
   for (auto it = std::sregex_iterator(code.begin(), code.end(), kCompareRe);
