@@ -28,6 +28,7 @@
 int main() {
   using namespace medcrypt;
   using benchutil::Table;
+  benchutil::JsonReport jr("comm");
 
   hash::HmacDrbg rng(3003);
   Bytes msg(32);
@@ -63,6 +64,8 @@ int main() {
   {
     sim::Transport tr;
     (void)ibe_user.decrypt(ibe_ct, ibe_sem, &tr);
+    jr.add("token_bytes/bf_ibe_decrypt",
+           static_cast<double>(tr.stats().to_client.bytes), 1, "bytes");
     wire.add_row({"BF-IBE decrypt",
                   std::to_string(tr.stats().to_server.bytes) + " B",
                   std::to_string(tr.stats().to_client.bytes) + " B",
@@ -71,6 +74,8 @@ int main() {
   {
     sim::Transport tr;
     (void)mrsa_user.decrypt(mrsa_ct, mrsa_sem, &tr);
+    jr.add("token_bytes/ib_mrsa_decrypt",
+           static_cast<double>(tr.stats().to_client.bytes), 1, "bytes");
     wire.add_row({"IB-mRSA decrypt",
                   std::to_string(tr.stats().to_server.bytes) + " B",
                   std::to_string(tr.stats().to_client.bytes) + " B",
@@ -79,6 +84,8 @@ int main() {
   {
     sim::Transport tr;
     (void)gdh_user.sign(msg, gdh_sem, &tr);
+    jr.add("token_bytes/gdh_sign",
+           static_cast<double>(tr.stats().to_client.bytes), 1, "bytes");
     wire.add_row({"GDH sign",
                   std::to_string(tr.stats().to_server.bytes) + " B",
                   std::to_string(tr.stats().to_client.bytes) + " B",
@@ -87,6 +94,8 @@ int main() {
   {
     sim::Transport tr;
     (void)mrsa_user.sign(msg, mrsa_sem, &tr);
+    jr.add("token_bytes/mrsa_sign",
+           static_cast<double>(tr.stats().to_client.bytes), 1, "bytes");
     wire.add_row({"mRSA sign",
                   std::to_string(tr.stats().to_server.bytes) + " B",
                   std::to_string(tr.stats().to_client.bytes) + " B",
@@ -95,6 +104,8 @@ int main() {
   {
     sim::Transport tr;
     (void)eg_user.decrypt(eg_ct, eg_sem, &tr);
+    jr.add("token_bytes/fo_elgamal_decrypt",
+           static_cast<double>(tr.stats().to_client.bytes), 1, "bytes");
     wire.add_row({"FO-ElGamal decrypt",
                   std::to_string(tr.stats().to_server.bytes) + " B",
                   std::to_string(tr.stats().to_client.bytes) + " B",
@@ -120,6 +131,10 @@ int main() {
                  std::to_string(2 * point) + " B (P, Ppub)",
                  std::to_string(mrsa.params().byte_size()) + " B (n)"});
   sizes.print();
+  jr.add("size/compressed_point", static_cast<double>(point), 1, "bytes");
+  jr.add("size/ibe_ciphertext",
+         static_cast<double>(ibe_ct.to_bytes().size()), 1, "bytes");
+  jr.add("size/mrsa_block", static_cast<double>(mrsa_ct.size()), 1, "bytes");
 
   std::printf("\npaper shape check: GDH token (%zu B) < mRSA token (%zu B); "
               "IBE token (%zu B) ~ mRSA token; with [6]'s char-3 curves the "

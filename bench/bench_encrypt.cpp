@@ -23,9 +23,10 @@
 int main() {
   using namespace medcrypt;
   using benchutil::Table, benchutil::time_us, benchutil::fmt_us;
+  benchutil::JsonReport jr("encrypt");
 
   hash::HmacDrbg rng(3001);
-  constexpr int kIters = 10;
+  const int kIters = benchutil::bench_iters(10);
   Bytes msg(32);
   rng.fill(msg);
 
@@ -58,41 +59,41 @@ int main() {
   Table t({"operation", "scheme", "compute latency"});
 
   t.add_row({"Encrypt", "BF BasicIdent (CPA)",
-             fmt_us(time_us(kIters, [&] {
+             fmt_us(jr.time_us("encrypt/bf_basic", kIters, [&] {
                (void)ibe::basic_encrypt(pkg.params(), "alice", msg, rng);
              }))});
   t.add_row({"Encrypt", "BF FullIdent (CCA)",
-             fmt_us(time_us(kIters, [&] {
+             fmt_us(jr.time_us("encrypt/bf_full", kIters, [&] {
                (void)ibe::full_encrypt(pkg.params(), "alice", msg, rng);
              }))});
   t.add_row({"Encrypt", "IB-mRSA / OAEP",
-             fmt_us(time_us(kIters, [&] {
+             fmt_us(jr.time_us("encrypt/ib_mrsa", kIters, [&] {
                (void)ib_mrsa_encrypt(mrsa.params(), "alice", msg, rng);
              }))});
   t.add_row({"Encrypt", "FO-ElGamal",
-             fmt_us(time_us(kIters, [&] {
+             fmt_us(jr.time_us("encrypt/fo_elgamal", kIters, [&] {
                (void)elgamal::fo_encrypt(eg_params, eg_alice.public_key(), msg, rng);
              }))});
 
   t.add_row({"Decrypt (direct key)", "BF BasicIdent",
-             fmt_us(time_us(kIters, [&] {
+             fmt_us(jr.time_us("decrypt_direct/bf_basic", kIters, [&] {
                (void)ibe::basic_decrypt(pkg.params(), d_alice, basic_ct);
              }))});
   t.add_row({"Decrypt (direct key)", "BF FullIdent",
-             fmt_us(time_us(kIters, [&] {
+             fmt_us(jr.time_us("decrypt_direct/bf_full", kIters, [&] {
                (void)ibe::full_decrypt(pkg.params(), d_alice, full_ct);
              }))});
 
   t.add_row({"Decrypt (mediated)", "BF-IBE + SEM (2 pairings total)",
-             fmt_us(time_us(kIters, [&] {
+             fmt_us(jr.time_us("decrypt_mediated/bf_ibe", kIters, [&] {
                (void)alice.decrypt(full_ct, sem);
              }))});
   t.add_row({"Decrypt (mediated)", "IB-mRSA + SEM (2 half-exps)",
-             fmt_us(time_us(kIters, [&] {
+             fmt_us(jr.time_us("decrypt_mediated/ib_mrsa", kIters, [&] {
                (void)mrsa_alice.decrypt(mrsa_ct, mrsa_sem);
              }))});
   t.add_row({"Decrypt (mediated)", "FO-ElGamal + SEM (2 scalar mults)",
-             fmt_us(time_us(kIters, [&] {
+             fmt_us(jr.time_us("decrypt_mediated/fo_elgamal", kIters, [&] {
                (void)eg_alice.decrypt(eg_ct, eg_sem);
              }))});
 
@@ -115,7 +116,9 @@ int main() {
     for (const auto& [net_name, model] :
          {std::pair{"LAN", sim::LatencyModel::lan()},
           std::pair{"WAN", sim::LatencyModel::wan()}}) {
-      const double compute = time_us(kIters, [&] { row.op(nullptr); });
+      const double compute = jr.time_us(
+          std::string("e2e_compute/") + row.name, kIters,
+          [&] { row.op(nullptr); });
       sim::SimClock clock;
       sim::Transport transport(&clock, model);
       row.op(&transport);
@@ -130,18 +133,18 @@ int main() {
   std::printf("\n-- A2: Fujisaki-Okamoto transform overhead (BF-IBE) --\n\n");
   Table fo({"variant", "encrypt", "decrypt", "integrity"});
   fo.add_row({"BasicIdent",
-              fmt_us(time_us(kIters, [&] {
+              fmt_us(jr.time_us("fo_ablation/basic_encrypt", kIters, [&] {
                 (void)ibe::basic_encrypt(pkg.params(), "alice", msg, rng);
               })),
-              fmt_us(time_us(kIters, [&] {
+              fmt_us(jr.time_us("fo_ablation/basic_decrypt", kIters, [&] {
                 (void)ibe::basic_decrypt(pkg.params(), d_alice, basic_ct);
               })),
               "none (malleable)"});
   fo.add_row({"FullIdent",
-              fmt_us(time_us(kIters, [&] {
+              fmt_us(jr.time_us("fo_ablation/full_encrypt", kIters, [&] {
                 (void)ibe::full_encrypt(pkg.params(), "alice", msg, rng);
               })),
-              fmt_us(time_us(kIters, [&] {
+              fmt_us(jr.time_us("fo_ablation/full_decrypt", kIters, [&] {
                 (void)ibe::full_decrypt(pkg.params(), d_alice, full_ct);
               })),
               "U = H3(sigma,M)P check"});

@@ -52,6 +52,14 @@ void BM_ScalarMul_Jacobian_sec80(benchmark::State& state) {
 }
 BENCHMARK(BM_ScalarMul_Jacobian_sec80);
 
+void BM_ScalarMul_FixedBase_sec80(benchmark::State& state) {
+  // k·P through the generator's precomputed window table — the path
+  // every mul_g() call site (encrypt, sign, share commitments) takes.
+  auto& f = fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(params().mul_g(f.a));
+}
+BENCHMARK(BM_ScalarMul_FixedBase_sec80);
+
 void BM_ScalarMul_AffineAblation_sec80(benchmark::State& state) {
   auto& f = fixture();
   for (auto _ : state) benchmark::DoNotOptimize(f.p.mul_affine(f.a));
@@ -148,6 +156,46 @@ void BM_Sha256_1KiB(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha256_1KiB);
 
+// Console output plus a BENCH_core.json mirror of every run (median of
+// the repetitions when --benchmark_repetitions is used; otherwise the
+// single run's per-iteration time).
+class JsonConsoleReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonConsoleReporter(benchutil::JsonReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      const std::string name = run.benchmark_name();
+      // Skip non-median aggregates; a "_median" aggregate overwrites
+      // the iteration run recorded under the plain name.
+      if (name.find("_mean") != std::string::npos ||
+          name.find("_stddev") != std::string::npos ||
+          name.find("_cv") != std::string::npos) {
+        continue;
+      }
+      std::string key = name;
+      const std::size_t pos = key.rfind("_median");
+      if (pos != std::string::npos) key.erase(pos);
+      // Default time unit is ns, so the adjusted real time is ns/iter.
+      report_->add(key, run.GetAdjustedRealTime(),
+                   static_cast<long>(run.iterations));
+    }
+  }
+
+ private:
+  benchutil::JsonReport* report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchutil::JsonReport report("core");
+  JsonConsoleReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.write();
+  return 0;
+}

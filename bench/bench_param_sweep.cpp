@@ -17,8 +17,9 @@
 int main() {
   using namespace medcrypt;
   using benchutil::Table, benchutil::time_us, benchutil::fmt_us;
+  benchutil::JsonReport jr("param_sweep");
 
-  constexpr int kIters = 10;
+  const int kIters = benchutil::bench_iters(10);
   std::printf("== F3: parameter sweep (pairing group sizes) ==\n\n");
 
   Table t({"set", "|p| bits", "|q| bits", "pairing", "scalar mult",
@@ -41,13 +42,13 @@ int main() {
     const auto q_id = ibe::map_identity(pkg.params(), "alice");
     const bigint::BigInt k = bigint::BigInt::random_unit(rng, params.order());
 
-    const double pair_us = time_us(kIters, [&] {
+    const double pair_us = jr.time_us(std::string("pairing/") + name, kIters, [&] {
       (void)engine.pair(pkg.params().p_pub, q_id);
     });
-    const double mul_us = time_us(kIters, [&] {
+    const double mul_us = jr.time_us(std::string("scalar_mul/") + name, kIters, [&] {
       (void)params.generator.mul(k);
     });
-    const double dec_us = time_us(kIters, [&] {
+    const double dec_us = jr.time_us(std::string("mediated_decrypt/") + name, kIters, [&] {
       (void)user.decrypt(ct, sem);
     });
 

@@ -24,6 +24,7 @@
 int main() {
   using namespace medcrypt;
   using benchutil::Table;
+  benchutil::JsonReport jr("revocation");
 
   constexpr std::uint64_t kHour = 3'600ULL * 1'000'000'000ULL;
   constexpr std::uint64_t kDay = 24 * kHour;
@@ -67,6 +68,9 @@ int main() {
     if (!pkg.effect_latencies_ns().empty()) {
       mean /= static_cast<double>(pkg.effect_latencies_ns().size());
     }
+    jr.add("time_to_revoke_mean/validity_" + std::to_string(period / kDay) +
+               "d", mean,
+           static_cast<long>(pkg.effect_latencies_ns().size()));
     t.add_row({"validity periods",
                std::to_string(period / kDay) + " d",
                std::to_string(pkg.keys_issued()), fmt_hours(mean),
@@ -99,6 +103,8 @@ int main() {
     if (!ca.effect_latencies_ns().empty()) {
       mean /= static_cast<double>(ca.effect_latencies_ns().size());
     }
+    jr.add("time_to_revoke_mean/crl_" + std::to_string(period / kDay) + "d",
+           mean, static_cast<long>(ca.effect_latencies_ns().size()));
     t.add_row({"PKI + CRL", std::to_string(period / kDay) + " d",
                std::to_string(kUsers) + " certs", fmt_hours(mean),
                fmt_hours(max),
@@ -123,6 +129,7 @@ int main() {
     for (std::uint64_t now = kRevokeEvery; now < kHorizon; now += kRevokeEvery) {
       authority.revoke("user" + std::to_string(next_revoked++));
     }
+    jr.add("time_to_revoke_mean/sem", 0.0, static_cast<long>(keys_issued));
     t.add_row({"SEM (this paper)", "-", std::to_string(keys_issued), "0.0 h",
                "0.0 h", "0 B (no status check)", "setup only"});
   }

@@ -57,6 +57,7 @@ double throughput(int threads, int ops_per_thread, int tokens_per_op,
 
 int main() {
   using benchutil::Table;
+  benchutil::JsonReport jr("sem_throughput");
   hash::HmacDrbg rng(6001);
 
   std::printf("== T5 (extension): SEM token throughput @ paper parameters "
@@ -115,6 +116,9 @@ int main() {
       const int ops = std::max(1, tokens_per_thread / row.tokens_per_op);
       const double tput = throughput(threads, ops, row.tokens_per_op, row.fn);
       if (threads == 1) base = tput;
+      jr.add(std::string("tokens_per_s/") + row.name + "/t" +
+                 std::to_string(threads),
+             tput, ops, "tokens_per_s");
       char tput_s[32], speedup_s[32];
       std::snprintf(tput_s, sizeof(tput_s), "%.0f", tput);
       std::snprintf(speedup_s, sizeof(speedup_s), "%.2fx", tput / base);

@@ -19,9 +19,10 @@
 int main() {
   using namespace medcrypt;
   using benchutil::Table, benchutil::time_us, benchutil::fmt_us;
+  benchutil::JsonReport jr("sign");
 
   hash::HmacDrbg rng(3002);
-  constexpr int kIters = 10;
+  const int kIters = benchutil::bench_iters(10);
   const Bytes msg = str_bytes("the quick brown fox signs the lazy dog");
 
   std::printf("== T3: sign/verify latency @ paper parameters ==\n\n");
@@ -45,27 +46,27 @@ int main() {
 
   Table t({"operation", "scheme", "latency", "notes"});
   t.add_row({"Sign", "GDH (direct key)",
-             fmt_us(time_us(kIters, [&] {
+             fmt_us(jr.time_us("sign/gdh_direct", kIters, [&] {
                (void)gdh::sign(group, kp.secret, msg);
              })),
              "1 hash-to-group + 1 scalar mult"});
   t.add_row({"Sign", "mediated GDH (user+SEM)",
-             fmt_us(time_us(kIters, [&] {
+             fmt_us(jr.time_us("sign/gdh_mediated", kIters, [&] {
                (void)gdh_user.sign(msg, gdh_sem);
              })),
              "2 scalar mults + user-side verify (2 pairings)"});
   t.add_row({"Sign", "IB-mRSA (user+SEM)",
-             fmt_us(time_us(kIters, [&] {
+             fmt_us(jr.time_us("sign/ib_mrsa_mediated", kIters, [&] {
                (void)mrsa_user.sign(msg, mrsa_sem);
              })),
              "2 half-exps + user-side verify"});
   t.add_row({"Verify", "GDH",
-             fmt_us(time_us(kIters, [&] {
+             fmt_us(jr.time_us("verify/gdh", kIters, [&] {
                (void)gdh::verify(group, kp.pub, msg, direct_sig);
              })),
              "2 pairings (the GDH DDH check)"});
   t.add_row({"Verify", "IB-mRSA",
-             fmt_us(time_us(kIters, [&] {
+             fmt_us(jr.time_us("verify/ib_mrsa", kIters, [&] {
                (void)ib_mrsa_verify(mrsa.params(), "signer", msg, mrsa_sig);
              })),
              "1 public op, ~161-bit exponent"});
@@ -79,17 +80,17 @@ int main() {
   const auto hess_sig = ibs::hess_sign(pkg.params(), d_signer, msg, ibs_rng);
 
   t.add_row({"Sign", "Hess IBS (direct key)",
-             fmt_us(time_us(kIters, [&] {
+             fmt_us(jr.time_us("sign/hess_direct", kIters, [&] {
                (void)ibs::hess_sign(pkg.params(), d_signer, msg, ibs_rng);
              })),
              "1 pairing + Fp2 exp + 2 scalar mults"});
   t.add_row({"Sign", "mediated Hess IBS (user+SEM)",
-             fmt_us(time_us(kIters, [&] {
+             fmt_us(jr.time_us("sign/hess_mediated", kIters, [&] {
                (void)ibs_user.sign(msg, ibs_sem, ibs_rng);
              })),
              "+1 SEM scalar mult + user-side verify"});
   t.add_row({"Verify", "Hess IBS",
-             fmt_us(time_us(kIters, [&] {
+             fmt_us(jr.time_us("verify/hess", kIters, [&] {
                (void)ibs::hess_verify(pkg.params(), "signer", msg, hess_sig);
              })),
              "2 pairings (like GDH)"});
@@ -112,12 +113,12 @@ int main() {
   const auto sc_ct = sc_alice.signcrypt(sc_msg, "sc-bob", sc_sig_sem, sc_rng);
 
   t.add_row({"Signcrypt", "mediated GDH + FullIdent",
-             fmt_us(time_us(kIters, [&] {
+             fmt_us(jr.time_us("signcrypt", kIters, [&] {
                (void)sc_alice.signcrypt(sc_msg, "sc-bob", sc_sig_sem, sc_rng);
              })),
              "mediated sign + IBE encrypt (1 SEM trip)"});
   t.add_row({"Unsigncrypt", "mediated GDH + FullIdent",
-             fmt_us(time_us(kIters, [&] {
+             fmt_us(jr.time_us("unsigncrypt", kIters, [&] {
                (void)sc_bob.unsigncrypt(sc_ct, sc_alice.verification_key(),
                                         sc_ibe_sem);
              })),

@@ -14,9 +14,10 @@
 int main() {
   using namespace medcrypt;
   using benchutil::Table, benchutil::time_us, benchutil::fmt_us;
+  benchutil::JsonReport jr("threshold");
 
   hash::HmacDrbg rng(3004);
-  constexpr int kIters = 5;
+  const int kIters = benchutil::bench_iters(5);
   Bytes msg(32);
   rng.fill(msg);
 
@@ -37,10 +38,12 @@ int main() {
     const auto ct = ibe::full_encrypt(setup.params, "vault", msg, rng);
 
     // Individual costs.
-    const double share_us = time_us(kIters, [&] {
+    const std::string cfg =
+        std::to_string(threshold) + "," + std::to_string(players);
+    const double share_us = jr.time_us("share/" + cfg, kIters, [&] {
       (void)compute_decryption_share(setup, keys[0], ct.u, false, rng);
     });
-    const double robust_share_us = time_us(kIters, [&] {
+    const double robust_share_us = jr.time_us("robust_share/" + cfg, kIters, [&] {
       (void)compute_decryption_share(setup, keys[0], ct.u, true, rng);
     });
 
@@ -51,10 +54,10 @@ int main() {
       robust_shares.push_back(
           compute_decryption_share(setup, keys[i], ct.u, true, rng));
     }
-    const double combine_us = time_us(kIters, [&] {
+    const double combine_us = jr.time_us("combine/" + cfg, kIters, [&] {
       (void)threshold_full_decrypt(setup, plain_shares, ct);
     });
-    const double verify_us = time_us(kIters, [&] {
+    const double verify_us = jr.time_us("verify/" + cfg, kIters, [&] {
       (void)select_valid_shares(setup, "vault", ct.u, robust_shares);
     });
 
@@ -83,11 +86,11 @@ int main() {
   }
   shares[0].value = shares[0].value.square();  // cheat
 
-  const double detect_and_decrypt = time_us(kIters, [&] {
+  const double detect_and_decrypt = jr.time_us("detect_and_decrypt", kIters, [&] {
     const auto valid = select_valid_shares(setup, "vault", ct.u, shares);
     (void)threshold_full_decrypt(setup, valid, ct);
   });
-  const double recover_us = time_us(kIters, [&] {
+  const double recover_us = jr.time_us("recover_key_share", kIters, [&] {
     const std::vector<threshold::KeyShare> honest = {keys[1], keys[2], keys[3]};
     (void)recover_key_share(setup, honest, 1);
   });

@@ -1,5 +1,7 @@
 #include "bigint/montgomery.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace medcrypt::bigint {
@@ -14,6 +16,59 @@ u64 neg_inv64(u64 n) {
   for (int i = 0; i < 5; ++i) x *= 2 - n * x;  // doubles precision each step
   return ~x + 1;  // -(n^{-1})
 }
+
+// CIOS with the limb count fixed at compile time: the loops fully
+// unroll and the scratch limbs stay in registers, which is worth ~2x
+// over the runtime-k loop on the widths the named parameter sets use.
+template <std::size_t K>
+void cios_fixed(const u64* a, const u64* b, const u64* n, u64 n0inv,
+                u64* out) {
+  u64 t[K + 2] = {};
+  for (std::size_t i = 0; i < K; ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < K; ++j) {
+      const u128 cur = static_cast<u128>(a[i]) * b[j] + t[j] + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 s = static_cast<u128>(t[K]) + carry;
+    t[K] = static_cast<u64>(s);
+    t[K + 1] = static_cast<u64>(s >> 64);
+
+    const u64 m = t[0] * n0inv;
+    u128 cur = static_cast<u128>(m) * n[0] + t[0];
+    carry = static_cast<u64>(cur >> 64);
+    for (std::size_t j = 1; j < K; ++j) {
+      cur = static_cast<u128>(m) * n[j] + t[j] + carry;
+      t[j - 1] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    s = static_cast<u128>(t[K]) + carry;
+    t[K - 1] = static_cast<u64>(s);
+    t[K] = t[K + 1] + static_cast<u64>(s >> 64);
+    t[K + 1] = 0;
+  }
+  bool ge = t[K] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = K; i-- > 0;) {
+      if (t[i] != n[i]) {
+        ge = t[i] > n[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < K; ++i) {
+      const u128 diff = static_cast<u128>(t[i]) - n[i] - borrow;
+      out[i] = static_cast<u64>(diff);
+      borrow = (diff >> 64) ? 1 : 0;
+    }
+  } else {
+    for (std::size_t i = 0; i < K; ++i) out[i] = t[i];
+  }
+}
 }  // namespace
 
 Montgomery::Montgomery(BigInt n) : n_(std::move(n)) {
@@ -26,6 +81,8 @@ Montgomery::Montgomery(BigInt n) : n_(std::move(n)) {
   const BigInt r = BigInt(std::uint64_t{1}) << (64 * k_);
   one_ = r % n_;
   r2_ = (one_ * one_) % n_;
+  one_padded_ = padded(one_);
+  r2_padded_ = padded(r2_);
 }
 
 std::vector<u64> Montgomery::padded(const BigInt& a) const {
@@ -34,9 +91,54 @@ std::vector<u64> Montgomery::padded(const BigInt& a) const {
   return out;
 }
 
-void Montgomery::mont_mul(const u64* a, const u64* b, u64* out) const {
-  // CIOS: t has k+2 limbs.
-  std::vector<u64> t(k_ + 2, 0);
+void Montgomery::pad_limbs(const BigInt& a, u64* out) const {
+  const std::size_t have = a.limbs_.size();
+  if (a.negative_ || have > k_) {
+    throw InvalidArgument("Montgomery::pad_limbs: value out of range");
+  }
+  std::copy_n(a.limbs_.data(), have, out);
+  std::fill_n(out + have, k_ - have, u64{0});
+}
+
+BigInt Montgomery::bigint_from_limbs(const u64* a) const {
+  BigInt r;
+  r.limbs_.assign(a, a + k_);
+  r.trim();
+  return r;
+}
+
+void Montgomery::to_mont_limbs(const BigInt& a, u64* out) const {
+  pad_limbs(a, out);
+  mul_limbs(out, r2_padded_.data(), out);
+}
+
+void Montgomery::mul_limbs(const u64* a, const u64* b, u64* out) const {
+  // Unrolled kernels for the limb widths the tree actually uses:
+  // toy64 (2), mid128 (4), sweep384 (6), sec80 (8), RSA-1024 (16).
+  {
+    const u64* n = n_.limbs_.data();
+    switch (k_) {
+      case 2: return cios_fixed<2>(a, b, n, n0inv_, out);
+      case 4: return cios_fixed<4>(a, b, n, n0inv_, out);
+      case 6: return cios_fixed<6>(a, b, n, n0inv_, out);
+      case 8: return cios_fixed<8>(a, b, n, n0inv_, out);
+      case 16: return cios_fixed<16>(a, b, n, n0inv_, out);
+      default: break;
+    }
+  }
+  // CIOS: t has k+2 limbs. The scratch lives on the stack so the field
+  // hot path never allocates; only absurdly wide moduli (> 4096 bits,
+  // none in the tree) take the heap fallback.
+  constexpr std::size_t kStackLimbs = 66;
+  u64 stack_t[kStackLimbs];
+  std::vector<u64> heap_t;
+  u64* t = stack_t;
+  if (k_ + 2 > kStackLimbs) {
+    heap_t.resize(k_ + 2);
+    t = heap_t.data();
+  }
+  std::fill_n(t, k_ + 2, u64{0});
+
   const u64* n = n_.limbs_.data();
   for (std::size_t i = 0; i < k_; ++i) {
     // t += a[i] * b
@@ -87,11 +189,74 @@ void Montgomery::mont_mul(const u64* a, const u64* b, u64* out) const {
   }
 }
 
+void Montgomery::add_limbs(const u64* a, const u64* b, u64* out) const {
+  const u64* n = n_.limbs_.data();
+  u64 carry = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    const u128 s = static_cast<u128>(a[i]) + b[i] + carry;
+    out[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  // Reduce: the sum is in [0, 2n), possibly with a carry limb.
+  bool ge = carry != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k_; i-- > 0;) {
+      if (out[i] != n[i]) {
+        ge = out[i] > n[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+      const u128 diff = static_cast<u128>(out[i]) - n[i] - borrow;
+      out[i] = static_cast<u64>(diff);
+      borrow = (diff >> 64) ? 1 : 0;
+    }
+  }
+}
+
+void Montgomery::sub_limbs(const u64* a, const u64* b, u64* out) const {
+  const u64* n = n_.limbs_.data();
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    const u128 diff = static_cast<u128>(a[i]) - b[i] - borrow;
+    out[i] = static_cast<u64>(diff);
+    borrow = (diff >> 64) ? 1 : 0;
+  }
+  if (borrow) {  // a < b: wrap back into range by adding n
+    u64 carry = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+      const u128 s = static_cast<u128>(out[i]) + n[i] + carry;
+      out[i] = static_cast<u64>(s);
+      carry = static_cast<u64>(s >> 64);
+    }
+  }
+}
+
+void Montgomery::neg_limbs(const u64* a, u64* out) const {
+  u64 nonzero = 0;
+  for (std::size_t i = 0; i < k_; ++i) nonzero |= a[i];
+  if (nonzero == 0) {
+    std::fill_n(out, k_, u64{0});
+    return;
+  }
+  const u64* n = n_.limbs_.data();
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    const u128 diff = static_cast<u128>(n[i]) - a[i] - borrow;
+    out[i] = static_cast<u64>(diff);
+    borrow = (diff >> 64) ? 1 : 0;
+  }
+}
+
 BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {
   const std::vector<u64> pa = padded(a);
   const std::vector<u64> pb = padded(b);
   std::vector<u64> out(k_, 0);
-  mont_mul(pa.data(), pb.data(), out.data());
+  mul_limbs(pa.data(), pb.data(), out.data());
   BigInt r;
   r.limbs_ = std::move(out);
   r.trim();
@@ -135,6 +300,9 @@ BigInt Montgomery::pow_mont(const BigInt& base_mont, const BigInt& e) const {
       continue;
     }
   }
+  // The table holds powers of the base, which is secret-bearing for
+  // RSA-CRT and blinded-exponent callers; scrub before the frames die.
+  for (BigInt& entry : table) entry.wipe();
   if (!started) return one_;
   return acc;
 }

@@ -5,6 +5,14 @@
 // multiplication and windowed exponentiation. The prime-field layer keeps
 // its elements permanently in Montgomery form and reuses one shared
 // context per field, which is what makes the 512-bit Tate pairing usable.
+//
+// Two API levels coexist:
+//  - BigInt-valued (mul/pow/pow_mont): convenient, allocates per call;
+//    used by setup code and BigInt::pow_mod (RSA).
+//  - Limb-level (mul_limbs/add_limbs/...): operates on fixed k-limb
+//    little-endian arrays owned by the caller and never allocates, which
+//    is what keeps the field/curve/pairing hot path off the heap. All
+//    limb-level routines tolerate `out` aliasing an input.
 #pragma once
 
 #include <cstdint>
@@ -44,11 +52,40 @@ class Montgomery {
   /// base^e where base is in Montgomery form; result in Montgomery form.
   BigInt pow_mont(const BigInt& base_mont, const BigInt& e) const;
 
- private:
-  // CIOS Montgomery multiplication on k-limb little-endian arrays.
-  void mont_mul(const std::uint64_t* a, const std::uint64_t* b,
-                std::uint64_t* out) const;
+  // --- limb-level API (allocation-free) -----------------------------------
 
+  /// CIOS Montgomery product a*b*R^{-1} mod n on k-limb little-endian
+  /// arrays. `out` may alias `a` and/or `b`. Allocation-free for moduli
+  /// up to 4096 bits (a stack scratch; larger moduli fall back to heap).
+  void mul_limbs(const std::uint64_t* a, const std::uint64_t* b,
+                 std::uint64_t* out) const;
+
+  /// (a + b) mod n on reduced k-limb operands; `out` may alias.
+  void add_limbs(const std::uint64_t* a, const std::uint64_t* b,
+                 std::uint64_t* out) const;
+
+  /// (a - b) mod n on reduced k-limb operands; `out` may alias.
+  void sub_limbs(const std::uint64_t* a, const std::uint64_t* b,
+                 std::uint64_t* out) const;
+
+  /// (-a) mod n on a reduced k-limb operand; `out` may alias `a`.
+  void neg_limbs(const std::uint64_t* a, std::uint64_t* out) const;
+
+  /// Zero-pads the magnitude of `a` to exactly k limbs. Requires
+  /// 0 <= a < R (i.e. at most k limbs).
+  void pad_limbs(const BigInt& a, std::uint64_t* out) const;
+
+  /// BigInt from a k-limb little-endian array.
+  BigInt bigint_from_limbs(const std::uint64_t* a) const;
+
+  /// Montgomery form a*R mod n of an ordinary residue 0 <= a < n,
+  /// written into k limbs (`out` must hold k limbs).
+  void to_mont_limbs(const BigInt& a, std::uint64_t* out) const;
+
+  /// R mod n zero-padded to k limbs (the Montgomery form of 1).
+  const std::uint64_t* one_limbs() const { return one_padded_.data(); }
+
+ private:
   // Pads a BigInt's limbs to exactly k entries.
   std::vector<std::uint64_t> padded(const BigInt& a) const;
 
@@ -57,6 +94,8 @@ class Montgomery {
   std::uint64_t n0inv_ = 0;  // -n^{-1} mod 2^64
   BigInt r2_;                // R^2 mod n
   BigInt one_;               // R mod n
+  std::vector<std::uint64_t> one_padded_;  // R mod n, k limbs
+  std::vector<std::uint64_t> r2_padded_;   // R^2 mod n, k limbs
 };
 
 }  // namespace medcrypt::bigint

@@ -52,24 +52,48 @@ std::vector<Point> jac_to_affine_batch(
 JacPoint jac_dbl(const Curve& curve, const JacPoint& t, DblTrace* trace) {
   if (t.inf || t.y.is_zero()) return JacPoint{};
 
+  // In-place compound ops throughout: every temporary is a fixed-limb
+  // stack value, so the Miller loop's doubling steps never allocate.
   const Fp y_sq = t.y.square();
   const Fp z_sq = t.z.square();
-  const Fp s = (t.x * y_sq).dbl().dbl();             // S = 4XY^2
-  const Fp m = t.x.square() * curve.field()->from_u64(3) +
-               curve.a() * z_sq.square();            // M = 3X^2 + aZ^4
-  const Fp x3 = m.square() - s.dbl();                // X' = M^2 - 2S
-  const Fp y_4th_8 = y_sq.square().dbl().dbl().dbl();  // 8Y^4
-  const Fp y3 = m * (s - x3) - y_4th_8;              // Y' = M(S - X') - 8Y^4
-  const Fp z3 = (t.y * t.z).dbl();                   // Z' = 2YZ
+  Fp s = t.x;                                // S = 4XY^2
+  s *= y_sq;
+  s.dbl_inplace();
+  s.dbl_inplace();
+  const Fp x_sq = t.x.square();
+  Fp m = x_sq.dbl();                         // 3X^2 as 2X^2 + X^2 (no
+  m += x_sq;                                 // small-constant embed)
+  if (curve.a().is_one()) {                  // M = 3X^2 + aZ^4
+    m += z_sq.square();
+  } else if (!curve.a().is_zero()) {
+    Fp az4 = z_sq.square();
+    az4 *= curve.a();
+    m += az4;
+  }
+  Fp x3 = m.square();                        // X' = M^2 - 2S
+  x3 -= s;
+  x3 -= s;
+  Fp y3 = s;                                 // Y' = M(S - X') - 8Y^4
+  y3 -= x3;
+  y3 *= m;
+  Fp y_4th_8 = y_sq.square();
+  y_4th_8.dbl_inplace();
+  y_4th_8.dbl_inplace();
+  y_4th_8.dbl_inplace();
+  y3 -= y_4th_8;
+  Fp z3 = t.y;                               // Z' = 2YZ
+  z3 *= t.z;
+  z3.dbl_inplace();
 
   if (trace != nullptr) {
     trace->m = m;
     trace->x = t.x;
     trace->y_sq = y_sq;
     trace->z_sq = z_sq;
-    trace->zp_zsq = z3 * z_sq;  // 2YZ^3
+    trace->zp_zsq = z3;  // 2YZ^3
+    trace->zp_zsq *= z_sq;
   }
-  return JacPoint{x3, y3, z3, false};
+  return JacPoint{std::move(x3), std::move(y3), std::move(z3), false};
 }
 
 JacPoint jac_add_mixed(const Curve& curve, const JacPoint& t, const Point& p,
@@ -85,10 +109,15 @@ JacPoint jac_add_mixed(const Curve& curve, const JacPoint& t, const Point& p,
   }
 
   const Fp z_sq = t.z.square();
-  const Fp u2 = p.x() * z_sq;        // x_P in T's scale
-  const Fp s2 = p.y() * z_sq * t.z;  // y_P in T's scale
-  const Fp h = u2 - t.x;
-  const Fp r = s2 - t.y;
+  Fp u2 = p.x();  // x_P in T's scale
+  u2 *= z_sq;
+  Fp s2 = p.y();  // y_P in T's scale
+  s2 *= z_sq;
+  s2 *= t.z;
+  Fp h = std::move(u2);
+  h -= t.x;
+  Fp r = std::move(s2);
+  r -= t.y;
 
   if (h.is_zero()) {
     if (r.is_zero()) {
@@ -109,18 +138,29 @@ JacPoint jac_add_mixed(const Curve& curve, const JacPoint& t, const Point& p,
   }
 
   const Fp h_sq = h.square();
-  const Fp h_cu = h_sq * h;
-  const Fp v = t.x * h_sq;              // U1 * H^2
-  const Fp x3 = r.square() - h_cu - v.dbl();
-  const Fp y3 = r * (v - x3) - t.y * h_cu;
-  const Fp z3 = t.z * h;
+  Fp h_cu = h_sq;
+  h_cu *= h;
+  Fp v = t.x;  // U1 * H^2
+  v *= h_sq;
+  Fp x3 = r.square();
+  x3 -= h_cu;
+  x3 -= v;
+  x3 -= v;
+  Fp y3 = v;  // r(V - X') - Y1·H^3
+  y3 -= x3;
+  y3 *= r;
+  Fp y1_hcu = t.y;
+  y1_hcu *= h_cu;
+  y3 -= y1_hcu;
+  Fp z3 = t.z;
+  z3 *= h;
 
   if (trace != nullptr) {
     trace->zh = z3;
     trace->r = r;
     trace->vertical = false;
   }
-  return JacPoint{x3, y3, z3, false};
+  return JacPoint{std::move(x3), std::move(y3), std::move(z3), false};
 }
 
 Point jac_mul(const Point& p, const bigint::BigInt& k) {

@@ -7,7 +7,7 @@ namespace medcrypt::elgamal {
 
 KeyPair keygen(const Params& params, RandomSource& rng) {
   const BigInt x = BigInt::random_unit(rng, params.order());
-  return KeyPair{x, params.group.generator.mul(x)};
+  return KeyPair{x, params.group.mul_g(x)};
 }
 
 Bytes mask_from_point(const Point& s, std::size_t n) {
@@ -21,7 +21,7 @@ CpaCiphertext cpa_encrypt(const Params& params, const Point& pub,
   }
   const BigInt r = BigInt::random_unit(rng, params.order());
   const Point shared = pub.mul(r);
-  return CpaCiphertext{params.group.generator.mul(r),
+  return CpaCiphertext{params.group.mul_g(r),
                        xor_bytes(message, mask_from_point(shared, message.size()))};
 }
 

@@ -50,7 +50,7 @@ FoCiphertext fo_encrypt(const Params& params, const Point& pub,
   rng.fill(sigma);
   const BigInt r = fo_derive_r(sigma, message, params.order());
   const Point shared = pub.mul(r);
-  return FoCiphertext{params.group.generator.mul(r),
+  return FoCiphertext{params.group.mul_g(r),
                       xor_bytes(sigma, mask_from_point(shared, n)),
                       xor_bytes(message, fo_sigma_mask(sigma, n))};
 }
@@ -64,7 +64,7 @@ Bytes fo_decrypt_with_shared(const Params& params, const Point& shared,
   const Bytes sigma = xor_bytes(ct.c2, mask_from_point(shared, n));
   const Bytes message = xor_bytes(ct.c3, fo_sigma_mask(sigma, n));
   const BigInt r = fo_derive_r(sigma, message, params.order());
-  if (!(params.group.generator.mul(r) == ct.c1)) {
+  if (!(params.group.mul_g(r) == ct.c1)) {
     throw DecryptionError("FO-ElGamal: ciphertext validity check failed");
   }
   return message;

@@ -1,11 +1,19 @@
 #include "field/fp.h"
 
+#include <array>
+
 #include "common/error.h"
 
 namespace medcrypt::field {
 
 PrimeField::PrimeField(BigInt p)
-    : mont_(std::move(p)), byte_size_((mont_.modulus().bit_length() + 7) / 8) {}
+    : mont_(std::move(p)), byte_size_((mont_.modulus().bit_length() + 7) / 8) {
+  // Exponents Fp recomputed per call before this cache existed.
+  const BigInt& m = mont_.modulus();
+  legendre_exp_ = (m - BigInt(1)) >> 1;
+  fermat_exp_ = m - BigInt(2);
+  if (m.bit(0) && m.bit(1)) sqrt_exp_ = (m + BigInt(1)) >> 2;  // p ≡ 3 (mod 4)
+}
 
 std::shared_ptr<const PrimeField> PrimeField::make(BigInt p) {
   // enable_shared_from_this requires shared ownership from the start.
@@ -13,15 +21,19 @@ std::shared_ptr<const PrimeField> PrimeField::make(BigInt p) {
 }
 
 Fp PrimeField::zero() const {
-  return Fp(shared_from_this(), BigInt{});
+  return Fp(shared_from_this(), LimbStore(mont_.limbs()));
 }
 
 Fp PrimeField::one() const {
-  return Fp(shared_from_this(), mont_.one());
+  LimbStore s(mont_.limbs());
+  std::copy_n(mont_.one_limbs(), mont_.limbs(), s.data());
+  return Fp(shared_from_this(), std::move(s));
 }
 
 Fp PrimeField::from_bigint(const BigInt& v) const {
-  return Fp(shared_from_this(), mont_.to_mont(v.mod(modulus())));
+  LimbStore s(mont_.limbs());
+  mont_.to_mont_limbs(v.mod(modulus()), s.data());
+  return Fp(shared_from_this(), std::move(s));
 }
 
 Fp PrimeField::from_u64(std::uint64_t v) const {
@@ -36,15 +48,32 @@ Fp PrimeField::from_bytes(BytesView bytes) const {
   if (v >= modulus()) {
     throw InvalidArgument("PrimeField::from_bytes: value >= modulus");
   }
-  return Fp(shared_from_this(), mont_.to_mont(v));
+  LimbStore s(mont_.limbs());
+  mont_.to_mont_limbs(v, s.data());
+  return Fp(shared_from_this(), std::move(s));
 }
 
 Fp PrimeField::random(RandomSource& rng) const {
-  return Fp(shared_from_this(), mont_.to_mont(BigInt::random_below(rng, modulus())));
+  LimbStore s(mont_.limbs());
+  mont_.to_mont_limbs(BigInt::random_below(rng, modulus()), s.data());
+  return Fp(shared_from_this(), std::move(s));
 }
 
 bool Fp::is_one() const {
-  return field_ && mont_value_ == field_->mont().one();
+  if (!field_ || store_.empty()) return false;
+  const std::uint64_t* a = store_.data();
+  const std::uint64_t* one = field_->mont().one_limbs();
+  for (std::size_t i = 0; i < store_.size(); ++i) {
+    if (a[i] != one[i]) return false;
+  }
+  return true;
+}
+
+void Fp::check_bound(const char* op) const {
+  if (!field_) {
+    throw InvalidArgument(std::string("Fp: ") + op +
+                          " on default-constructed element");
+  }
 }
 
 void Fp::check_same_field(const Fp& o) const {
@@ -56,61 +85,137 @@ void Fp::check_same_field(const Fp& o) const {
   }
 }
 
-Fp Fp::operator+(const Fp& o) const {
+Fp& Fp::operator+=(const Fp& o) {
   check_same_field(o);
-  return Fp(field_, mont_value_.add_mod(o.mont_value_, field_->modulus()));
+  field_->mont().add_limbs(store_.data(), o.store_.data(), store_.data());
+  return *this;
+}
+
+Fp& Fp::operator-=(const Fp& o) {
+  check_same_field(o);
+  field_->mont().sub_limbs(store_.data(), o.store_.data(), store_.data());
+  return *this;
+}
+
+Fp& Fp::operator*=(const Fp& o) {
+  check_same_field(o);
+  field_->mont().mul_limbs(store_.data(), o.store_.data(), store_.data());
+  return *this;
+}
+
+Fp Fp::operator+(const Fp& o) const {
+  Fp r = *this;
+  r += o;
+  return r;
 }
 
 Fp Fp::operator-(const Fp& o) const {
-  check_same_field(o);
-  return Fp(field_, mont_value_.sub_mod(o.mont_value_, field_->modulus()));
-}
-
-Fp Fp::operator-() const {
-  if (!field_) throw InvalidArgument("Fp: negate default-constructed element");
-  if (mont_value_.is_zero()) return *this;
-  return Fp(field_, field_->modulus() - mont_value_);
+  Fp r = *this;
+  r -= o;
+  return r;
 }
 
 Fp Fp::operator*(const Fp& o) const {
-  check_same_field(o);
-  return Fp(field_, field_->mont().mul(mont_value_, o.mont_value_));
+  Fp r = *this;
+  r *= o;
+  return r;
+}
+
+void Fp::negate_inplace() {
+  check_bound("negate");
+  field_->mont().neg_limbs(store_.data(), store_.data());
+}
+
+Fp Fp::operator-() const {
+  Fp r = *this;
+  r.negate_inplace();
+  return r;
+}
+
+void Fp::square_inplace() {
+  check_bound("square");
+  field_->mont().mul_limbs(store_.data(), store_.data(), store_.data());
+}
+
+Fp Fp::square() const {
+  Fp r = *this;
+  r.square_inplace();
+  return r;
+}
+
+void Fp::dbl_inplace() {
+  check_bound("double");
+  field_->mont().add_limbs(store_.data(), store_.data(), store_.data());
+}
+
+Fp Fp::dbl() const {
+  Fp r = *this;
+  r.dbl_inplace();
+  return r;
 }
 
 bool Fp::operator==(const Fp& o) const {
   if (!field_ || !o.field_) return !field_ && !o.field_;
-  return field_->modulus() == o.field_->modulus() && mont_value_ == o.mont_value_;
+  return field_->modulus() == o.field_->modulus() && store_.equals(o.store_);
 }
 
 Fp Fp::inverse() const {
-  if (!field_) throw InvalidArgument("Fp: inverse of default-constructed element");
+  check_bound("inverse");
   if (is_zero()) throw InvalidArgument("Fp: inverse of zero");
-  // inv(a*R) = a^{-1} R^{-1}; multiplying by R^2 (to_mont twice... ) —
-  // simplest correct path: leave Montgomery, invert, re-enter.
-  const BigInt plain = field_->mont().from_mont(mont_value_);
-  return Fp(field_, field_->mont().to_mont(plain.mod_inverse(field_->modulus())));
+  // Fermat: (aR)^(p-2) under Montgomery multiplication is a^(p-2)·R, so
+  // the element never leaves the Montgomery domain (the old path
+  // converted out, ran the extended GCD and converted back in).
+  return pow(field_->fermat_exponent());
 }
 
 Fp Fp::pow(const BigInt& e) const {
-  if (!field_) throw InvalidArgument("Fp: pow of default-constructed element");
-  return Fp(field_, field_->mont().pow_mont(mont_value_, e));
+  check_bound("pow");
+  if (e.is_negative()) throw InvalidArgument("Fp::pow: negative exponent");
+  Fp result = field_->one();
+  if (e.is_zero()) return result;
+
+  // Fixed 4-bit window; the table lives on the stack and is wiped below
+  // because the base (hence its powers) may be secret-bearing.
+  constexpr int kWindow = 4;
+  std::array<Fp, std::size_t{1} << kWindow> table;
+  table[0] = result;
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    table[i] = table[i - 1];
+    table[i] *= *this;
+  }
+
+  const std::size_t nwindows = (e.bit_length() + kWindow - 1) / kWindow;
+  bool started = false;
+  for (std::size_t w = nwindows; w-- > 0;) {
+    if (started) {
+      for (int i = 0; i < kWindow; ++i) result.square_inplace();
+    }
+    unsigned idx = 0;
+    for (int i = kWindow - 1; i >= 0; --i) {
+      idx = (idx << 1) | (e.bit(w * kWindow + i) ? 1u : 0u);
+    }
+    if (idx != 0) {
+      result *= table[idx];
+      started = true;
+    }
+  }
+  for (Fp& entry : table) entry.wipe();
+  return result;
 }
 
 bool Fp::is_square() const {
   if (is_zero()) return true;
-  const BigInt exp = (field_->modulus() - BigInt(1)) >> 1;
-  return pow(exp).is_one();
+  return pow(field_->legendre_exponent()).is_one();
 }
 
 Fp Fp::sqrt() const {
-  if (!field_) throw InvalidArgument("Fp: sqrt of default-constructed element");
+  check_bound("sqrt");
   if (is_zero()) return *this;
   const BigInt& p = field_->modulus();
   if (!is_square()) throw InvalidArgument("Fp: sqrt of non-square");
 
   if (p.bit(0) && p.bit(1)) {  // p ≡ 3 (mod 4)
-    const BigInt exp = (p + BigInt(1)) >> 2;
-    return pow(exp);
+    return pow(field_->sqrt_exponent());
   }
 
   // Tonelli–Shanks for p ≡ 1 (mod 4).
@@ -147,8 +252,9 @@ Fp Fp::sqrt() const {
 }
 
 BigInt Fp::to_bigint() const {
-  if (!field_) throw InvalidArgument("Fp: to_bigint of default-constructed element");
-  return field_->mont().from_mont(mont_value_);
+  check_bound("to_bigint");
+  return field_->mont().from_mont(
+      field_->mont().bigint_from_limbs(store_.data()));
 }
 
 Bytes Fp::to_bytes() const {

@@ -1,9 +1,15 @@
 // Prime field F_p.
 //
-// PrimeField is an immutable shared context (modulus + Montgomery state);
-// Fp is a value-semantic element kept permanently in Montgomery form.
-// Elements remember their field via shared_ptr so mixed-field operations
-// are detected, and contexts never dangle.
+// PrimeField is an immutable shared context (modulus + Montgomery state
+// + cached exponents); Fp is a value-semantic element kept permanently
+// in Montgomery form, stored as exactly k padded limbs (LimbStore) so
+// every field operation runs at the Montgomery limb level without heap
+// allocation. Elements remember their field via shared_ptr so
+// mixed-field operations are detected, and contexts never dangle.
+//
+// The compound operators (+=, -=, *=) and the *_inplace methods mutate
+// in place and are the hot-path spelling: the curve and pairing layers
+// thread them through so a full Tate pairing allocates nothing.
 #pragma once
 
 #include <memory>
@@ -12,6 +18,7 @@
 #include "bigint/montgomery.h"
 #include "common/bytes.h"
 #include "common/random_source.h"
+#include "field/limb_store.h"
 
 namespace medcrypt::field {
 
@@ -31,6 +38,9 @@ class PrimeField : public std::enable_shared_from_this<PrimeField> {
   /// Serialized size of one element (big-endian, fixed width).
   std::size_t byte_size() const { return byte_size_; }
 
+  /// Limb width of one element (the Montgomery k).
+  std::size_t limb_count() const { return mont_.limbs(); }
+
   Fp zero() const;
   Fp one() const;
 
@@ -48,11 +58,23 @@ class PrimeField : public std::enable_shared_from_this<PrimeField> {
 
   const bigint::Montgomery& mont() const { return mont_; }
 
+  /// (p-1)/2, the Euler-criterion exponent (cached; Fp::is_square).
+  const BigInt& legendre_exponent() const { return legendre_exp_; }
+
+  /// (p+1)/4 when p ≡ 3 (mod 4), zero otherwise (cached; Fp::sqrt).
+  const BigInt& sqrt_exponent() const { return sqrt_exp_; }
+
+  /// p-2, the Fermat-inversion exponent (cached; Fp::inverse).
+  const BigInt& fermat_exponent() const { return fermat_exp_; }
+
  private:
   explicit PrimeField(BigInt p);
 
   bigint::Montgomery mont_;
   std::size_t byte_size_;
+  BigInt legendre_exp_;  // (p-1)/2
+  BigInt sqrt_exp_;      // (p+1)/4 for p ≡ 3 (mod 4), else zero
+  BigInt fermat_exp_;    // p-2
 };
 
 /// Element of a prime field, internally in Montgomery form.
@@ -64,25 +86,31 @@ class Fp {
 
   const std::shared_ptr<const PrimeField>& field() const { return field_; }
 
-  bool is_zero() const { return mont_value_.is_zero(); }
+  bool is_zero() const { return store_.is_zero(); }
   bool is_one() const;
 
   Fp operator+(const Fp& o) const;
   Fp operator-(const Fp& o) const;
   Fp operator*(const Fp& o) const;
   Fp operator-() const;
-  Fp& operator+=(const Fp& o) { return *this = *this + o; }
-  Fp& operator-=(const Fp& o) { return *this = *this - o; }
-  Fp& operator*=(const Fp& o) { return *this = *this * o; }
+  Fp& operator+=(const Fp& o);
+  Fp& operator-=(const Fp& o);
+  Fp& operator*=(const Fp& o);
 
   bool operator==(const Fp& o) const;
 
-  Fp square() const { return *this * *this; }
+  Fp square() const;
 
   /// Doubles (cheaper than generic add for EC formulas readability only).
-  Fp dbl() const { return *this + *this; }
+  Fp dbl() const;
 
-  /// Multiplicative inverse; throws InvalidArgument on zero.
+  // In-place variants of square/double/negate for the hot path.
+  void square_inplace();
+  void dbl_inplace();
+  void negate_inplace();
+
+  /// Multiplicative inverse by Fermat (a^(p-2), staying in the
+  /// Montgomery domain); throws InvalidArgument on zero.
   Fp inverse() const;
 
   /// this^e for e >= 0.
@@ -109,19 +137,20 @@ class Fp {
   /// Scrubs the element and detaches it from its field (the element
   /// becomes default-constructed). Called by secret holders' destructors.
   void wipe() {
-    mont_value_.wipe();
+    store_.wipe();
     field_.reset();
   }
 
  private:
   friend class PrimeField;
-  Fp(std::shared_ptr<const PrimeField> field, BigInt mont_value)
-      : field_(std::move(field)), mont_value_(std::move(mont_value)) {}
+  Fp(std::shared_ptr<const PrimeField> field, LimbStore store)
+      : field_(std::move(field)), store_(std::move(store)) {}
 
   void check_same_field(const Fp& o) const;
+  void check_bound(const char* op) const;
 
   std::shared_ptr<const PrimeField> field_;
-  BigInt mont_value_;
+  LimbStore store_;
 };
 
 }  // namespace medcrypt::field

@@ -10,33 +10,66 @@ Fp2::Fp2(Fp a) : a_(std::move(a)) {
   b_ = a_.field()->zero();
 }
 
-Fp2 Fp2::operator*(const Fp2& o) const {
+void Fp2::mul_inplace(const Fp2& o) {
   // Karatsuba-style: (a + bi)(c + di) = (ac - bd) + ((a+b)(c+d) - ac - bd) i
-  const Fp ac = a_ * o.a_;
-  const Fp bd = b_ * o.b_;
-  const Fp cross = (a_ + b_) * (o.a_ + o.b_) - ac - bd;
-  return Fp2(ac - bd, cross);
+  // All reads of `o` happen before any write, so o == *this is fine.
+  Fp ac = a_;
+  ac *= o.a_;
+  Fp bd = b_;
+  bd *= o.b_;
+  Fp cross = a_;
+  cross += b_;
+  Fp sum2 = o.a_;
+  sum2 += o.b_;
+  cross *= sum2;
+  cross -= ac;
+  cross -= bd;
+  a_ = std::move(ac);
+  a_ -= bd;
+  b_ = std::move(cross);
+}
+
+void Fp2::square_inplace() {
+  // (a + bi)^2 = (a+b)(a-b) + 2ab i
+  Fp sum = a_;
+  sum += b_;
+  Fp diff = a_;
+  diff -= b_;
+  sum *= diff;   // (a+b)(a-b)
+  b_ *= a_;      // ab
+  b_.dbl_inplace();
+  a_ = std::move(sum);
+}
+
+Fp2 Fp2::operator*(const Fp2& o) const {
+  Fp2 r = *this;
+  r.mul_inplace(o);
+  return r;
 }
 
 Fp2 Fp2::square() const {
-  // (a + bi)^2 = (a+b)(a-b) + 2ab i
-  const Fp re = (a_ + b_) * (a_ - b_);
-  const Fp im = (a_ * b_).dbl();
-  return Fp2(re, im);
+  Fp2 r = *this;
+  r.square_inplace();
+  return r;
 }
 
 Fp2 Fp2::inverse() const {
   if (is_zero()) throw InvalidArgument("Fp2: inverse of zero");
   const Fp n_inv = norm().inverse();
-  return Fp2(a_ * n_inv, -(b_ * n_inv));
+  Fp ra = a_;
+  ra *= n_inv;
+  Fp rb = b_;
+  rb *= n_inv;
+  rb.negate_inplace();
+  return Fp2(std::move(ra), std::move(rb));
 }
 
 Fp2 Fp2::pow(const BigInt& e) const {
   if (e.is_negative()) throw InvalidArgument("Fp2::pow: negative exponent");
   Fp2 result = one(a_.field());
   for (std::size_t i = e.bit_length(); i-- > 0;) {
-    result = result.square();
-    if (e.bit(i)) result = result * *this;
+    result.square_inplace();
+    if (e.bit(i)) result.mul_inplace(*this);
   }
   return result;
 }

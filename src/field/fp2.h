@@ -31,10 +31,19 @@ class Fp2 {
   Fp2 operator-(const Fp2& o) const { return Fp2(a_ - o.a_, b_ - o.b_); }
   Fp2 operator-() const { return Fp2(-a_, -b_); }
   Fp2 operator*(const Fp2& o) const;
-  Fp2& operator*=(const Fp2& o) { return *this = *this * o; }
+  Fp2& operator*=(const Fp2& o) {
+    mul_inplace(o);
+    return *this;
+  }
   bool operator==(const Fp2& o) const { return a_ == o.a_ && b_ == o.b_; }
 
   Fp2 square() const;
+
+  // In-place hot-path variants: all temporaries live in fixed-limb
+  // stack storage, so the pairing's Miller loop and final
+  // exponentiation never allocate. `o` may alias *this.
+  void mul_inplace(const Fp2& o);
+  void square_inplace();
 
   /// Complex conjugate a - b·i; equals the Frobenius x -> x^p here.
   Fp2 conjugate() const { return Fp2(a_, -b_); }

@@ -13,7 +13,7 @@ const ec::Point& WccaToCcaReduction::sem_half(std::string_view identity) {
   // "B chooses a random point d_IDi,sem and puts the entry into L_sem."
   const auto& params = challenger_.params();
   ec::Point fresh =
-      params.generator().mul(bigint::BigInt::random_unit(rng_, params.order()));
+      params.group.mul_g(bigint::BigInt::random_unit(rng_, params.order()));
   return l_sem_.emplace(std::string(identity), std::move(fresh)).first->second;
 }
 

@@ -56,7 +56,7 @@ std::vector<Point> simulate_verification_keys(
       // For corrupted players the key is directly c_i·P.
       for (const CorruptedShare& c : corrupted) {
         if (c.index == i) {
-          keys.push_back(group.generator.mul(c.value.mod(q)));
+          keys.push_back(group.mul_g(c.value.mod(q)));
           break;
         }
       }
@@ -67,7 +67,7 @@ std::vector<Point> simulate_verification_keys(
     for (std::size_t j = 0; j < corrupted.size(); ++j) {
       const BigInt coeff =
           lagrange_at(j + 1, x).mul_mod(corrupted[j].value.mod(q), q);
-      acc += group.generator.mul(coeff);
+      acc += group.mul_g(coeff);
     }
     keys.push_back(acc);
   }

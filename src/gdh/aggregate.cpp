@@ -60,7 +60,7 @@ BlindingState blind_message(const pairing::ParamSet& group, BytesView message,
                             RandomSource& rng) {
   BlindingState state;
   state.r = BigInt::random_unit(rng, group.order());
-  state.blinded = hash_message(group, message) + group.generator.mul(state.r);
+  state.blinded = hash_message(group, message) + group.mul_g(state.r);
   return state;
 }
 

@@ -7,7 +7,7 @@ namespace medcrypt::gdh {
 
 KeyPair keygen(const pairing::ParamSet& group, RandomSource& rng) {
   const BigInt x = BigInt::random_unit(rng, group.order());
-  return KeyPair{x, group.generator.mul(x)};
+  return KeyPair{x, group.mul_g(x)};
 }
 
 Point hash_message(const pairing::ParamSet& group, BytesView message) {

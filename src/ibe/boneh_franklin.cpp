@@ -1,10 +1,42 @@
 #include "ibe/boneh_franklin.h"
 
+#include <array>
+
 #include "common/error.h"
 #include "ec/hash_to_point.h"
+#include "ec/jacobian.h"
 #include "hash/kdf.h"
 
 namespace medcrypt::ibe {
+
+namespace {
+
+// Shared core of both encryption variants: U = rP and the pairing mask
+// g^r. By bilinearity ê(P_pub, Q_ID)^r = ê(r·P_pub, Q_ID), so instead of
+// an F_{p^2} exponentiation after the pairing we take one extra
+// fixed-base walk before it; rP and r·P_pub stay Jacobian and share a
+// single batched inversion.
+struct EncryptCore {
+  Point u;   // rP
+  Fp2 mask;  // ê(P_pub, Q_ID)^r
+};
+
+EncryptCore encrypt_core(const SystemParams& params, const Point& q_id,
+                         const BigInt& r) {
+  const pairing::TatePairing pairing(params.curve());
+  if (params.group.generator_table && params.p_pub_table) {
+    const std::array<ec::JacPoint, 2> jac{
+        params.group.generator_table->mul_jac(r),
+        params.p_pub_table->mul_jac(r)};
+    std::vector<Point> affine = ec::jac_to_affine_batch(params.curve(), jac);
+    return EncryptCore{std::move(affine[0]), pairing.pair(affine[1], q_id)};
+  }
+  // Hand-assembled params without tables: the pre-table path.
+  return EncryptCore{params.generator().mul(r),
+                     pairing.pair(params.p_pub, q_id).pow(r)};
+}
+
+}  // namespace
 
 Point map_identity(const SystemParams& params, std::string_view identity) {
   return ec::hash_to_subgroup(params.curve(), "BF.H1",
@@ -62,10 +94,10 @@ BasicCiphertext basic_encrypt(const SystemParams& params,
   const Point q_id = map_identity(params, identity);
   const BigInt r = BigInt::random_unit(rng, params.order());
 
-  const pairing::TatePairing pairing(params.curve());
-  const Fp2 g = pairing.pair(params.p_pub, q_id).pow(r);
-  return BasicCiphertext{params.generator().mul(r),
-                         xor_bytes(message, mask_from_g(g, params.message_len))};
+  EncryptCore core = encrypt_core(params, q_id, r);
+  return BasicCiphertext{
+      std::move(core.u),
+      xor_bytes(message, mask_from_g(core.mask, params.message_len))};
 }
 
 Bytes basic_decrypt(const SystemParams& params, const Point& private_key,
@@ -112,11 +144,9 @@ FullCiphertext full_encrypt(const SystemParams& params,
   rng.fill(sigma);
   const BigInt r = derive_r(sigma, message, params.order());
 
-  const pairing::TatePairing pairing(params.curve());
-  const Fp2 g_r = pairing.pair(params.p_pub, q_id).pow(r);
-
-  return FullCiphertext{params.generator().mul(r),
-                        xor_bytes(sigma, mask_from_g(g_r, n)),
+  EncryptCore core = encrypt_core(params, q_id, r);
+  return FullCiphertext{std::move(core.u),
+                        xor_bytes(sigma, mask_from_g(core.mask, n)),
                         xor_bytes(message, mask_from_sigma(sigma, n))};
 }
 
@@ -131,7 +161,7 @@ Bytes full_decrypt_with_mask(const SystemParams& params, const Fp2& g_r,
 
   // Fujisaki–Okamoto validity check: re-derive r and verify U = rP.
   const BigInt r = derive_r(sigma, message, params.order());
-  if (!(params.generator().mul(r) == ct.u)) {
+  if (!(params.group.mul_g(r) == ct.u)) {
     throw DecryptionError("FullIdent: ciphertext validity check failed");
   }
   return message;

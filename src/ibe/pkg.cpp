@@ -12,7 +12,9 @@ Pkg::Pkg(pairing::ParamSet group, std::size_t message_len, BigInt master_key)
   if (master_key_ <= BigInt(0) || master_key_ >= group.order()) {
     throw InvalidArgument("Pkg: master key out of range");
   }
-  params_.p_pub = group.generator.mul(master_key_);
+  params_.p_pub = group.mul_g(master_key_);
+  params_.p_pub_table =
+      std::make_shared<ec::FixedBaseTable>(params_.p_pub, group.order());
   params_.group = std::move(group);
   params_.message_len = message_len;
 }
@@ -27,7 +29,7 @@ SplitKey Pkg::extract_split(std::string_view identity,
   // d_user is a uniformly random point of the q-order subgroup: a random
   // scalar multiple of the generator.
   const Point d_user =
-      params_.generator().mul(BigInt::random_unit(rng, params_.order()));
+      params_.group.mul_g(BigInt::random_unit(rng, params_.order()));
   return SplitKey{d_user, d_id - d_user};
 }
 

@@ -51,7 +51,7 @@ HessSignature hess_sign(const ibe::SystemParams& params, const Point& d_id,
   const Fp2 r = pairing.pair(params.generator(), params.generator()).pow(k);
   HessSignature sig;
   sig.v = hess_challenge(params, message, r);
-  sig.u = d_id.mul(sig.v) + params.generator().mul(k);
+  sig.u = d_id.mul(sig.v) + params.group.mul_g(k);
   return sig;
 }
 

@@ -57,7 +57,7 @@ MediatedGdhUser enroll_gdh_user(const pairing::ParamSet& group,
   const BigInt x_user = BigInt::random_unit(rng, group.order());
   const BigInt x_sem = BigInt::random_unit(rng, group.order());
   const Point public_key =
-      group.generator.mul(x_user.add_mod(x_sem, group.order()));
+      group.mul_g(x_user.add_mod(x_sem, group.order()));
   sem.install_key(identity, x_sem);
   return MediatedGdhUser(group, std::move(identity), x_user, public_key);
 }

@@ -4,8 +4,14 @@ namespace medcrypt::mediated {
 
 IbsMediator::IbsMediator(ibe::SystemParams params,
                          std::shared_ptr<RevocationList> revocations)
-    : MediatorBase<ec::Point>(std::move(revocations)),
+    : MediatorBase<IbsSemKey>(std::move(revocations)),
       params_(std::move(params)) {}
+
+void IbsMediator::install_key(std::string identity, ec::Point d_sem) {
+  IbsSemKey record(ec::FixedBaseTable(d_sem, params_.order()));
+  d_sem.wipe();
+  MediatorBase<IbsSemKey>::install_key(std::move(identity), std::move(record));
+}
 
 ec::Point IbsMediator::issue_token(std::string_view identity,
                                    BytesView message,
@@ -14,7 +20,7 @@ ec::Point IbsMediator::issue_token(std::string_view identity,
   // half by a caller-chosen scalar.
   const bigint::BigInt v = ibs::hess_challenge(params_, message, commitment);
   return with_key(identity,
-                  [&](const ec::Point& d_sem) { return d_sem.mul(v); });
+                  [&](const IbsSemKey& key) { return key.table.mul(v); });
 }
 
 MediatedIbsUser::MediatedIbsUser(ibe::SystemParams params,
@@ -42,7 +48,7 @@ ibs::HessSignature MediatedIbsUser::sign(BytesView message,
 
   ibs::HessSignature sig;
   sig.v = ibs::hess_challenge(params_, message, r);
-  sig.u = user_key_.mul(sig.v) + token + params_.generator().mul(k);
+  sig.u = user_key_.mul(sig.v) + token + params_.group.mul_g(k);
 
   if (!ibs::hess_verify(params_, identity_, message, sig)) {
     throw Error("MediatedIbsUser::sign: assembled signature invalid");

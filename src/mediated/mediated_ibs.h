@@ -20,6 +20,7 @@
 //   Verify: standard Hess verification against the identity string.
 #pragma once
 
+#include "ec/fixed_base.h"
 #include "ibs/hess.h"
 #include "mediated/sem_server.h"
 #include "sim/transport.h"
@@ -28,16 +29,41 @@ namespace medcrypt::mediated {
 
 using field::Fp2;
 
+/// SEM-side registry record for one identity: a fixed-base window table
+/// over d_ID,sem. Every token is v·d_ID,sem for a fresh challenge v, so
+/// the base never changes — the table turns each issuance into ~2 mixed
+/// additions per scalar nibble instead of a full double-and-add. Table
+/// entries are small multiples of the secret half, so the record wipes
+/// them on destruction.
+struct IbsSemKey {
+  IbsSemKey() = default;
+  explicit IbsSemKey(ec::FixedBaseTable t) : table(std::move(t)) {}
+  IbsSemKey(const IbsSemKey&) = default;
+  IbsSemKey(IbsSemKey&&) = default;
+  IbsSemKey& operator=(const IbsSemKey&) = default;
+  IbsSemKey& operator=(IbsSemKey&&) = default;
+  ~IbsSemKey() { wipe(); }
+
+  void wipe() { table.wipe(); }
+
+  ec::FixedBaseTable table;
+};
+
 /// SEM-side endpoint for mediated Hess IBS. The key halves are the SAME
 /// d_ID,sem points as the IbeMediator's — a deployment may share one
 /// registry; the class is separate only to keep the token protocols
 /// independently auditable.
-class IbsMediator : public MediatorBase<ec::Point> {
+class IbsMediator : public MediatorBase<IbsSemKey> {
  public:
   IbsMediator(ibe::SystemParams params,
               std::shared_ptr<RevocationList> revocations);
 
   const ibe::SystemParams& params() const { return params_; }
+
+  /// Installs (or replaces) the SEM half for `identity`. The fixed-base
+  /// table over d_ID,sem is built here, once per enrollment; the raw
+  /// point argument is wiped before returning.
+  void install_key(std::string identity, ec::Point d_sem);
 
   /// Issues the half-response v·d_ID,sem for commitment r and message M,
   /// recomputing v = H(M, r) itself. Throws RevokedError when revoked.

@@ -35,7 +35,8 @@ ParamSet generate_params(std::size_t p_bits, std::size_t q_bits,
     const Point candidate = curve->point(x, rhs.sqrt()).mul(h);
     if (candidate.is_infinity()) continue;
     // With q prime, any non-identity multiple of h has exact order q.
-    return ParamSet{curve, candidate};
+    return ParamSet{curve, candidate,
+                    std::make_shared<ec::FixedBaseTable>(candidate, q)};
   }
 }
 

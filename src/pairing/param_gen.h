@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "ec/curve.h"
+#include "ec/fixed_base.h"
 #include "ec/point.h"
 #include "common/random_source.h"
 
@@ -23,8 +24,19 @@ struct ParamSet {
   std::shared_ptr<const Curve> curve;
   Point generator;
 
+  /// Windowed fixed-base table for `generator`; generate_params always
+  /// fills it. shared_ptr keeps ParamSet copies cheap (the table is
+  /// ~600 affine points at sec80).
+  std::shared_ptr<const ec::FixedBaseTable> generator_table;
+
   /// Shorthand for curve->order().
   const BigInt& order() const { return curve->order(); }
+
+  /// k·P through the precomputed table; falls back to the generic
+  /// ladder for hand-assembled ParamSets without one.
+  Point mul_g(const BigInt& k) const {
+    return generator_table ? generator_table->mul(k) : generator.mul(k);
+  }
 };
 
 /// Generates a fresh parameter set with a `p_bits`-bit field prime and a

@@ -1,5 +1,8 @@
 #include "pairing/tate.h"
 
+#include <array>
+#include <utility>
+
 #include "common/error.h"
 #include "ec/jacobian.h"
 
@@ -23,6 +26,17 @@ TatePairing::TatePairing(std::shared_ptr<const Curve> curve)
   if (!r.is_zero()) {
     throw InvalidArgument("TatePairing: order must divide p + 1");
   }
+  // Window schedule of the tail exponent, computed once here instead of
+  // per pairing call (h >= 4, so there is at least one nonzero window).
+  const std::size_t nwindows = (exp_tail_.bit_length() + 3) / 4;
+  tail_digits_.reserve(nwindows);
+  for (std::size_t w = nwindows; w-- > 0;) {
+    unsigned d = 0;
+    for (int i = 3; i >= 0; --i) {
+      d = (d << 1) | (exp_tail_.bit(w * 4 + i) ? 1u : 0u);
+    }
+    tail_digits_.push_back(static_cast<std::uint8_t>(d));
+  }
 }
 
 Fp2 TatePairing::miller(const Point& p, const Point& q) const {
@@ -30,27 +44,35 @@ Fp2 TatePairing::miller(const Point& p, const Point& q) const {
 
   // Distorted coordinates of Q: x' = -x(Q) in F_p, y' = i * y(Q).
   const Fp xq = -q.x();
-  const Fp yq = q.y();
+  const Fp& yq = q.y();
 
   // Inversion-free Miller loop: T is tracked in Jacobian coordinates and
   // the line functions are evaluated from the doubling/addition
   // intermediates, scaled by F_p factors that the final exponentiation
-  // erases (see ec/jacobian.h for the derivations).
+  // erases (see ec/jacobian.h for the derivations). Compound in-place
+  // ops keep every temporary in fixed-limb stack storage.
   Fp2 f = Fp2::one(field);
   ec::JacPoint t = ec::jac_from_affine(p);
   const BigInt& order = curve_->order();
 
   for (std::size_t i = order.bit_length() - 1; i-- > 0;) {
     // Doubling step: f <- f^2 * l_{T,T}(Q'); T <- 2T.
-    f = f.square();
+    f.square_inplace();
     const bool have_line = !t.inf && !t.y.is_zero();
     ec::DblTrace dbl_trace;
     t = ec::jac_dbl(*curve_, t, have_line ? &dbl_trace : nullptr);
     if (have_line) {
       // L = M(X - Z^2 x') - 2Y^2 + i * (2YZ^3) y(Q)
-      f = f * Fp2(dbl_trace.m * (dbl_trace.x - dbl_trace.z_sq * xq) -
-                      dbl_trace.y_sq.dbl(),
-                  dbl_trace.zp_zsq * yq);
+      Fp re = dbl_trace.z_sq;
+      re *= xq;
+      re.negate_inplace();
+      re += dbl_trace.x;
+      re *= dbl_trace.m;
+      re -= dbl_trace.y_sq;
+      re -= dbl_trace.y_sq;
+      Fp im = dbl_trace.zp_zsq;
+      im *= yq;
+      f.mul_inplace(Fp2(std::move(re), std::move(im)));
     }
 
     if (order.bit(i)) {
@@ -62,8 +84,15 @@ Fp2 TatePairing::miller(const Point& p, const Point& q) const {
         t = ec::jac_add_mixed(*curve_, t, p, &add_trace);
         if (!add_trace.vertical) {
           // L = r (x_P - x') - ZH y_P + i * (ZH) y(Q)
-          f = f * Fp2(add_trace.r * (p.x() - xq) - add_trace.zh * p.y(),
-                      add_trace.zh * yq);
+          Fp re = p.x();
+          re -= xq;
+          re *= add_trace.r;
+          Fp tmp = add_trace.zh;
+          tmp *= p.y();
+          re -= tmp;
+          Fp im = add_trace.zh;
+          im *= yq;
+          f.mul_inplace(Fp2(std::move(re), std::move(im)));
         }
         // Vertical line (T = -P): lives in F_p, erased by the final
         // exponentiation — skip.
@@ -76,8 +105,34 @@ Fp2 TatePairing::miller(const Point& p, const Point& q) const {
 Fp2 TatePairing::final_exponentiation(const Fp2& f) const {
   // f^((p^2-1)/q) = (f^(p-1))^((p+1)/q); f^p is the conjugate, so
   // f^(p-1) = conj(f) / f.
-  const Fp2 powered = f.conjugate() * f.inverse();
-  return powered.pow(exp_tail_);
+  Fp2 powered = f.conjugate();
+  powered.mul_inplace(f.inverse());
+
+  // Windowed tail exponentiation over the schedule precomputed at
+  // construction; the 15-entry power table lives on the stack.
+  std::array<Fp2, 16> table;
+  table[1] = powered;
+  for (std::size_t i = 2; i < table.size(); ++i) {
+    table[i] = table[i - 1];
+    table[i].mul_inplace(powered);
+  }
+  Fp2 acc;
+  bool started = false;
+  for (const std::uint8_t d : tail_digits_) {
+    if (started) {
+      for (int i = 0; i < 4; ++i) acc.square_inplace();
+    }
+    if (d != 0) {
+      if (started) {
+        acc.mul_inplace(table[d]);
+      } else {
+        acc = table[d];
+        started = true;
+      }
+    }
+  }
+  if (!started) return Fp2::one(curve_->field());
+  return acc;
 }
 
 void PreparedPairing::wipe() {
@@ -153,13 +208,20 @@ Fp2 TatePairing::pair_with(const PreparedPairing& prepared,
   if (prepared.infinity_ || q.is_infinity()) return Fp2::one(field);
 
   const Fp xq = -q.x();
-  const Fp yq = q.y();
+  const Fp& yq = q.y();
   Fp2 f = Fp2::one(field);
   for (const PreparedPairing::Step& step : prepared.steps_) {
     if (step.op == PreparedPairing::Op::kSquare) {
-      f = f.square();
+      f.square_inplace();
     } else {
-      f = f * Fp2(step.c0 - step.c1 * xq, step.c2 * yq);
+      // L = (c0 - c1·x') + i·(c2·y')
+      Fp re = step.c1;
+      re *= xq;
+      re.negate_inplace();
+      re += step.c0;
+      Fp im = step.c2;
+      im *= yq;
+      f.mul_inplace(Fp2(std::move(re), std::move(im)));
     }
   }
   if (f.is_zero()) {

@@ -105,6 +105,10 @@ class TatePairing {
 
   std::shared_ptr<const Curve> curve_;
   BigInt exp_tail_;  // (p + 1) / q, the second factor of the final expo
+  // 4-bit windows of exp_tail_, most-significant first, precomputed at
+  // construction so the per-call final exponentiation only walks the
+  // schedule (the base-power table itself lives on the stack per call).
+  std::vector<std::uint8_t> tail_digits_;
 };
 
 }  // namespace medcrypt::pairing

@@ -30,7 +30,7 @@ DkgCommitment DkgParticipant::commitment() const {
   out.from = index_;
   out.coefficients.reserve(t_);
   for (const BigInt& a : my_coefficients_) {
-    out.coefficients.push_back(group_.generator.mul(a));
+    out.coefficients.push_back(group_.mul_g(a));
   }
   return out;
 }
@@ -71,7 +71,7 @@ bool DkgParticipant::receive_share(std::uint32_t from, const BigInt& share) {
     throw InvalidArgument("DkgParticipant: share before commitment");
   }
   // Feldman verification: s_ij·P == Σ_k j^k·A_ik.
-  if (!(group_.generator.mul(share) ==
+  if (!(group_.mul_g(share) ==
         evaluate_commitment(it->second, index_))) {
     complaints_.push_back(from);
     disqualified_.insert(from);
@@ -142,6 +142,8 @@ ThresholdSetup ibe_setup_from_dkg(const pairing::ParamSet& group,
   ThresholdSetup setup;
   setup.params.group = group;
   setup.params.p_pub = r.public_key;
+  setup.params.p_pub_table =
+      std::make_shared<ec::FixedBaseTable>(r.public_key, group.order());
   setup.params.message_len = message_len;
   setup.threshold = t;
   setup.players = n;

@@ -26,11 +26,11 @@ ElGamalDealing elgamal_threshold_setup(elgamal::Params params, std::size_t t,
   ElGamalDealing out;
   out.setup.threshold = t;
   out.setup.players = n;
-  out.setup.public_key = params.group.generator.mul(x);
+  out.setup.public_key = params.group.mul_g(x);
   out.setup.verification_keys.reserve(n);
   out.shares.reserve(n);
   for (const shamir::Share& share : sharing.shares) {
-    out.setup.verification_keys.push_back(params.group.generator.mul(share.value));
+    out.setup.verification_keys.push_back(params.group.mul_g(share.value));
     out.shares.push_back(ElGamalKeyShare{share.index, share.value});
   }
   out.setup.params = std::move(params);

@@ -26,11 +26,11 @@ GdhDealing gdh_threshold_setup(pairing::ParamSet group, std::size_t t,
   GdhDealing out;
   out.setup.threshold = t;
   out.setup.players = n;
-  out.setup.public_key = group.generator.mul(x);
+  out.setup.public_key = group.mul_g(x);
   out.setup.verification_keys.reserve(n);
   out.shares.reserve(n);
   for (const shamir::Share& share : sharing.shares) {
-    out.setup.verification_keys.push_back(group.generator.mul(share.value));
+    out.setup.verification_keys.push_back(group.mul_g(share.value));
     out.shares.push_back(GdhKeyShare{share.index, share.value});
   }
   out.setup.group = std::move(group);

@@ -24,13 +24,15 @@ ThresholdDealer::ThresholdDealer(pairing::ParamSet group,
   shamir::Sharing sharing = shamir::share_secret(s, t, n, q, rng);
   coefficients_ = std::move(sharing.coefficients);
 
-  setup_.params.p_pub = group.generator.mul(s);
+  setup_.params.p_pub = group.mul_g(s);
+  setup_.params.p_pub_table = std::make_shared<ec::FixedBaseTable>(
+      setup_.params.p_pub, group.order());
   setup_.params.message_len = message_len;
   setup_.threshold = t;
   setup_.players = n;
   setup_.verification_keys.reserve(n);
   for (const shamir::Share& share : sharing.shares) {
-    setup_.verification_keys.push_back(group.generator.mul(share.value));
+    setup_.verification_keys.push_back(group.mul_g(share.value));
   }
   setup_.params.group = std::move(group);
 }
@@ -41,10 +43,17 @@ std::vector<KeyShare> ThresholdDealer::extract_shares(
   const BigInt& q = setup_.params.order();
   std::vector<KeyShare> shares;
   shares.reserve(setup_.players);
+  // Every share multiplies the same per-identity base Q_ID, so a
+  // fixed-base table amortizes across players; below ~4 players the
+  // table build costs more than it saves.
+  const bool use_table = setup_.players >= 4;
+  const ec::FixedBaseTable q_id_table =
+      use_table ? ec::FixedBaseTable(q_id, q) : ec::FixedBaseTable();
   for (std::uint32_t i = 1; i <= setup_.players; ++i) {
     const BigInt f_i = shamir::evaluate_polynomial(
         coefficients_, BigInt(static_cast<std::uint64_t>(i)), q);
-    shares.push_back(KeyShare{i, q_id.mul(f_i)});
+    shares.push_back(KeyShare{i, use_table ? q_id_table.mul(f_i)
+                                           : q_id.mul(f_i)});
   }
   return shares;
 }

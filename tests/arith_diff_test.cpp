@@ -1,0 +1,284 @@
+// Differential tests for the fixed-limb arithmetic rewrite: every Fp/Fp2
+// operation (including the in-place hot-path variants) is checked against
+// a naive BigInt reference on random inputs, and the fixed-base window
+// tables are checked against plain double-and-add — including the scalar
+// edge cases k = 0, k = order and k > order that the window walk must
+// reduce away.
+#include <gtest/gtest.h>
+
+#include "bigint/bigint.h"
+#include "common/error.h"
+#include "ec/fixed_base.h"
+#include "ec/jacobian.h"
+#include "field/fp.h"
+#include "field/fp2.h"
+#include "hash/drbg.h"
+#include "pairing/params.h"
+
+namespace medcrypt {
+namespace {
+
+using bigint::BigInt;
+using ec::FixedBaseTable;
+using ec::Point;
+using field::Fp;
+using field::Fp2;
+using field::PrimeField;
+using hash::HmacDrbg;
+
+// The three limb widths the suite exercises: 1-limb, a mid-size prime,
+// and the 4-limb secp256k1 prime (all ≡ 3 mod 4 so sqrt() is the cheap
+// exponentiation path the pairing parameters use).
+std::vector<std::shared_ptr<const PrimeField>> test_fields() {
+  return {
+      PrimeField::make(BigInt(103)),
+      PrimeField::make(BigInt::from_hex("ffffffffffffffc5")),  // 2^64 - 59
+      PrimeField::make(BigInt::from_hex(
+          "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")),
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Fp vs BigInt reference
+// ---------------------------------------------------------------------------
+
+TEST(ArithDiff, FpValueOpsMatchBigInt) {
+  HmacDrbg rng(9001);
+  for (const auto& f : test_fields()) {
+    const BigInt& p = f->modulus();
+    for (int iter = 0; iter < 50; ++iter) {
+      const BigInt av = BigInt::random_below(rng, p);
+      const BigInt bv = BigInt::random_below(rng, p);
+      const Fp a = f->from_bigint(av), b = f->from_bigint(bv);
+
+      EXPECT_EQ((a + b).to_bigint(), av.add_mod(bv, p));
+      EXPECT_EQ((a - b).to_bigint(), av.sub_mod(bv, p));
+      EXPECT_EQ((a * b).to_bigint(), av.mul_mod(bv, p));
+      EXPECT_EQ((-a).to_bigint(), BigInt(0).sub_mod(av, p));
+      EXPECT_EQ(a.square().to_bigint(), av.mul_mod(av, p));
+      EXPECT_EQ(a.dbl().to_bigint(), av.add_mod(av, p));
+    }
+  }
+}
+
+TEST(ArithDiff, FpInplaceOpsMatchBigInt) {
+  HmacDrbg rng(9002);
+  for (const auto& f : test_fields()) {
+    const BigInt& p = f->modulus();
+    for (int iter = 0; iter < 50; ++iter) {
+      const BigInt av = BigInt::random_below(rng, p);
+      const BigInt bv = BigInt::random_below(rng, p);
+      const Fp a = f->from_bigint(av), b = f->from_bigint(bv);
+
+      Fp t = a;
+      t += b;
+      EXPECT_EQ(t.to_bigint(), av.add_mod(bv, p));
+      t = a;
+      t -= b;
+      EXPECT_EQ(t.to_bigint(), av.sub_mod(bv, p));
+      t = a;
+      t *= b;
+      EXPECT_EQ(t.to_bigint(), av.mul_mod(bv, p));
+      t = a;
+      t.square_inplace();
+      EXPECT_EQ(t.to_bigint(), av.mul_mod(av, p));
+      t = a;
+      t.dbl_inplace();
+      EXPECT_EQ(t.to_bigint(), av.add_mod(av, p));
+      t = a;
+      t.negate_inplace();
+      EXPECT_EQ(t.to_bigint(), BigInt(0).sub_mod(av, p));
+    }
+  }
+}
+
+// The in-place ops promise alias safety: x op= x must equal x op x.
+TEST(ArithDiff, FpInplaceOpsAliasSafe) {
+  HmacDrbg rng(9003);
+  for (const auto& f : test_fields()) {
+    const BigInt& p = f->modulus();
+    for (int iter = 0; iter < 25; ++iter) {
+      const BigInt av = BigInt::random_below(rng, p);
+      const Fp a = f->from_bigint(av);
+
+      Fp t = a;
+      t += t;
+      EXPECT_EQ(t.to_bigint(), av.add_mod(av, p));
+      t = a;
+      t *= t;
+      EXPECT_EQ(t.to_bigint(), av.mul_mod(av, p));
+      t = a;
+      t -= t;
+      EXPECT_TRUE(t.is_zero());
+    }
+  }
+}
+
+TEST(ArithDiff, FpInverseAndPowMatchBigInt) {
+  HmacDrbg rng(9004);
+  for (const auto& f : test_fields()) {
+    const BigInt& p = f->modulus();
+    for (int iter = 0; iter < 10; ++iter) {
+      const BigInt av = BigInt::random_below(rng, p);
+      const BigInt ev = BigInt::random_below(rng, p);
+      const Fp a = f->from_bigint(av);
+
+      EXPECT_EQ(a.pow(ev).to_bigint(), av.pow_mod(ev, p));
+      if (!a.is_zero()) {
+        EXPECT_EQ(a.inverse().to_bigint(), av.mod_inverse(p));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fp2 vs component-wise BigInt reference
+// ---------------------------------------------------------------------------
+
+struct Fp2Ref {
+  BigInt a, b;  // a + b·i, i^2 = -1
+};
+
+Fp2Ref ref_mul(const Fp2Ref& x, const Fp2Ref& y, const BigInt& p) {
+  // (a + bi)(c + di) = (ac - bd) + (ad + bc)i
+  return Fp2Ref{x.a.mul_mod(y.a, p).sub_mod(x.b.mul_mod(y.b, p), p),
+                x.a.mul_mod(y.b, p).add_mod(x.b.mul_mod(y.a, p), p)};
+}
+
+TEST(ArithDiff, Fp2MulAndSquareMatchReference) {
+  HmacDrbg rng(9005);
+  for (const auto& f : test_fields()) {
+    const BigInt& p = f->modulus();
+    for (int iter = 0; iter < 25; ++iter) {
+      const Fp2 x = Fp2::random(f, rng);
+      const Fp2 y = Fp2::random(f, rng);
+      const Fp2Ref xr{x.re().to_bigint(), x.im().to_bigint()};
+      const Fp2Ref yr{y.re().to_bigint(), y.im().to_bigint()};
+
+      const Fp2Ref prod = ref_mul(xr, yr, p);
+      const Fp2 z = x * y;
+      EXPECT_EQ(z.re().to_bigint(), prod.a);
+      EXPECT_EQ(z.im().to_bigint(), prod.b);
+
+      const Fp2Ref sq = ref_mul(xr, xr, p);
+      const Fp2 s = x.square();
+      EXPECT_EQ(s.re().to_bigint(), sq.a);
+      EXPECT_EQ(s.im().to_bigint(), sq.b);
+
+      // In-place variants, including the self-aliasing case.
+      Fp2 t = x;
+      t.mul_inplace(y);
+      EXPECT_EQ(t, z);
+      t = x;
+      t.square_inplace();
+      EXPECT_EQ(t, s);
+      t = x;
+      t.mul_inplace(t);
+      EXPECT_EQ(t, s);
+    }
+  }
+}
+
+TEST(ArithDiff, Fp2InverseAndPow) {
+  HmacDrbg rng(9006);
+  for (const auto& f : test_fields()) {
+    for (int iter = 0; iter < 10; ++iter) {
+      const Fp2 x = Fp2::random(f, rng);
+      if (x.is_zero()) continue;
+      EXPECT_TRUE((x * x.inverse()).is_one());
+
+      // pow against naive repeated multiplication for a small exponent.
+      Fp2 acc = Fp2::one(f);
+      for (int e = 0; e < 16; ++e) {
+        EXPECT_EQ(x.pow(BigInt(e)), acc);
+        acc *= x;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-base tables and jac_mul vs plain double-and-add
+// ---------------------------------------------------------------------------
+
+// Textbook MSB-first double-and-add with affine additions only — the
+// slow, obviously-correct reference both fast paths are compared to.
+Point naive_mul(const Point& base, const BigInt& k) {
+  Point acc = base.curve()->infinity();
+  if (k <= BigInt(0)) return acc;
+  for (std::size_t i = k.bit_length(); i-- > 0;) {
+    acc = acc.dbl();
+    if (k.bit(i)) acc += base;
+  }
+  return acc;
+}
+
+TEST(ArithDiff, FixedBaseTableMatchesNaiveMul) {
+  const pairing::ParamSet& g = pairing::toy_params();
+  const BigInt& q = g.order();
+  HmacDrbg rng(9007);
+  const FixedBaseTable table(g.generator, q);
+
+  for (int iter = 0; iter < 20; ++iter) {
+    const BigInt k = BigInt::random_below(rng, q);
+    const Point expected = naive_mul(g.generator, k);
+    EXPECT_EQ(table.mul(k), expected);
+    EXPECT_EQ(ec::jac_mul(g.generator, k), expected);
+  }
+}
+
+TEST(ArithDiff, FixedBaseTableScalarEdgeCases) {
+  const pairing::ParamSet& g = pairing::toy_params();
+  const BigInt& q = g.order();
+  const FixedBaseTable table(g.generator, q);
+
+  // k = 0 and k = order both hit the identity.
+  EXPECT_TRUE(table.mul(BigInt(0)).is_infinity());
+  EXPECT_TRUE(table.mul(q).is_infinity());
+  EXPECT_TRUE(ec::jac_mul(g.generator, BigInt(0)).is_infinity());
+
+  // k > order reduces: (q + 7)·P = 7·P; (2q + 1)·P = P.
+  EXPECT_EQ(table.mul(q + BigInt(7)), naive_mul(g.generator, BigInt(7)));
+  EXPECT_EQ(table.mul(q + q + BigInt(1)), g.generator);
+  EXPECT_EQ(ec::jac_mul(g.generator, q + BigInt(7)),
+            naive_mul(g.generator, BigInt(7)));
+
+  // k = 1 and k = order - 1 (the -P edge of the last window).
+  EXPECT_EQ(table.mul(BigInt(1)), g.generator);
+  EXPECT_EQ(table.mul(q - BigInt(1)), -g.generator);
+}
+
+TEST(ArithDiff, FixedBaseTableNonGeneratorBase) {
+  // A table over an arbitrary subgroup point (not the cached generator),
+  // as the IBS mediator builds over its secret key halves.
+  const pairing::ParamSet& g = pairing::toy_params();
+  const BigInt& q = g.order();
+  HmacDrbg rng(9008);
+  const Point base = g.mul_g(BigInt::random_unit(rng, q));
+  const FixedBaseTable table(base, q);
+
+  for (int iter = 0; iter < 10; ++iter) {
+    const BigInt k = BigInt::random_below(rng, q);
+    EXPECT_EQ(table.mul(k), naive_mul(base, k));
+  }
+}
+
+TEST(ArithDiff, FixedBaseTableInfinityBase) {
+  const pairing::ParamSet& g = pairing::toy_params();
+  const FixedBaseTable table(g.curve->infinity(), g.order());
+  EXPECT_TRUE(table.mul(BigInt(5)).is_infinity());
+  EXPECT_TRUE(table.mul(BigInt(0)).is_infinity());
+}
+
+TEST(ArithDiff, FixedBaseTableWipeReturnsToEmpty) {
+  const pairing::ParamSet& g = pairing::toy_params();
+  FixedBaseTable table(g.generator, g.order());
+  EXPECT_FALSE(table.empty());
+  EXPECT_GT(table.point_count(), 0u);
+  table.wipe();
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.point_count(), 0u);
+}
+
+}  // namespace
+}  // namespace medcrypt

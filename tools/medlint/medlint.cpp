@@ -105,6 +105,7 @@ const std::set<std::string> kSecretTypes = {
     "GdhKeyShare",    "ElGamalKeyShare", "Sharing",       "HmacDrbg",
     "Pkg",            "DkgParticipant", "ThresholdDealer", "SemHalfKey",
     "MRsaKeygenResult", "MRsaSemRecord", "UserKeys",      "IbeSemKey",
+    "IbsSemKey",      "LimbStore",
 };
 
 // Identifier components that mark a name as secret for *comparison*
