@@ -70,14 +70,16 @@ class LimbStore {
     return acc == 0;
   }
 
+  /// Constant-time over the limb contents: the accumulator sweeps every
+  /// limb so mismatch position never shows in the timing. Only the limb
+  /// *count* (public, it tracks the field size) can exit early.
   bool equals(const LimbStore& o) const {
     if (size_ != o.size_) return false;
     const std::uint64_t* a = data();
     const std::uint64_t* b = o.data();
-    for (std::size_t i = 0; i < size_; ++i) {
-      if (a[i] != b[i]) return false;
-    }
-    return true;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < size_; ++i) acc |= a[i] ^ b[i];
+    return acc == 0;
   }
 
   /// Scrubs the limbs through volatile stores and returns to the empty

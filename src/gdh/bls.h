@@ -21,8 +21,8 @@ using ec::Point;
 /// GDH signature key pair. The secret scalar is wiped on destruction.
 struct KeyPair {
   KeyPair() = default;
-  KeyPair(BigInt secret, Point pub)
-      : secret(std::move(secret)), pub(std::move(pub)) {}
+  KeyPair(BigInt secret_, Point pub_)
+      : secret(std::move(secret_)), pub(std::move(pub_)) {}
   KeyPair(const KeyPair&) = default;
   KeyPair(KeyPair&&) = default;
   KeyPair& operator=(const KeyPair&) = default;

@@ -21,8 +21,8 @@ namespace medcrypt::ibe {
 /// on destruction.
 struct SplitKey {
   SplitKey() = default;
-  SplitKey(Point user, Point sem)
-      : user(std::move(user)), sem(std::move(sem)) {}
+  SplitKey(Point user_, Point sem_)
+      : user(std::move(user_)), sem(std::move(sem_)) {}
   SplitKey(const SplitKey&) = default;
   SplitKey(SplitKey&&) = default;
   SplitKey& operator=(const SplitKey&) = default;

@@ -75,8 +75,8 @@ class IbMRsaSystem {
   /// (d_user + d_sem with the public e_ID factors the common modulus).
   struct UserKeys {
     UserKeys() = default;
-    UserKeys(BigInt d_user, BigInt d_sem)
-        : d_user(std::move(d_user)), d_sem(std::move(d_sem)) {}
+    UserKeys(BigInt d_user_, BigInt d_sem_)
+        : d_user(std::move(d_user_)), d_sem(std::move(d_sem_)) {}
     UserKeys(const UserKeys&) = default;
     UserKeys(UserKeys&&) = default;
     UserKeys& operator=(const UserKeys&) = default;

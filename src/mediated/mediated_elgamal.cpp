@@ -37,10 +37,10 @@ MediatedElGamalUser enroll_elgamal_user(const elgamal::Params& params,
                                         std::string identity,
                                         RandomSource& rng) {
   const BigInt x_user = BigInt::random_unit(rng, params.order());
-  const BigInt x_sem = BigInt::random_unit(rng, params.order());
+  BigInt x_sem = BigInt::random_unit(rng, params.order());
   const Point public_key =
       params.group.mul_g(x_user.add_mod(x_sem, params.order()));
-  sem.install_key(identity, x_sem);
+  sem.install_key(identity, std::move(x_sem));
   return MediatedElGamalUser(params, std::move(identity), x_user, public_key);
 }
 

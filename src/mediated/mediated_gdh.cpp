@@ -55,10 +55,10 @@ MediatedGdhUser enroll_gdh_user(const pairing::ParamSet& group,
                                 RandomSource& rng) {
   // §5 Keygen: the TA samples both halves directly.
   const BigInt x_user = BigInt::random_unit(rng, group.order());
-  const BigInt x_sem = BigInt::random_unit(rng, group.order());
+  BigInt x_sem = BigInt::random_unit(rng, group.order());
   const Point public_key =
       group.mul_g(x_user.add_mod(x_sem, group.order()));
-  sem.install_key(identity, x_sem);
+  sem.install_key(identity, std::move(x_sem));
   return MediatedGdhUser(group, std::move(identity), x_user, public_key);
 }
 

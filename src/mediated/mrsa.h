@@ -25,10 +25,10 @@ namespace medcrypt::mediated {
 /// wiped on destruction.
 struct MRsaKeygenResult {
   MRsaKeygenResult() = default;
-  MRsaKeygenResult(rsa::PublicKey pub, bigint::BigInt d_user,
-                   bigint::BigInt d_sem)
-      : pub(std::move(pub)), d_user(std::move(d_user)),
-        d_sem(std::move(d_sem)) {}
+  MRsaKeygenResult(rsa::PublicKey pub_, bigint::BigInt d_user_,
+                   bigint::BigInt d_sem_)
+      : pub(std::move(pub_)), d_user(std::move(d_user_)),
+        d_sem(std::move(d_sem_)) {}
   MRsaKeygenResult(const MRsaKeygenResult&) = default;
   MRsaKeygenResult(MRsaKeygenResult&&) = default;
   MRsaKeygenResult& operator=(const MRsaKeygenResult&) = default;
@@ -64,8 +64,8 @@ bool mrsa_verify(const rsa::PublicKey& pub, BytesView message,
 /// half is wiped on destruction (and by MediatorBase teardown).
 struct MRsaSemRecord {
   MRsaSemRecord() = default;
-  MRsaSemRecord(bigint::BigInt modulus, bigint::BigInt d_sem)
-      : modulus(std::move(modulus)), d_sem(std::move(d_sem)) {}
+  MRsaSemRecord(bigint::BigInt modulus_, bigint::BigInt d_sem_)
+      : modulus(std::move(modulus_)), d_sem(std::move(d_sem_)) {}
   MRsaSemRecord(const MRsaSemRecord&) = default;
   MRsaSemRecord(MRsaSemRecord&&) = default;
   MRsaSemRecord& operator=(const MRsaSemRecord&) = default;

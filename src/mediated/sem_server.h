@@ -151,8 +151,10 @@ class MediatorBase {
 
   /// Installs (or replaces) the SEM key half for `identity`. Takes an
   /// exclusive lock on the identity's shard only; issuance for other
-  /// shards is unaffected.
-  void install_key(std::string identity, KeyHalf half) {
+  /// shards is unaffected. The half is taken by rvalue reference so the
+  /// registry's copy is the only live one — callers hand over ownership
+  /// (std::move) instead of leaving a second unwiped copy in their frame.
+  void install_key(std::string identity, KeyHalf&& half) {
     Shard& shard = shard_for(identity);
     std::unique_lock lock(shard.mu);
     shard.keys.insert_or_assign(std::move(identity), std::move(half));

@@ -78,12 +78,27 @@ Bytes oaep_decode(const BigInt& block, std::size_t k) {
   if (!ct_equal(BytesView(db.data(), kHashLen), empty_label_hash())) {
     throw DecryptionError("oaep_decode: label hash mismatch");
   }
-  std::size_t i = kHashLen;
-  while (i < db.size() && db[i] == 0x00) ++i;
-  if (i == db.size() || db[i] != 0x01) {
+  // Locate the 0x01 separator without branching on DB contents: sweep the
+  // whole padding region backwards, latching the lowest non-zero position
+  // and whether that byte is 0x01 with arithmetic selects. A data-dependent
+  // scan here is the classic padding oracle (Manger-style): its timing
+  // reveals where the padding ends, which an adaptive attacker converts
+  // into plaintext bits.
+  std::size_t sep = db.size();
+  std::size_t sep_is_one = 0;
+  for (std::size_t j = db.size(); j-- > kHashLen;) {
+    const std::size_t nonzero = static_cast<std::size_t>(db[j] != 0x00);
+    const std::size_t take = static_cast<std::size_t>(0) - nonzero;  // mask
+    sep = (take & j) | (~take & sep);
+    sep_is_one =
+        (take & static_cast<std::size_t>(db[j] == 0x01)) | (~take & sep_is_one);
+  }
+  // Accept/reject is public — the caller observes the throw regardless.
+  // medlint: allow(secret-branch)
+  if (sep == db.size() || !sep_is_one) {
     throw DecryptionError("oaep_decode: missing 0x01 separator");
   }
-  return Bytes(db.begin() + static_cast<std::ptrdiff_t>(i) + 1, db.end());
+  return Bytes(db.begin() + static_cast<std::ptrdiff_t>(sep) + 1, db.end());
 }
 
 }  // namespace medcrypt::rsa

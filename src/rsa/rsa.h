@@ -33,9 +33,9 @@ struct PublicKey {
 /// Wipes its secret components on destruction (medlint: missing-wipe-dtor).
 struct PrivateKey {
   PrivateKey() = default;
-  PrivateKey(PublicKey pub, BigInt d, BigInt p, BigInt q, BigInt phi)
-      : pub(std::move(pub)), d(std::move(d)), p(std::move(p)),
-        q(std::move(q)), phi(std::move(phi)) {}
+  PrivateKey(PublicKey pub_, BigInt d_, BigInt p_, BigInt q_, BigInt phi_)
+      : pub(std::move(pub_)), d(std::move(d_)), p(std::move(p_)),
+        q(std::move(q_)), phi(std::move(phi_)) {}
   PrivateKey(const PrivateKey&) = default;
   PrivateKey(PrivateKey&&) = default;
   PrivateKey& operator=(const PrivateKey&) = default;

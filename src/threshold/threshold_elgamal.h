@@ -22,8 +22,8 @@ using ec::Point;
 /// One player's ElGamal key share x_i = f(i). Wiped on destruction.
 struct ElGamalKeyShare {
   ElGamalKeyShare() = default;
-  ElGamalKeyShare(std::uint32_t index, BigInt value)
-      : index(index), value(std::move(value)) {}
+  ElGamalKeyShare(std::uint32_t index_, BigInt value_)
+      : index(index_), value(std::move(value_)) {}
   ElGamalKeyShare(const ElGamalKeyShare&) = default;
   ElGamalKeyShare(ElGamalKeyShare&&) = default;
   ElGamalKeyShare& operator=(const ElGamalKeyShare&) = default;

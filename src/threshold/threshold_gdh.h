@@ -23,8 +23,8 @@ using ec::Point;
 /// One signer's key share. The scalar is wiped on destruction.
 struct GdhKeyShare {
   GdhKeyShare() = default;
-  GdhKeyShare(std::uint32_t index, BigInt value)
-      : index(index), value(std::move(value)) {}
+  GdhKeyShare(std::uint32_t index_, BigInt value_)
+      : index(index_), value(std::move(value_)) {}
   GdhKeyShare(const GdhKeyShare&) = default;
   GdhKeyShare(GdhKeyShare&&) = default;
   GdhKeyShare& operator=(const GdhKeyShare&) = default;

@@ -34,8 +34,8 @@ using field::Fp2;
 /// wiped on destruction (t of these recombine to the full identity key).
 struct KeyShare {
   KeyShare() = default;
-  KeyShare(std::uint32_t index, Point value)
-      : index(index), value(std::move(value)) {}
+  KeyShare(std::uint32_t index_, Point value_)
+      : index(index_), value(std::move(value_)) {}
   KeyShare(const KeyShare&) = default;
   KeyShare(KeyShare&&) = default;
   KeyShare& operator=(const KeyShare&) = default;

@@ -126,9 +126,9 @@ TEST_F(AggregateTest, MediatedBlindSigning) {
   mediated::GdhMediator sem(group_, revocations);
   HmacDrbg rng(401);
   const bigint::BigInt x_user = bigint::BigInt::random_unit(rng, group_.order());
-  const bigint::BigInt x_sem = bigint::BigInt::random_unit(rng, group_.order());
+  bigint::BigInt x_sem = bigint::BigInt::random_unit(rng, group_.order());
   const Point pub = group_.generator.mul(x_user.add_mod(x_sem, group_.order()));
-  sem.install_key("issuer", x_sem);
+  sem.install_key("issuer", std::move(x_sem));
 
   const Bytes msg = str_bytes("blind coin #1");
   const BlindingState state = blind_message(group_, msg, rng);

@@ -115,7 +115,7 @@ TEST(Edge, IdentityWithUnusualBytesWorks) {
   ibe::Pkg pkg(pairing::toy_params(), 32, rng);
   auto revocations = std::make_shared<mediated::RevocationList>();
   mediated::IbeMediator sem(pkg.params(), revocations);
-  for (const std::string id :
+  for (const std::string& id :
        {std::string(""), std::string("a|b|c"), std::string(500, 'x'),
         std::string("\x01\x02\x00x", 4)}) {
     auto user = enroll_ibe_user(pkg, sem, id, rng);

@@ -1,0 +1,10 @@
+// Inline-suppression fixtures: both placement forms.
+int wire_header_check(const void* a, const void* b) {
+  // The 4-byte magic header is public protocol framing, not a secret.
+  // medlint: allow(secret-memcmp)
+  return memcmp(a, b, 4);
+}
+
+int version_check(const void* a, const void* b) {
+  return memcmp(a, b, 2);  // public version bytes  medlint: allow(secret-memcmp)
+}

@@ -1,0 +1,13 @@
+// Lexer regression fixtures: every banned pattern below sits inside a
+// literal or a comment; the only real violation is the memcmp at the end.
+const char* kRaw = R"(memcmp(a, b, n) and std::mt19937 are banned)";
+const char* kCustom = R"xy(rand() and a tricky )" inside)xy";
+const char* kEscaped = "quoted \"memcmp(a, b, n)\" stays quoted";
+const char* kContinued = "line one \
+std::random_device continued inside a string";
+// comment continued with a backslash: the next line is still comment \
+int not_code = std::mt19937_is_still_commented_out;
+
+int real_violation(const void* a, const void* b) {
+  return memcmp(a, b, 16);
+}

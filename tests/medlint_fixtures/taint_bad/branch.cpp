@@ -1,0 +1,27 @@
+// secret-branch positives: each marked line must be flagged.
+#include <vector>
+using Bytes = std::vector<unsigned char>;
+
+int branch_on_secret(const Bytes& secret_seed) {
+  if (secret_seed[0] & 1) {
+    return 1;
+  }
+  return 0;
+}
+
+int secret_index(const Bytes& sbox, const Bytes& priv_key) {
+  return sbox[priv_key[0]];
+}
+
+int secret_ternary(const Bytes& key_share) {
+  return key_share[0] ? 3 : 4;
+}
+
+int secret_loop(unsigned long secret_scalar) {
+  int n = 0;
+  while (secret_scalar != 0) {
+    secret_scalar >>= 1;
+    ++n;
+  }
+  return n;
+}

@@ -1,0 +1,26 @@
+// secret-taint-escape positives: each marked line must be flagged.
+#include <ostream>
+#include <vector>
+using Bytes = std::vector<unsigned char>;
+struct WrapError {};
+
+Bytes copy_unwiped(const Bytes& session_key) {
+  Bytes staging = session_key;  // copied, never wiped
+  return staging;
+}
+
+void throws_secret(const Bytes& master_key) {
+  throw WrapError(master_key);
+}
+
+void streams_secret(std::ostream& os, const Bytes& mac_key) {
+  os << to_hex(mac_key);
+}
+
+void logs_secret(const Bytes& priv_seed) {
+  printf("seed byte %02x", priv_seed[0]);
+}
+
+void assigns_secret(const Bytes& root_seed, Bytes& scratch) {
+  scratch = root_seed;
+}

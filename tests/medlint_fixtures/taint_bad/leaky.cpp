@@ -1,0 +1,17 @@
+// leaky-early-return positive: the main path wipes tmp_key, the error
+// path throws with it still live.
+#include <vector>
+using Bytes = std::vector<unsigned char>;
+void secure_wipe(Bytes& b);
+Bytes kdf(const Bytes& in);
+struct ParseError {};
+
+Bytes expand(const Bytes& root_key, bool valid) {
+  Bytes tmp = root_key;
+  if (!valid) {
+    throw ParseError{};
+  }
+  Bytes out = kdf(tmp);
+  secure_wipe(tmp);
+  return out;
+}

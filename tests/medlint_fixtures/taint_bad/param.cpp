@@ -1,0 +1,6 @@
+// secret-param-by-value positives: a secret-typed and a secret-named
+// owning parameter, both taken by value.
+struct SplitKey;
+
+void store_half(SplitKey user_half);
+void absorb(Bytes session_key);

@@ -1,0 +1,61 @@
+// Dataflow negatives: the sanctioned idioms for each new check. None of
+// these may fire.
+#include <cstddef>
+#include <vector>
+using Bytes = std::vector<unsigned char>;
+void secure_wipe(Bytes& b);
+bool ct_equal(const Bytes& a, const Bytes& b);
+Bytes xor_bytes(const Bytes& a, const Bytes& b);
+bool verify_proof(const Bytes& sig_share);
+Bytes mgf(const Bytes& in);
+
+// Working copy wiped before the frame dies: not an escape.
+Bytes wiped_working(const Bytes& session_key) {
+  Bytes k = session_key;
+  Bytes out = mgf(k);
+  secure_wipe(k);
+  return out;
+}
+
+// Blinding: a masked_ target is a public ciphertext component.
+Bytes blind(const Bytes& seed, const Bytes& mask) {
+  Bytes masked_seed = xor_bytes(seed, mask);
+  return masked_seed;
+}
+
+// Public metadata and vetted predicates may gate branches.
+int public_gates(const Bytes& master_key, const Bytes& tag_key) {
+  if (master_key.size() < 16) return -1;
+  if (ct_equal(master_key, tag_key)) return 1;
+  if (verify_proof(master_key)) return 2;
+  return 0;
+}
+
+// Early exit after the wipe on that path: not leaky.
+Bytes guarded(const Bytes& root_key, bool shortcut) {
+  Bytes tmp = root_key;
+  if (shortcut) {
+    secure_wipe(tmp);
+    return Bytes();
+  }
+  Bytes out = mgf(tmp);
+  secure_wipe(tmp);
+  return out;
+}
+
+// Iterating a secret container: the loop bound is its public size.
+int count_share_bytes(const std::vector<Bytes>& key_shares) {
+  int n = 0;
+  for (const Bytes& share : key_shares) {
+    n += static_cast<int>(share.size());
+  }
+  return n;
+}
+
+// References and views carry no owned secret bytes, and an
+// ownership-transfer constructor takes by value and moves.
+void by_reference(const Bytes& session_key);
+void by_view(BytesView session_key);
+struct Holder {
+  explicit Holder(Bytes secret_bytes);
+};

@@ -77,12 +77,14 @@ TEST(Medlint, AllowlistSuppressesVettedFindings) {
       << r.output;
 }
 
-TEST(Medlint, ListChecksEnumeratesAllSix) {
+TEST(Medlint, ListChecksEnumeratesAllTen) {
   const RunResult r = run_medlint("--list-checks");
   EXPECT_EQ(r.exit_code, 0);
-  for (const char* id : {"secret-memcmp", "secret-equality", "secret-vector",
-                         "banned-randomness", "missing-wipe-dtor",
-                         "secret-return-by-value"}) {
+  for (const char* id :
+       {"secret-memcmp", "secret-equality", "secret-vector",
+        "banned-randomness", "missing-wipe-dtor", "secret-return-by-value",
+        "secret-taint-escape", "secret-branch", "leaky-early-return",
+        "secret-param-by-value"}) {
     EXPECT_NE(r.output.find(id), std::string::npos) << id;
   }
 }
@@ -92,6 +94,131 @@ TEST(Medlint, BadUsageExitsTwo) {
   EXPECT_EQ(run_medlint("--src /nonexistent-medlint-dir").exit_code, 2);
   // A file (not a directory) must be a clean usage error, not a crash.
   EXPECT_EQ(run_medlint("--src " + fixtures("bad/viol.cpp")).exit_code, 2);
+}
+
+// ---------------------------------------------------------------------------
+// v2: dataflow checks
+// ---------------------------------------------------------------------------
+
+TEST(MedlintDataflow, FlagsEveryTaintEscapeSink) {
+  const RunResult r = run_medlint("--src " + fixtures("taint_bad"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // Bytes copy, throw, stream, log call, assignment — one per sink.
+  for (const char* hit :
+       {"escape.cpp:8: [secret-taint-escape]",
+        "escape.cpp:13: [secret-taint-escape]",
+        "escape.cpp:17: [secret-taint-escape]",
+        "escape.cpp:21: [secret-taint-escape]",
+        "escape.cpp:25: [secret-taint-escape]"}) {
+    EXPECT_NE(r.output.find(hit), std::string::npos) << hit << "\n" << r.output;
+  }
+}
+
+TEST(MedlintDataflow, FlagsSecretDependentControlFlow) {
+  const RunResult r = run_medlint("--src " + fixtures("taint_bad"));
+  // if condition, array index, ternary, loop condition.
+  for (const char* hit :
+       {"branch.cpp:6: [secret-branch]", "branch.cpp:13: [secret-branch]",
+        "branch.cpp:17: [secret-branch]", "branch.cpp:22: [secret-branch]"}) {
+    EXPECT_NE(r.output.find(hit), std::string::npos) << hit << "\n" << r.output;
+  }
+}
+
+TEST(MedlintDataflow, FlagsWipeSkippingEarlyExit) {
+  const RunResult r = run_medlint("--src " + fixtures("taint_bad"));
+  EXPECT_NE(r.output.find("leaky.cpp:12: [leaky-early-return]"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(MedlintDataflow, FlagsSecretParamsTakenByValue) {
+  const RunResult r = run_medlint("--src " + fixtures("taint_bad"));
+  EXPECT_NE(r.output.find("param.cpp:5: [secret-param-by-value]"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("param.cpp:6: [secret-param-by-value]"),
+            std::string::npos)
+      << r.output;
+  // The whole bad tree: exactly the planted findings, nothing more.
+  EXPECT_NE(r.output.find("12 violation(s)"), std::string::npos) << r.output;
+}
+
+TEST(MedlintDataflow, SanctionedIdiomsStayClean) {
+  // Wiped working copies, masked_ blinding targets, size()/ct_equal/
+  // verify_* gates, wipe-before-early-return, views and reference params,
+  // ownership-transfer constructors: zero findings.
+  const RunResult r = run_medlint("--src " + fixtures("taint_clean"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 violation(s)"), std::string::npos) << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// v2: lexer / stripper regressions
+// ---------------------------------------------------------------------------
+
+TEST(MedlintStripper, LiteralsAndContinuationsCannotSmuggleOrMask) {
+  // Raw strings (default and custom delimiters), escaped quotes, a string
+  // continued with backslash-newline, and a line comment continued the
+  // same way all contain banned text; only the real memcmp may fire —
+  // and it must, proving the lexer resynchronized after each construct.
+  const RunResult r = run_medlint("--src " + fixtures("stripper"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("tricky.cpp:12: [secret-memcmp]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("1 violation(s)"), std::string::npos) << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// v2: suppression mechanisms
+// ---------------------------------------------------------------------------
+
+TEST(MedlintSuppress, InlineAllowCoversOwnLineAndNextLine) {
+  const RunResult r = run_medlint("--src " + fixtures("inline_allow"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("2 inline-suppressed"), std::string::npos)
+      << r.output;
+}
+
+TEST(MedlintSuppress, BaselineRequiresJustificationComment) {
+  const RunResult bare =
+      run_medlint("--src " + fixtures("bad") + " --baseline " +
+                  fixtures("baseline_unjustified.txt"));
+  EXPECT_EQ(bare.exit_code, 2) << bare.output;
+  EXPECT_NE(bare.output.find("justification"), std::string::npos)
+      << bare.output;
+
+  const RunResult ok = run_medlint("--src " + fixtures("bad") + " --baseline " +
+                                   fixtures("baseline_justified.txt"));
+  EXPECT_EQ(ok.exit_code, 1) << ok.output;  // 5 findings remain
+  EXPECT_NE(ok.output.find("1 baselined"), std::string::npos) << ok.output;
+}
+
+// ---------------------------------------------------------------------------
+// v2: SARIF output
+// ---------------------------------------------------------------------------
+
+TEST(MedlintSarif, EmitsRulesAndResults) {
+  const std::string sarif = "medlint_test_out.sarif";
+  const RunResult r =
+      run_medlint("--src " + fixtures("bad") + " --sarif " + sarif);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  std::string contents;
+  {
+    FILE* f = std::fopen(sarif.c_str(), "r");
+    ASSERT_NE(f, nullptr) << "SARIF file not written";
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+      contents.append(buf, n);
+    std::fclose(f);
+  }
+  std::remove(sarif.c_str());
+  EXPECT_NE(contents.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(contents.find("\"name\": \"medlint\""), std::string::npos);
+  EXPECT_NE(contents.find("\"ruleId\": \"secret-memcmp\""), std::string::npos);
+  EXPECT_NE(contents.find("\"startLine\": 13"), std::string::npos);
+  // Every check is listed as a rule even when it produced no result.
+  EXPECT_NE(contents.find("\"id\": \"leaky-early-return\""), std::string::npos);
 }
 
 }  // namespace

@@ -44,12 +44,12 @@ TEST(SemStress, ConcurrentInstallRevokeIssue) {
   const Bytes msg = str_bytes("stress probe");
   for (int i = 0; i < kStableIds + kChurnedIds; ++i) {
     ids.push_back("user" + std::to_string(i));
-    const bigint::BigInt x_sem =
+    bigint::BigInt x_sem =
         bigint::BigInt::random_unit(rng, group.order());
     if (i < kStableIds) {
       expected.push_back(gdh::hash_message(group, msg).mul(x_sem));
     }
-    sem.install_key(ids.back(), x_sem);
+    sem.install_key(ids.back(), std::move(x_sem));
   }
 
   std::atomic<bool> stop{false};
@@ -143,10 +143,10 @@ TEST(SemStress, ParallelReadersShareOneShardSafely) {
   GdhMediator sem(group, revocations);
 
   HmacDrbg rng(779);
-  const bigint::BigInt x_sem = bigint::BigInt::random_unit(rng, group.order());
-  sem.install_key("alice", x_sem);
+  bigint::BigInt x_sem = bigint::BigInt::random_unit(rng, group.order());
   const Bytes msg = str_bytes("one shard");
   const ec::Point expected = gdh::hash_message(group, msg).mul(x_sem);
+  sem.install_key("alice", std::move(x_sem));
 
   std::atomic<bool> mismatch{false};
   std::vector<std::thread> pool;

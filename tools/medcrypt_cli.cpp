@@ -45,8 +45,8 @@ std::string read_file(const fs::path& p) {
 // State layout: <dir>/master.key, <dir>/ppub.pt, <dir>/sem.d/<id>.pt,
 // <dir>/users/<id>.pt, <dir>/revoked/<id> (empty marker files).
 struct Deployment {
-  explicit Deployment(const fs::path& dir)
-      : dir(dir), params{pairing::paper_params(), {}, kBlock} {
+  explicit Deployment(const fs::path& dir_)
+      : dir(dir_), params{pairing::paper_params(), {}, kBlock} {
     params.p_pub = params.curve()->decompress(from_hex(read_file(dir / "ppub.pt")));
   }
 

@@ -1,0 +1,142 @@
+// Shared vocabulary for medlint: the diagnostic record and the name/type
+// classification heuristics used by both the lexical checks (medlint.cpp)
+// and the dataflow checks (taint.cpp).
+//
+// The sets below encode the repository's secret taxonomy (see
+// docs/SECRET_HYGIENE.md): which type names hold key halves, which
+// identifier components mark a value as secret, and which suffixes mark a
+// value as public metadata (lengths, counts, indices) even when a secret
+// word appears earlier in the name.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace medlint {
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string check;
+  std::string message;
+};
+
+// Types whose definitions must wipe their secrets on destruction. Names
+// match the paper's secret holders: §3 Shamir/threshold shares, §4
+// d_ID halves, §5 x halves, the DRBG state, and RSA private material.
+inline const std::set<std::string> kSecretTypes = {
+    "PrivateKey",     "SplitKey",       "KeyPair",        "KeyShare",
+    "GdhKeyShare",    "ElGamalKeyShare", "Sharing",       "HmacDrbg",
+    "Pkg",            "DkgParticipant", "ThresholdDealer", "SemHalfKey",
+    "MRsaKeygenResult", "MRsaSemRecord", "UserKeys",      "IbeSemKey",
+    "IbsSemKey",      "LimbStore",
+};
+
+// Types that hold a SEM-side key half (sem_server.h's lend-don't-copy
+// contract): a by-value return of one copies registry secrets onto the
+// caller's stack. "KeyHalf" is MediatorBase's template parameter, so the
+// generic machinery itself stays covered.
+inline const std::set<std::string> kSecretReturnTypes = {
+    "KeyHalf",
+    "IbeSemKey",
+    "SemHalfKey",
+    "MRsaSemRecord",
+};
+
+// Identifier components that mark a name as secret for *comparison*
+// purposes (timing): includes tags and MACs, which are public on the
+// wire but must still be compared in constant time.
+inline const std::set<std::string> kSecretWords = {
+    "key",    "keys",   "secret", "secrets", "seed",     "seeds",
+    "token",  "tokens", "tag",    "tags",    "mac",      "macs",
+    "share",  "shares", "priv",   "password", "passwd",
+};
+
+// Components that mark a name as secret for *storage* purposes
+// (confidentiality): excludes tag/mac/token — those live in ciphertexts
+// and wire messages, so holding them in plain Bytes is fine.
+inline const std::set<std::string> kSecretStorageWords = {
+    "key",   "keys",   "secret",   "secrets",  "seed",   "seeds",
+    "share", "shares", "priv",     "password", "passwd", "half",
+    "halves",
+};
+
+// Leading components that mark a value as blinded/public even when a
+// secret word follows (masked_seed is a ciphertext component).
+inline const std::set<std::string> kPublicPrefixes = {"masked", "pub", "public"};
+
+// Trailing components that mark a name as public *metadata about* a
+// secret rather than the secret itself: lengths, counts and positions
+// are public by the ct_equal contract (common/bytes.h).
+inline const std::set<std::string> kBenignTails = {
+    "len",  "size", "count", "bits", "index", "idx",
+    "id",   "ok",   "valid", "found", "present",
+};
+
+inline std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+// "pkg.master_key_" -> "master_key_"; "sem->d_sem" -> "d_sem".
+inline std::string last_member(const std::string& path) {
+  std::size_t pos = path.size();
+  for (const char* sep : {".", "->", "::"}) {
+    const std::size_t p = path.rfind(sep);
+    if (p != std::string::npos) {
+      const std::size_t after = p + std::string(sep).size();
+      pos = std::min(pos, path.size() - after);
+    }
+  }
+  return path.substr(path.size() - pos);
+}
+
+// Splits snake_case/camelCase into lowercase components.
+inline std::vector<std::string> name_components(const std::string& name) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : name) {
+    if (c == '_') {
+      if (!cur.empty()) parts.push_back(to_lower(cur));
+      cur.clear();
+    } else if (std::isupper(static_cast<unsigned char>(c)) && !cur.empty() &&
+               std::islower(static_cast<unsigned char>(cur.back()))) {
+      parts.push_back(to_lower(cur));
+      cur.assign(1, c);
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) parts.push_back(to_lower(cur));
+  return parts;
+}
+
+inline bool is_secret_name(const std::string& identifier_path) {
+  for (const std::string& part : name_components(last_member(identifier_path))) {
+    if (kSecretWords.count(part)) return true;
+  }
+  return false;
+}
+
+// True when the *tail* of the name marks it as public metadata
+// (key_len, share_count, seed_index, ...).
+inline bool has_benign_tail(const std::string& name) {
+  const std::vector<std::string> parts = name_components(name);
+  return !parts.empty() && kBenignTails.count(parts.back()) != 0;
+}
+
+inline bool is_secret_storage_name(const std::string& name) {
+  const std::vector<std::string> parts = name_components(name);
+  if (!parts.empty() && kPublicPrefixes.count(parts.front())) return false;
+  for (const std::string& part : parts) {
+    if (kSecretStorageWords.count(part)) return true;
+  }
+  return false;
+}
+
+}  // namespace medlint

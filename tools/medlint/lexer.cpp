@@ -1,0 +1,299 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace medlint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Raw-string prefixes: the identifier immediately before '"' that turns
+// the literal raw. Encoding prefixes without R start an ordinary literal.
+bool is_raw_prefix(const std::string& id) {
+  return id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+bool is_encoding_prefix(const std::string& id) {
+  return id == "u8" || id == "u" || id == "U" || id == "L";
+}
+
+const char* const kPuncts3[] = {"<<=", ">>=", "->*", "...", "<=>"};
+const char* const kPuncts2[] = {"->", "::", "<<", ">>", "<=", ">=", "==",
+                                "!=", "&&", "||", "+=", "-=", "*=", "/=",
+                                "%=", "&=", "|=", "^=", "++", "--", "##"};
+
+struct Lexer {
+  const std::string& text;
+  LexedFile out;
+  std::size_t i = 0;
+  std::size_t line = 1;  // 1-based
+
+  explicit Lexer(const std::string& t, std::size_t n_lines) : text(t) {
+    out.stripped.assign(n_lines, "");
+    out.comments.assign(n_lines, "");
+  }
+
+  bool eof() const { return i >= text.size(); }
+  char at(std::size_t j) const { return j < text.size() ? text[j] : '\0'; }
+
+  void emit_code(char c) {
+    if (line - 1 < out.stripped.size()) out.stripped[line - 1].push_back(c);
+  }
+  void emit_comment(char c) {
+    if (line - 1 < out.comments.size()) out.comments[line - 1].push_back(c);
+  }
+
+  // Consumes one char, maintaining the line counter; newlines do not land
+  // in either per-line view.
+  void advance() {
+    if (text[i] == '\n') ++line;
+    ++i;
+  }
+
+  // Phase-2 splice: a backslash directly before a newline joins physical
+  // lines. Applies in code, ordinary literals, and both comment kinds —
+  // but NOT in raw strings (the caller simply doesn't invoke it there).
+  bool splice() {
+    bool any = false;
+    while (at(i) == '\\' &&
+           (at(i + 1) == '\n' || (at(i + 1) == '\r' && at(i + 2) == '\n'))) {
+      i += (at(i + 1) == '\r') ? 3 : 2;
+      ++line;
+      any = true;
+    }
+    return any;
+  }
+
+  void lex_line_comment() {
+    i += 2;  // "//"
+    while (!eof()) {
+      if (splice()) continue;  // comment continues on the next line
+      if (text[i] == '\n') break;
+      emit_comment(text[i]);
+      advance();
+    }
+  }
+
+  void lex_block_comment() {
+    i += 2;  // "/*"
+    while (!eof()) {
+      if (text[i] == '*' && at(i + 1) == '/') {
+        i += 2;
+        return;
+      }
+      if (text[i] != '\n') emit_comment(text[i]);
+      advance();
+    }
+  }
+
+  // Ordinary string or char literal, with escape handling and splicing.
+  // An unescaped newline terminates (ill-formed input; recover cleanly).
+  void lex_quoted(char quote) {
+    const std::size_t start_line = line;
+    advance();  // opening quote
+    while (!eof()) {
+      if (splice()) continue;
+      if (text[i] == '\\') {
+        advance();
+        if (!eof() && text[i] != '\n') advance();  // the escaped char
+        continue;
+      }
+      if (text[i] == quote) {
+        advance();
+        break;
+      }
+      if (text[i] == '\n') break;  // unterminated: do not eat the newline
+      advance();
+    }
+    const std::string placeholder(2, quote);
+    if (start_line - 1 < out.stripped.size())
+      out.stripped[start_line - 1] += placeholder;
+    out.tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                          placeholder, start_line});
+  }
+
+  // R"delim( ... )delim" — no splicing, no escapes; custom delimiters up
+  // to the standard's 16 chars.
+  void lex_raw_string() {
+    const std::size_t start_line = line;
+    advance();  // opening quote
+    std::string delim;
+    while (!eof() && text[i] != '(' && delim.size() <= 16) {
+      delim.push_back(text[i]);
+      advance();
+    }
+    if (!eof()) advance();  // '('
+    const std::string closer = ")" + delim + "\"";
+    while (!eof()) {
+      if (text.compare(i, closer.size(), closer) == 0) {
+        for (std::size_t k = 0; k < closer.size(); ++k) advance();
+        break;
+      }
+      advance();
+    }
+    if (start_line - 1 < out.stripped.size())
+      out.stripped[start_line - 1] += "\"\"";
+    out.tokens.push_back({TokKind::kString, "\"\"", start_line});
+  }
+
+  void lex_number() {
+    const std::size_t start_line = line;
+    std::string num;
+    while (!eof()) {
+      if (splice()) continue;
+      const char c = text[i];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.') {
+        num.push_back(c);
+        emit_code(c);
+        advance();
+      } else if (c == '\'' && ident_char(at(i + 1)) && !num.empty()) {
+        advance();  // digit separator: 1'000'000
+      } else if ((c == '+' || c == '-') && !num.empty() &&
+                 (num.back() == 'e' || num.back() == 'E' ||
+                  num.back() == 'p' || num.back() == 'P')) {
+        num.push_back(c);
+        emit_code(c);
+        advance();
+      } else {
+        break;
+      }
+    }
+    out.tokens.push_back({TokKind::kNumber, num, start_line});
+  }
+
+  void lex_ident() {
+    const std::size_t start_line = line;
+    std::string id;
+    while (!eof()) {
+      if (splice()) continue;
+      if (!ident_char(text[i])) break;
+      id.push_back(text[i]);
+      emit_code(text[i]);
+      advance();
+    }
+    // String prefixes glue to the following quote: R"( u8"..." L'x'.
+    if (at(i) == '"' && is_raw_prefix(id)) {
+      lex_raw_string();
+      return;
+    }
+    if ((at(i) == '"' || at(i) == '\'') && is_encoding_prefix(id)) {
+      lex_quoted(text[i]);
+      return;
+    }
+    out.tokens.push_back({TokKind::kIdent, id, start_line});
+  }
+
+  void lex_punct() {
+    const std::size_t start_line = line;
+    for (const char* p : kPuncts3) {
+      if (text.compare(i, 3, p) == 0) {
+        for (int k = 0; k < 3; ++k) {
+          emit_code(text[i]);
+          advance();
+        }
+        out.tokens.push_back({TokKind::kPunct, p, start_line});
+        return;
+      }
+    }
+    for (const char* p : kPuncts2) {
+      if (text.compare(i, 2, p) == 0) {
+        for (int k = 0; k < 2; ++k) {
+          emit_code(text[i]);
+          advance();
+        }
+        out.tokens.push_back({TokKind::kPunct, p, start_line});
+        return;
+      }
+    }
+    const char c = text[i];
+    emit_code(c);
+    advance();
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), start_line});
+  }
+
+  void run() {
+    while (!eof()) {
+      if (splice()) continue;
+      const char c = text[i];
+      if (c == '\n') {
+        advance();
+        continue;
+      }
+      if (c == '\r') {
+        ++i;
+        continue;
+      }
+      if (c == '/' && at(i + 1) == '/') {
+        emit_code(' ');  // keep word separation where the comment was
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && at(i + 1) == '*') {
+        emit_code(' ');
+        lex_block_comment();
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        lex_quoted(c);
+        continue;
+      }
+      if (ident_start(c)) {
+        lex_ident();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(at(i + 1))))) {
+        lex_number();
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        emit_code(c);
+        advance();
+        continue;
+      }
+      lex_punct();
+    }
+  }
+};
+
+}  // namespace
+
+LexedFile lex_file(const std::vector<std::string>& lines) {
+  std::string text;
+  std::size_t total = 0;
+  for (const std::string& l : lines) total += l.size() + 1;
+  text.reserve(total);
+  for (const std::string& l : lines) {
+    text += l;
+    text += '\n';
+  }
+  Lexer lx(text, lines.size());
+  lx.run();
+  return std::move(lx.out);
+}
+
+std::size_t match_group(const std::vector<Token>& tokens, std::size_t open) {
+  if (open >= tokens.size() || tokens[open].kind != TokKind::kPunct)
+    return tokens.size();
+  const std::string& o = tokens[open].text;
+  std::string close;
+  if (o == "(") close = ")";
+  else if (o == "[") close = "]";
+  else if (o == "{") close = "}";
+  else return tokens.size();
+  int depth = 0;
+  for (std::size_t j = open; j < tokens.size(); ++j) {
+    if (tokens[j].kind != TokKind::kPunct) continue;
+    const std::string& t = tokens[j].text;
+    if (t == o) ++depth;
+    else if (t == close && --depth == 0) return j;
+  }
+  return tokens.size();
+}
+
+}  // namespace medlint

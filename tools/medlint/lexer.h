@@ -1,0 +1,48 @@
+// A real (single-pass, heuristic-free) C++ tokenizer for medlint.
+//
+// medlint v1 stripped comments and strings with a line-local state
+// machine that missed raw-string custom delimiters, strings continued
+// with backslash-newline, and line comments continued the same way —
+// each a way to smuggle a banned pattern past the checker or to make it
+// fire on prose. The lexer replaces that: it walks the translation unit
+// once, honoring phase-2 line splicing everywhere except inside raw
+// string literals (where the standard un-splices), and produces three
+// aligned views of the file:
+//
+//   tokens    the code as identifier/number/punct/literal tokens, each
+//             tagged with its 1-based physical start line — the input to
+//             the dataflow engine (taint.cpp);
+//   stripped  per-line text with comments removed and literals reduced
+//             to "" / '' placeholders — the input to the v1 lexical
+//             checks, which stay line/regex based;
+//   comments  per-line comment text — the input to the inline
+//             `// medlint: allow(<check-id>)` suppression scanner.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace medlint {
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;   // literals carry a "" / '' placeholder, not contents
+  std::size_t line;   // 1-based physical line of the token's first char
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<std::string> stripped;  // one entry per input line
+  std::vector<std::string> comments;  // one entry per input line
+};
+
+LexedFile lex_file(const std::vector<std::string>& lines);
+
+// Returns the index of the punct token matching tokens[open] ("(", "[" or
+// "{"), or tokens.size() when unbalanced. Skips nested groups.
+std::size_t match_group(const std::vector<Token>& tokens, std::size_t open);
+
+}  // namespace medlint

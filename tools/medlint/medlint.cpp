@@ -5,41 +5,48 @@
 // d_ID,user / x_user, and threshold players hold Shamir shares f(i).
 // Any half-key that leaks through a non-wiped buffer or a variable-time
 // comparison silently voids the revocation guarantee, so this checker
-// enforces the repository's secret-handling rules over every PR:
+// enforces the repository's secret-handling rules over every PR.
 //
-//   secret-memcmp      byte-wise libc comparisons (memcmp/strcmp/...)
-//                      are banned; secret comparisons go through
-//                      medcrypt::ct_equal (timing-safe), public ones
-//                      through std::equal/operator== on containers.
-//   secret-equality    operator==/!= applied to an identifier that names
-//                      secret material (key/tag/token/share/...) — use
-//                      ct_equal on byte views instead.
-//   secret-vector      raw Bytes / std::vector<uint8_t> declarations
-//                      with secret-bearing names — use SecureBuffer
-//                      (zero-on-destroy) from common/secure_buffer.h.
-//   banned-randomness  direct rand()/srand()/std::random_device/
-//                      std::mt19937 use; all randomness flows through
-//                      RandomSource so tests stay deterministic and
-//                      entropy handling stays auditable.
-//   missing-wipe-dtor  known secret-bearing types must wipe in their
-//                      destructor (call .wipe() / hold SecureBuffer).
-//   secret-return-by-value
-//                      a function returning a SEM key-half type
-//                      (KeyHalf, IbeSemKey, ...) by value copies stored
-//                      secret material onto every caller's stack; lend
-//                      `const T&` inside a guarded scope instead (the
-//                      MediatorBase::with_key pattern). Factories that
-//                      *create* a secret (make_/generate_/extract_...)
-//                      are exempt — transferring a newly born secret to
-//                      its owner requires a by-value return.
+// v2 layers a token-level dataflow engine (taint.cpp, on top of the real
+// tokenizer in lexer.cpp) over the original line-lexical checks:
 //
-// Scanning is lexical: comments and string/char literals are stripped
-// first, then line-based patterns run over the residue. Lexical analysis
-// has false positives by design — vetted exceptions go in the allowlist
-// file (one `path-suffix:check-id` per line), never by weakening a rule.
+// lexical (line/regex over the stripped view):
+//   secret-memcmp          byte-wise libc comparisons are banned; use
+//                          medcrypt::ct_equal
+//   secret-equality        operator==/!= on secret-named identifiers
+//   secret-vector          raw Bytes/std::vector<uint8_t> declarations
+//                          with secret-bearing names — use SecureBuffer
+//   banned-randomness      direct rand()/std::random_device/std::mt19937;
+//                          all randomness flows through RandomSource
+//   missing-wipe-dtor      known secret-bearing types must wipe in their
+//                          destructor
+//   secret-return-by-value a function returning a SEM key-half type by
+//                          value copies stored secrets onto every
+//                          caller's stack; lend const T& (with_key)
+//
+// dataflow (intraprocedural taint over the token stream):
+//   secret-taint-escape    tainted value copied into Bytes/std::string,
+//                          streamed, logged, or thrown
+//   secret-branch          branch condition / loop bound / ternary /
+//                          array index derived from a tainted value
+//   leaky-early-return     early return/throw skips a wipe the main
+//                          path performs
+//   secret-param-by-value  secret-typed or secret-named parameter taken
+//                          by value across a call boundary
+//
+// Suppression, most specific first:
+//   * `// medlint: allow(<check-id>)` on the finding's line or the line
+//     directly above — for single vetted sites (preferred: the
+//     justification sits next to the code).
+//   * --baseline <file>: accepted findings awaiting a fix; every entry
+//     MUST carry a justification comment directly above it or loading
+//     fails. Entries are `path-suffix:check-id`.
+//   * --allowlist <file>: permanent design-level exemptions (e.g. the
+//     RandomSource implementation using std::random_device).
 //
 // Usage:
-//   medlint --src <dir> [--src <dir> ...] [--allowlist <file>] [--verbose]
+//   medlint --src <dir> [--src <dir> ...] [--allowlist <file>]
+//           [--baseline <file>] [--sarif <file>] [--verbose]
 //   medlint --list-checks
 //
 // Exit status: 0 clean, 1 violations found, 2 usage/IO error.
@@ -56,20 +63,15 @@
 #include <string>
 #include <vector>
 
+#include "common.h"
+#include "lexer.h"
+#include "taint.h"
+
 namespace {
 
 namespace fs = std::filesystem;
 
-// ---------------------------------------------------------------------------
-// diagnostics
-// ---------------------------------------------------------------------------
-
-struct Violation {
-  std::string file;
-  std::size_t line = 0;
-  std::string check;
-  std::string message;
-};
+using medlint::Violation;
 
 struct CheckInfo {
   const char* id;
@@ -95,173 +97,28 @@ constexpr CheckInfo kChecks[] = {
      "SEM key-half type returned by value, leaving an unwiped copy on "
      "the caller's stack; lend const T& in a guarded scope (with_key "
      "pattern)"},
+    {"secret-taint-escape",
+     "tainted secret flows into a non-wiping Bytes/std::string, an "
+     "output stream, a log call, or a thrown exception"},
+    {"secret-branch",
+     "branch condition, loop bound, ternary, or array index derived from "
+     "a tainted secret (constant-time discipline)"},
+    {"leaky-early-return",
+     "early return/throw skips the wipe of a tainted local that the main "
+     "path performs"},
+    {"secret-param-by-value",
+     "secret-typed or secret-named parameter passed by value, copying "
+     "key material across the call boundary"},
 };
 
-// Types whose definitions must wipe their secrets on destruction. Names
-// match the paper's secret holders: §3 Shamir/threshold shares, §4
-// d_ID halves, §5 x halves, the DRBG state, and RSA private material.
-const std::set<std::string> kSecretTypes = {
-    "PrivateKey",     "SplitKey",       "KeyPair",        "KeyShare",
-    "GdhKeyShare",    "ElGamalKeyShare", "Sharing",       "HmacDrbg",
-    "Pkg",            "DkgParticipant", "ThresholdDealer", "SemHalfKey",
-    "MRsaKeygenResult", "MRsaSemRecord", "UserKeys",      "IbeSemKey",
-    "IbsSemKey",      "LimbStore",
-};
-
-// Identifier components that mark a name as secret for *comparison*
-// purposes (timing): includes tags and MACs, which are public on the
-// wire but must still be compared in constant time.
-const std::set<std::string> kSecretWords = {
-    "key",    "keys",   "secret", "secrets", "seed",     "seeds",
-    "token",  "tokens", "tag",    "tags",    "mac",      "macs",
-    "share",  "shares", "priv",   "password", "passwd",
-};
-
-// Components that mark a name as secret for *storage* purposes
-// (confidentiality): excludes tag/mac/token — those live in ciphertexts
-// and wire messages, so holding them in plain Bytes is fine.
-const std::set<std::string> kSecretStorageWords = {
-    "key",   "keys",   "secret",   "secrets",  "seed",   "seeds",
-    "share", "shares", "priv",     "password", "passwd", "half",
-    "halves",
-};
-
-// Leading components that mark a value as blinded/public even when a
-// secret word follows (masked_seed is a ciphertext component).
-const std::set<std::string> kPublicPrefixes = {"masked", "pub", "public"};
-
-// ---------------------------------------------------------------------------
-// lexical stripping: comments and string/char literals -> spaces
-// ---------------------------------------------------------------------------
-
-// Removes comments and literal contents while preserving line structure,
-// so patterns never fire on documentation or log-message text. Handles
-// //, /*...*/, "..." and '...' with escapes, and plain R"(...)" raw
-// strings (no custom delimiters — the tree does not use them).
-std::vector<std::string> strip_code(const std::vector<std::string>& lines) {
-  std::vector<std::string> out;
-  out.reserve(lines.size());
-  enum class State { kCode, kBlockComment, kRawString };
-  State state = State::kCode;
-  for (const std::string& line : lines) {
-    std::string stripped;
-    stripped.reserve(line.size());
-    for (std::size_t i = 0; i < line.size();) {
-      if (state == State::kBlockComment) {
-        if (line.compare(i, 2, "*/") == 0) {
-          state = State::kCode;
-          i += 2;
-        } else {
-          ++i;
-        }
-        continue;
-      }
-      if (state == State::kRawString) {
-        if (line.compare(i, 2, ")\"") == 0) {
-          state = State::kCode;
-          i += 2;
-        } else {
-          ++i;
-        }
-        continue;
-      }
-      if (line.compare(i, 2, "//") == 0) break;
-      if (line.compare(i, 2, "/*") == 0) {
-        state = State::kBlockComment;
-        i += 2;
-        continue;
-      }
-      if (line.compare(i, 3, "R\"(") == 0) {
-        state = State::kRawString;
-        i += 3;
-        continue;
-      }
-      if (line[i] == '"' || line[i] == '\'') {
-        const char quote = line[i];
-        ++i;
-        while (i < line.size()) {
-          if (line[i] == '\\') {
-            i += 2;
-          } else if (line[i] == quote) {
-            ++i;
-            break;
-          } else {
-            ++i;
-          }
-        }
-        stripped.push_back(quote);  // keep delimiters as tokens
-        stripped.push_back(quote);
-        continue;
-      }
-      stripped.push_back(line[i]);
-      ++i;
-    }
-    out.push_back(std::move(stripped));
-  }
-  return out;
+bool known_check(const std::string& id) {
+  for (const CheckInfo& c : kChecks)
+    if (id == c.id) return true;
+  return id == "*";
 }
 
 // ---------------------------------------------------------------------------
-// name classification
-// ---------------------------------------------------------------------------
-
-std::string to_lower(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  return s;
-}
-
-// "pkg.master_key_" -> "master_key_"; "sem->d_sem" -> "d_sem".
-std::string last_member(const std::string& path) {
-  std::size_t pos = path.size();
-  for (const char* sep : {".", "->", "::"}) {
-    const std::size_t p = path.rfind(sep);
-    if (p != std::string::npos) {
-      const std::size_t after = p + std::string(sep).size();
-      pos = std::min(pos, path.size() - after);
-    }
-  }
-  return path.substr(path.size() - pos);
-}
-
-// Splits snake_case/camelCase into lowercase components.
-std::vector<std::string> name_components(const std::string& name) {
-  std::vector<std::string> parts;
-  std::string cur;
-  for (char c : name) {
-    if (c == '_') {
-      if (!cur.empty()) parts.push_back(to_lower(cur));
-      cur.clear();
-    } else if (std::isupper(static_cast<unsigned char>(c)) && !cur.empty() &&
-               std::islower(static_cast<unsigned char>(cur.back()))) {
-      parts.push_back(to_lower(cur));
-      cur.assign(1, c);
-    } else {
-      cur.push_back(c);
-    }
-  }
-  if (!cur.empty()) parts.push_back(to_lower(cur));
-  return parts;
-}
-
-bool is_secret_name(const std::string& identifier_path) {
-  for (const std::string& part : name_components(last_member(identifier_path))) {
-    if (kSecretWords.count(part)) return true;
-  }
-  return false;
-}
-
-bool is_secret_storage_name(const std::string& name) {
-  const std::vector<std::string> parts = name_components(name);
-  if (!parts.empty() && kPublicPrefixes.count(parts.front())) return false;
-  for (const std::string& part : parts) {
-    if (kSecretStorageWords.count(part)) return true;
-  }
-  return false;
-}
-
-// ---------------------------------------------------------------------------
-// per-line checks
+// per-line lexical checks (over the lexer's stripped view)
 // ---------------------------------------------------------------------------
 
 const std::regex kMemcmpRe(R"(\b(memcmp|bcmp|strcmp|strncmp)\s*\()");
@@ -285,36 +142,6 @@ const std::regex kCompareRe(
 const std::regex kFnDeclRe(
     R"(^\s*(?:(?:virtual|static|inline|constexpr|explicit|friend|const)\s+)*((?:::)?[A-Za-z_][\w:]*(?:<[^;()&*]*>)?)\s+([A-Za-z_]\w*)\s*\()");
 
-// Types that hold a SEM-side key half (sem_server.h's lend-don't-copy
-// contract): a by-value return of one copies registry secrets onto the
-// caller's stack. "KeyHalf" is MediatorBase's template parameter, so the
-// generic machinery itself stays covered. Ubiquitous value types
-// (BigInt, Point, SecureBuffer) are deliberately absent — they carry
-// public values far more often than secrets, and SecureBuffer wipes
-// itself, so flagging them would be all noise.
-const std::set<std::string> kSecretReturnTypes = {
-    "KeyHalf",
-    "IbeSemKey",
-    "SemHalfKey",
-    "MRsaSemRecord",
-};
-
-// True if any identifier token of a (possibly qualified/templated)
-// return-type spelling names a secret key-half type, so that
-// `std::vector<KeyHalf>` and `mediated::IbeSemKey` are caught too.
-bool is_secret_return_type(const std::string& type_spelling) {
-  std::string token;
-  for (const char c : type_spelling + " ") {
-    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
-      token.push_back(c);
-    } else {
-      if (kSecretReturnTypes.count(token)) return true;
-      token.clear();
-    }
-  }
-  return false;
-}
-
 // Leading name components that mark a function as a *factory*: it mints
 // a fresh secret and must hand it to the new owner by value (the caller
 // becomes responsible for wiping). Accessors of *stored* secrets have no
@@ -326,6 +153,22 @@ const std::set<std::string> kFactoryVerbs = {
     "decrypt", "encrypt", "sign",       "unwrap",  "wrap",
 };
 
+// True if any identifier token of a (possibly qualified/templated)
+// return-type spelling names a secret key-half type, so that
+// `std::vector<KeyHalf>` and `mediated::IbeSemKey` are caught too.
+bool is_secret_return_type(const std::string& type_spelling) {
+  std::string token;
+  for (const char c : type_spelling + " ") {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      token.push_back(c);
+    } else {
+      if (medlint::kSecretReturnTypes.count(token)) return true;
+      token.clear();
+    }
+  }
+  return false;
+}
+
 bool is_benign_operand(const std::string& op) {
   if (op.empty()) return true;
   if (std::isdigit(static_cast<unsigned char>(op[0]))) return true;  // literal
@@ -333,7 +176,7 @@ bool is_benign_operand(const std::string& op) {
       op == "''") {
     return true;
   }
-  const std::string last = last_member(op);
+  const std::string last = medlint::last_member(op);
   // Iterator/size protocol names compare handles, not contents.
   if (last == "end" || last == "begin" || last == "size" || last == "empty" ||
       last == "length" || last == "npos") {
@@ -341,7 +184,7 @@ bool is_benign_operand(const std::string& op) {
   }
   // Quantity-valued names (message_len, kSessionKeyLen, share_count) are
   // public metadata even when a secret word appears earlier in the name.
-  const std::vector<std::string> parts = name_components(last);
+  const std::vector<std::string> parts = medlint::name_components(last);
   if (parts.empty()) return false;
   const std::string& tail = parts.back();
   return tail == "len" || tail == "size" || tail == "count" ||
@@ -366,7 +209,7 @@ void check_line(const std::string& file, std::size_t lineno,
   for (auto it = std::sregex_iterator(code.begin(), code.end(), kSecretVecRe);
        it != std::sregex_iterator(); ++it) {
     const std::string name = (*it)[2].str();
-    if (is_secret_storage_name(name)) {
+    if (medlint::is_secret_storage_name(name)) {
       out.push_back({file, lineno, "secret-vector",
                      "'" + (*it)[1].str() + " " + name +
                          "' holds secret material in a non-wiping buffer; "
@@ -381,8 +224,8 @@ void check_line(const std::string& file, std::size_t lineno,
     // types quiet, and the secret-named gate skips paren-initialized
     // locals (`IbeSemKey record(...)`) that the declaration regex
     // cannot tell apart from a function signature.
-    if (is_secret_return_type(ret) && is_secret_storage_name(name)) {
-      const std::vector<std::string> parts = name_components(name);
+    if (is_secret_return_type(ret) && medlint::is_secret_storage_name(name)) {
+      const std::vector<std::string> parts = medlint::name_components(name);
       if (parts.empty() || !kFactoryVerbs.count(parts.front())) {
         out.push_back({file, lineno, "secret-return-by-value",
                        "'" + ret + " " + name +
@@ -399,7 +242,7 @@ void check_line(const std::string& file, std::size_t lineno,
     const std::string lhs = (*it)[1].str();
     const std::string rhs = (*it)[3].str();
     if (is_benign_operand(lhs) || is_benign_operand(rhs)) continue;
-    if (is_secret_name(lhs) || is_secret_name(rhs)) {
+    if (medlint::is_secret_name(lhs) || medlint::is_secret_name(rhs)) {
       out.push_back({file, lineno, "secret-equality",
                      "'" + lhs + " " + (*it)[2].str() + " " + rhs +
                          "' compares secret-named values with a "
@@ -422,7 +265,7 @@ void check_secret_types(const std::string& file,
     std::smatch m;
     if (!std::regex_search(code[i], m, kTypeDefRe)) continue;
     const std::string name = m[1].str();
-    if (!kSecretTypes.count(name)) continue;
+    if (!medlint::kSecretTypes.count(name)) continue;
 
     // Find the opening brace; a ';' first means a forward declaration.
     std::size_t line = i;
@@ -483,7 +326,7 @@ void check_secret_types(const std::string& file,
 }
 
 // ---------------------------------------------------------------------------
-// allowlist
+// suppression: allowlist, baseline, inline comments
 // ---------------------------------------------------------------------------
 
 struct AllowEntry {
@@ -491,37 +334,66 @@ struct AllowEntry {
   std::string check;  // "*" allows every check for the file
 };
 
-std::vector<AllowEntry> load_allowlist(const std::string& path) {
+// Loads a suppression file of `path-suffix:check-id` entries. When
+// `require_justification` (the --baseline contract), every entry must be
+// directly preceded by a comment block explaining why the finding is
+// accepted; a bare entry is a hard error.
+std::vector<AllowEntry> load_suppressions(const std::string& path,
+                                          bool require_justification) {
   std::vector<AllowEntry> entries;
   std::ifstream in(path);
   if (!in) {
-    std::cerr << "medlint: cannot open allowlist: " << path << "\n";
+    std::cerr << "medlint: cannot open suppression file: " << path << "\n";
     std::exit(2);
   }
   std::string line;
+  std::size_t lineno = 0;
+  bool prev_was_comment = false;
   while (std::getline(in, line)) {
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    while (!line.empty() && std::isspace(static_cast<unsigned char>(line.back())))
-      line.pop_back();
+    ++lineno;
+    std::string stripped = line;
+    const std::size_t hash = stripped.find('#');
+    const bool has_comment = hash != std::string::npos &&
+                             stripped.find_first_not_of(" \t") == hash;
+    if (hash != std::string::npos) stripped.erase(hash);
+    while (!stripped.empty() &&
+           std::isspace(static_cast<unsigned char>(stripped.back())))
+      stripped.pop_back();
     std::size_t start = 0;
-    while (start < line.size() &&
-           std::isspace(static_cast<unsigned char>(line[start])))
+    while (start < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[start])))
       ++start;
-    line.erase(0, start);
-    if (line.empty()) continue;
-    const std::size_t colon = line.rfind(':');
+    stripped.erase(0, start);
+    if (stripped.empty()) {
+      prev_was_comment = has_comment;
+      continue;
+    }
+    const std::size_t colon = stripped.rfind(':');
     if (colon == std::string::npos) {
-      std::cerr << "medlint: malformed allowlist entry (want path:check): "
-                << line << "\n";
+      std::cerr << "medlint: malformed entry (want path:check) at " << path
+                << ":" << lineno << ": " << stripped << "\n";
       std::exit(2);
     }
-    entries.push_back({line.substr(0, colon), line.substr(colon + 1)});
+    const std::string check = stripped.substr(colon + 1);
+    if (!known_check(check)) {
+      std::cerr << "medlint: unknown check id '" << check << "' at " << path
+                << ":" << lineno << "\n";
+      std::exit(2);
+    }
+    if (require_justification && !prev_was_comment) {
+      std::cerr << "medlint: baseline entry at " << path << ":" << lineno
+                << " has no justification comment directly above it; every "
+                   "accepted finding must say why (see "
+                   "docs/SECRET_HYGIENE.md)\n";
+      std::exit(2);
+    }
+    entries.push_back({stripped.substr(0, colon), check});
+    prev_was_comment = false;
   }
   return entries;
 }
 
-bool is_allowlisted(const Violation& v, const std::vector<AllowEntry>& allow) {
+bool matches(const Violation& v, const std::vector<AllowEntry>& allow) {
   for (const AllowEntry& e : allow) {
     if (e.check != "*" && e.check != v.check) continue;
     if (v.file.size() >= e.path_suffix.size() &&
@@ -531,6 +403,99 @@ bool is_allowlisted(const Violation& v, const std::vector<AllowEntry>& allow) {
     }
   }
   return false;
+}
+
+// `// medlint: allow(check-a, check-b)` — suppresses those checks on the
+// comment's own line (trailing form) and on the line directly below
+// (standalone form).
+const std::regex kInlineAllowRe(
+    R"(medlint:\s*allow\(\s*([A-Za-z0-9_,\s-]+)\s*\))");
+
+std::map<std::size_t, std::set<std::string>> inline_suppressions(
+    const std::vector<std::string>& comments) {
+  std::map<std::size_t, std::set<std::string>> by_line;
+  for (std::size_t i = 0; i < comments.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(comments[i], m, kInlineAllowRe)) continue;
+    std::stringstream ids(m[1].str());
+    std::string id;
+    while (std::getline(ids, id, ',')) {
+      const std::size_t b = id.find_first_not_of(" \t");
+      const std::size_t e = id.find_last_not_of(" \t");
+      if (b == std::string::npos) continue;
+      const std::string trimmed = id.substr(b, e - b + 1);
+      by_line[i + 1].insert(trimmed);  // the comment's own line (1-based)
+      by_line[i + 2].insert(trimmed);  // the line below
+    }
+  }
+  return by_line;
+}
+
+// ---------------------------------------------------------------------------
+// SARIF 2.1.0 output (for CI annotation upload)
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void write_sarif(const std::string& path,
+                 const std::vector<Violation>& violations) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "medlint: cannot write SARIF file: " << path << "\n";
+    std::exit(2);
+  }
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\n"
+      << "      \"name\": \"medlint\",\n"
+      << "      \"informationUri\": \"docs/SECRET_HYGIENE.md\",\n"
+      << "      \"rules\": [\n";
+  bool first = true;
+  for (const CheckInfo& c : kChecks) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "        {\"id\": \"" << c.id
+        << "\", \"shortDescription\": {\"text\": \"" << json_escape(c.summary)
+        << "\"}}";
+  }
+  out << "\n      ]\n    }},\n    \"results\": [\n";
+  first = true;
+  for (const Violation& v : violations) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "      {\"ruleId\": \"" << v.check
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << json_escape(v.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << json_escape(v.file) << "\"}, \"region\": {\"startLine\": "
+        << v.line << "}}}]}";
+  }
+  out << "\n    ]\n  }]\n}\n";
 }
 
 // ---------------------------------------------------------------------------
@@ -559,6 +524,8 @@ std::vector<std::string> read_lines(const fs::path& p) {
 int main(int argc, char** argv) {
   std::vector<std::string> src_dirs;
   std::string allowlist_path;
+  std::string baseline_path;
+  std::string sarif_path;
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -566,6 +533,10 @@ int main(int argc, char** argv) {
       src_dirs.push_back(argv[++i]);
     } else if (arg == "--allowlist" && i + 1 < argc) {
       allowlist_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
     } else if (arg == "--verbose") {
       verbose = true;
     } else if (arg == "--list-checks") {
@@ -574,7 +545,8 @@ int main(int argc, char** argv) {
       return 0;
     } else {
       std::cerr << "usage: medlint --src <dir> [--src <dir>...] "
-                   "[--allowlist <file>] [--verbose] [--list-checks]\n";
+                   "[--allowlist <file>] [--baseline <file>] "
+                   "[--sarif <file>] [--verbose] [--list-checks]\n";
       return 2;
     }
   }
@@ -584,7 +556,11 @@ int main(int argc, char** argv) {
   }
 
   std::vector<AllowEntry> allow;
-  if (!allowlist_path.empty()) allow = load_allowlist(allowlist_path);
+  if (!allowlist_path.empty())
+    allow = load_suppressions(allowlist_path, /*require_justification=*/false);
+  std::vector<AllowEntry> baseline;
+  if (!baseline_path.empty())
+    baseline = load_suppressions(baseline_path, /*require_justification=*/true);
 
   std::vector<fs::path> files;
   for (const std::string& dir : src_dirs) {
@@ -601,17 +577,33 @@ int main(int argc, char** argv) {
 
   std::vector<Violation> violations;
   std::size_t allowlisted = 0;
+  std::size_t baselined = 0;
+  std::size_t inline_suppressed = 0;
   for (const fs::path& file : files) {
-    const std::vector<std::string> code = strip_code(read_lines(file));
+    const medlint::LexedFile lf = medlint::lex_file(read_lines(file));
     std::vector<Violation> found;
-    for (std::size_t i = 0; i < code.size(); ++i)
-      check_line(file.string(), i + 1, code[i], found);
-    check_secret_types(file.string(), code, found);
+    for (std::size_t i = 0; i < lf.stripped.size(); ++i)
+      check_line(file.string(), i + 1, lf.stripped[i], found);
+    check_secret_types(file.string(), lf.stripped, found);
+    medlint::run_dataflow_checks(file.string(), lf, found);
+    const auto inline_allow = inline_suppressions(lf.comments);
     for (Violation& v : found) {
-      if (is_allowlisted(v, allow)) {
+      const auto it = inline_allow.find(v.line);
+      if (it != inline_allow.end() &&
+          (it->second.count(v.check) || it->second.count("*"))) {
+        ++inline_suppressed;
+        if (verbose)
+          std::cout << v.file << ":" << v.line << ": inline-allowed ["
+                    << v.check << "]\n";
+      } else if (matches(v, allow)) {
         ++allowlisted;
         if (verbose)
           std::cout << v.file << ":" << v.line << ": allowlisted [" << v.check
+                    << "]\n";
+      } else if (matches(v, baseline)) {
+        ++baselined;
+        if (verbose)
+          std::cout << v.file << ":" << v.line << ": baselined [" << v.check
                     << "]\n";
       } else {
         violations.push_back(std::move(v));
@@ -619,12 +611,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::stable_sort(violations.begin(), violations.end(),
+                   [](const Violation& a, const Violation& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
   for (const Violation& v : violations) {
     std::cout << v.file << ":" << v.line << ": [" << v.check << "] "
               << v.message << "\n";
   }
+  if (!sarif_path.empty()) write_sarif(sarif_path, violations);
   std::cout << "medlint: scanned " << files.size() << " file(s), "
             << violations.size() << " violation(s), " << allowlisted
-            << " allowlisted\n";
+            << " allowlisted, " << baselined << " baselined, "
+            << inline_suppressed << " inline-suppressed\n";
   return violations.empty() ? 0 : 1;
 }

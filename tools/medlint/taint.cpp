@@ -1,0 +1,1072 @@
+#include "taint.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+namespace medlint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
+bool is_ident(const Token& t, const char* s) {
+  return t.kind == TokKind::kIdent && t.text == s;
+}
+
+// Keywords that may precede '(' without naming a callee or a function.
+const std::set<std::string> kControlKeywords = {
+    "if",     "while",    "for",      "switch",        "catch",
+    "return", "sizeof",   "alignof",  "throw",         "new",
+    "delete", "case",     "default",  "else",          "do",
+    "using",  "typedef",  "goto",     "static_assert", "decltype",
+    "noexcept", "alignas", "defined", "requires",
+};
+
+const std::set<std::string> kCvWords = {
+    "const",    "constexpr", "static",       "volatile", "mutable",
+    "typename", "struct",    "inline",       "register", "thread_local",
+    "unsigned", "signed",    "virtual",      "explicit", "friend",
+};
+
+bool secret_type_ident(const std::string& id) {
+  return id == "SecureBuffer" || kSecretTypes.count(id) != 0 ||
+         kSecretReturnTypes.count(id) != 0;
+}
+
+// Non-owning views and scalars: passing one by value does not copy the
+// secret's storage, so a secret-*named* parameter of such a type is fine.
+const std::set<std::string> kValueOkTypes = {
+    "BytesView", "span",     "string_view", "StringView", "size_t",
+    "int",       "unsigned", "long",        "short",      "bool",
+    "char",      "float",    "double",      "signed",     "auto",
+    "uint8_t",   "uint16_t", "uint32_t",    "uint64_t",   "int8_t",
+    "int16_t",   "int32_t",  "int64_t",     "uintptr_t",  "ptrdiff_t",
+    "byte",      "std",      "const",       "constexpr",
+};
+
+// Non-owning view templates: a by-value view of secret elements
+// (std::span<const KeyShare>) copies pointers, not key material, so the
+// by-value check never fires on these regardless of the element type.
+const std::set<std::string> kViewTypes = {
+    "BytesView", "span", "Span", "string_view", "basic_string_view",
+    "StringView",
+};
+
+// Pure size/flag types: a secret-suggestive *name* of one of these holds
+// public metadata, never key bytes (`std::size_t half` is a length). Kept
+// narrow — uint64_t et al. are NOT here, since raw limbs can be secret.
+const std::set<std::string> kPublicScalarTypes = {
+    "size_t", "ptrdiff_t", "size_type", "difference_type", "bool",
+};
+
+// Type name spelled with a public prefix (PublicKey, MaskedShare):
+// declaring a variable of such a type declassifies its secret-looking
+// name — `const PublicKey& key` carries only public components.
+bool public_prefixed(const std::string& name) {
+  const std::vector<std::string> parts = name_components(name);
+  return !parts.empty() && kPublicPrefixes.count(parts.front()) != 0;
+}
+
+bool public_typed(const std::vector<std::string>& tids) {
+  for (const std::string& id : tids) {
+    if (kPublicScalarTypes.count(id) || public_prefixed(id)) return true;
+  }
+  return false;
+}
+
+// Accessors whose results are public metadata even on a tainted object:
+// lengths/counts are public by the ct_equal contract, and to_bytes() is
+// the *named* serialization boundary (secure_buffer.h) — calling it is an
+// explicit, reviewable decision, so its result is treated as declassified.
+const std::set<std::string> kPublicAccessors = {
+    "size",     "empty",      "length",    "count",    "capacity",
+    "max_size", "bit_length", "bit_count", "npos",     "to_bytes",
+    "find",     "contains",   "has_value", "end",      "cend",
+};
+// "end" is public (an iterator sentinel for lookup-miss tests) but
+// "begin" deliberately is not: Bytes(key.begin(), key.end()) is the
+// copy-the-secret idiom the escape check exists to catch.
+
+// Calls whose result is public and whose arguments are exactly the vetted
+// constant-time/wiping internals — never scanned for sink violations.
+const std::set<std::string> kSanitizerCalls = {
+    "ct_equal", "secure_wipe", "wipe", "sizeof", "alignof", "assert",
+};
+
+// Calls that merely combine or forward bytes: result tainted iff an
+// argument is (so their argument lists are scanned). Everything not
+// listed here is assumed to *transform* its inputs (hash, encrypt, ...)
+// and does not propagate taint through its return value.
+const std::set<std::string> kPropagatorCalls = {
+    "concat", "xor_bytes", "move",    "forward", "min",  "max",
+    "subspan", "view",     "span",    "data",    "get",  "ref",
+    "cref",   "first",     "last",    "to_hex",  "swap",
+};
+
+const std::set<std::string> kLogCalls = {
+    "printf", "fprintf", "sprintf", "snprintf", "vprintf",
+    "vfprintf", "syslog", "puts",   "fputs",    "perror",
+};
+
+const std::set<std::string> kStreamWords = {
+    "cout", "cerr", "clog", "os",     "oss",    "out",
+    "ss",   "stream", "log", "logger", "sink",
+};
+
+const std::set<std::string> kStreamTypes = {
+    "ostream", "stringstream", "ostringstream", "basic_ostream", "FILE",
+};
+
+bool is_bytes_like_type(const std::vector<std::string>& tids) {
+  bool vec = false, u8 = false;
+  for (const std::string& t : tids) {
+    if (t == "Bytes" || t == "string") return true;
+    if (t == "vector") vec = true;
+    if (t == "uint8_t" || t == "byte") u8 = true;
+  }
+  return vec && u8;
+}
+
+bool is_stream_type(const std::vector<std::string>& tids) {
+  for (const std::string& t : tids)
+    if (kStreamTypes.count(t)) return true;
+  return false;
+}
+
+bool secret_fn_name(const std::string& name) {
+  return is_secret_storage_name(name) && !has_benign_tail(name);
+}
+
+// Protocol verification predicates: a leading verify/check/validate
+// component marks a call whose boolean verdict is public by design
+// (Feldman complaints, share-proof checks, signature verification are all
+// published). Their verdicts may gate branches; their arguments are not
+// scanned. Deliberately narrow — is_/has_ predicates are NOT included,
+// because parity/zero tests on secrets (is_odd) are classic leaks.
+bool verification_call(const std::string& name) {
+  const std::vector<std::string> parts = name_components(name);
+  if (parts.empty()) return false;
+  return parts.front() == "verify" || parts.front() == "check" ||
+         parts.front() == "validate";
+}
+
+bool stream_like_name(const std::string& name) {
+  for (const std::string& part : name_components(name))
+    if (kStreamWords.count(part)) return true;
+  return false;
+}
+
+bool log_like_name(const std::string& name) {
+  if (kLogCalls.count(name)) return true;
+  const std::vector<std::string> parts = name_components(name);
+  return !parts.empty() && parts.front() == "log";
+}
+
+// ---------------------------------------------------------------------------
+// token-range helpers
+// ---------------------------------------------------------------------------
+
+// Matches a '<' against its '>' within a short window; returns kNpos when
+// the tokens read as a comparison rather than a template argument list.
+std::size_t match_angle(const Tokens& toks, std::size_t open) {
+  int depth = 0;
+  const std::size_t limit = std::min(toks.size(), open + 64);
+  for (std::size_t j = open; j < limit; ++j) {
+    if (toks[j].kind != TokKind::kPunct) continue;
+    const std::string& t = toks[j].text;
+    if (t == "<") {
+      ++depth;
+    } else if (t == ">") {
+      if (--depth == 0) return j;
+    } else if (t == ">>") {
+      depth -= 2;
+      if (depth <= 0) return j;
+    } else if (t == ";" || t == "{" || t == "}" || t == "(" || t == ")" ||
+               t == "&&" || t == "||" || t == "==") {
+      return kNpos;
+    }
+  }
+  return kNpos;
+}
+
+// Index of the next ';' at the current nesting level (also stops at '{'
+// and '}' so a missing semicolon cannot run away).
+std::size_t stmt_end(const Tokens& toks, std::size_t i, std::size_t hi) {
+  int depth = 0;
+  for (std::size_t j = i; j < hi; ++j) {
+    if (toks[j].kind != TokKind::kPunct) continue;
+    const std::string& t = toks[j].text;
+    if (t == "(" || t == "[") ++depth;
+    else if (t == ")" || t == "]") --depth;
+    else if (depth == 0 && (t == ";" || t == "{" || t == "}")) return j;
+  }
+  return hi;
+}
+
+// ---------------------------------------------------------------------------
+// signatures: parameter parsing and the secret-param-by-value check
+// ---------------------------------------------------------------------------
+
+struct Param {
+  std::vector<std::string> type_idents;
+  std::string name;     // empty for unnamed params
+  bool by_value = true;
+  std::size_t line = 0;
+};
+
+// Parses "(...)" as a parameter list. Returns nullopt when the span reads
+// as an expression (numbers, strings, arithmetic, member access, nested
+// calls) — which is how call sites are told apart from declarations.
+std::optional<std::vector<Param>> parse_params(const Tokens& toks,
+                                               std::size_t open,
+                                               std::size_t close) {
+  std::vector<Param> params;
+  std::size_t start = open + 1;
+  int angle = 0;
+  for (std::size_t j = open + 1; j <= close; ++j) {
+    const Token& t = toks[j];
+    if (t.kind == TokKind::kNumber || t.kind == TokKind::kString ||
+        t.kind == TokKind::kChar) {
+      return std::nullopt;
+    }
+    if (t.kind == TokKind::kPunct) {
+      const std::string& p = t.text;
+      if (p == "<") ++angle;
+      else if (p == ">") angle = std::max(0, angle - 1);
+      else if (p == ">>") angle = std::max(0, angle - 2);
+      else if (p == "=") {
+        // default argument: skip to the ',' / ')' closing this param
+        int d = 0;
+        while (j < close) {
+          const Token& u = toks[j];
+          if (is_punct(u, "(") || is_punct(u, "[") || is_punct(u, "{")) ++d;
+          else if (is_punct(u, ")") || is_punct(u, "]") || is_punct(u, "}")) --d;
+          else if (d == 0 && is_punct(u, ",")) break;
+          ++j;
+        }
+        // fall through to the ','/close handling below
+      } else if (p != "," && p != "::" && p != "&" && p != "&&" && p != "*" &&
+                 p != "..." && p != ")" && p != "[" && p != "]") {
+        return std::nullopt;  // '.', '->', arithmetic, nested '(' ...
+      }
+    }
+    const bool at_split =
+        j == close || (angle == 0 && is_punct(toks[j], ","));
+    if (!at_split) continue;
+
+    // one parameter span: [start, j)
+    Param prm;
+    std::vector<std::size_t> ident_idx;
+    for (std::size_t k = start; k < j; ++k) {
+      if (is_ident(toks[k])) ident_idx.push_back(k);
+      else if (is_punct(toks[k], "&") || is_punct(toks[k], "&&") ||
+               is_punct(toks[k], "*")) {
+        prm.by_value = false;
+      }
+    }
+    start = j + 1;
+    if (ident_idx.empty()) continue;  // "void", "...", empty
+    prm.line = toks[ident_idx.front()].line;
+    const std::size_t last = ident_idx.back();
+    const bool named = ident_idx.size() >= 2 && last > 0 &&
+                       !is_punct(toks[last - 1], "::") &&
+                       (last + 1 == j || is_punct(toks[last + 1], "[")) ;
+    for (std::size_t k : ident_idx) {
+      if (named && k == last) continue;
+      prm.type_idents.push_back(toks[k].text);
+    }
+    if (named) prm.name = toks[last].text;
+    if (prm.type_idents.size() == 1 && prm.type_idents[0] == "void") continue;
+    params.push_back(std::move(prm));
+  }
+  return params;
+}
+
+void check_params_by_value(const std::string& file, const std::string& fn,
+                           const std::vector<Param>& params,
+                           std::vector<Violation>& out) {
+  for (const Param& p : params) {
+    if (!p.by_value) continue;
+    bool type_secret = false;
+    bool value_ok = true;
+    bool is_view = false;
+    for (const std::string& id : p.type_idents) {
+      if (secret_type_ident(id)) type_secret = true;
+      if (!kValueOkTypes.count(id)) value_ok = false;
+      if (kViewTypes.count(id)) is_view = true;
+    }
+    // A by-value view (std::span<const KeyShare>) copies no key material.
+    if (is_view) continue;
+    const bool name_secret = !p.name.empty() && secret_fn_name(p.name) &&
+                             !public_typed(p.type_idents);
+    if (type_secret || (name_secret && !value_ok)) {
+      const std::string shown = p.name.empty() ? "<unnamed>" : p.name;
+      out.push_back(
+          {file, p.line, "secret-param-by-value",
+           "parameter '" + shown + "' of " + fn +
+               "() takes secret material by value, copying it across the "
+               "call boundary; pass const T& (or BytesView for bytes) so "
+               "the only live copy stays with its owner"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// per-function taint analysis
+// ---------------------------------------------------------------------------
+
+struct VarInfo {
+  std::vector<std::string> type_idents;
+  bool tainted = false;
+  bool is_local = false;
+  bool is_bytes = false;
+  bool is_stream = false;
+  std::size_t taint_idx = 0;              // token idx of taint introduction
+  std::vector<std::size_t> decl_blocks;   // open-block token idxs at decl
+  struct Wipe {
+    std::size_t idx;
+    std::size_t line;
+    std::vector<std::size_t> blocks;
+  };
+  std::vector<Wipe> wipes;
+  struct Escape {
+    std::size_t line;
+    std::string message;
+  };
+  // Copies of secret data into this (Bytes-like) variable. Reported only
+  // if the function never wipes the variable — a wiped working buffer is
+  // the sanctioned pattern (hmac's ipad/opad), and skipped-wipe exit
+  // paths are leaky-early-return's job.
+  std::vector<Escape> pending_escapes;
+};
+
+struct ReturnEvent {
+  std::size_t idx;
+  std::size_t line;
+  bool is_throw;
+  std::vector<std::size_t> blocks;
+};
+
+class FnAnalyzer {
+ public:
+  FnAnalyzer(const std::string& file, const Tokens& toks,
+             std::vector<Violation>& out)
+      : file_(file), toks_(toks), out_(out) {}
+
+  void seed_param(const Param& p) {
+    if (p.name.empty()) return;
+    VarInfo v;
+    v.type_idents = p.type_idents;
+    v.is_bytes = is_bytes_like_type(p.type_idents);
+    v.is_stream = is_stream_type(p.type_idents);
+    v.is_local = false;
+    bool type_secret = false;
+    for (const std::string& id : p.type_idents)
+      if (secret_type_ident(id)) type_secret = true;
+    v.tainted = type_secret || (secret_fn_name(p.name) &&
+                                !public_typed(p.type_idents));
+    vars_[p.name] = std::move(v);
+  }
+
+  void analyze(std::size_t body_open, std::size_t body_close);
+
+ private:
+  void flag(std::size_t line, const char* check, std::string msg) {
+    if (seen_.insert({line, check}).second)
+      out_.push_back({file_, line, check, std::move(msg)});
+  }
+
+  // Scans [l, r) for a read of secret data; returns the offending name.
+  std::optional<std::string> find_tainted(std::size_t l, std::size_t r) const;
+
+  bool name_tainted(const std::string& name) const {
+    auto it = vars_.find(name);
+    if (it != vars_.end()) return it->second.tainted;
+    return secret_fn_name(name);  // members/globals: name heuristics
+  }
+
+  std::size_t cond_start_backwards(std::size_t qidx, std::size_t lo) const;
+  bool try_declaration(std::size_t i, std::size_t hi,
+                       const std::vector<std::size_t>& blocks,
+                       std::size_t* next);
+  void try_assignment(std::size_t i, std::size_t hi);
+  void record_lambda(std::size_t intro, std::size_t hi,
+                     std::size_t* body_open, std::size_t* body_close) const;
+  void finalize_leaky_returns();
+
+  bool in_lambda(std::size_t idx) const {
+    for (const auto& [lo, hi] : lambda_ranges_)
+      if (idx > lo && idx < hi) return true;
+    return false;
+  }
+
+  const std::string& file_;
+  const Tokens& toks_;
+  std::vector<Violation>& out_;
+  std::map<std::string, VarInfo> vars_;
+  std::vector<ReturnEvent> events_;
+  std::vector<std::pair<std::size_t, std::size_t>> lambda_ranges_;
+  std::set<std::pair<std::size_t, std::string>> seen_;
+};
+
+std::optional<std::string> FnAnalyzer::find_tainted(std::size_t l,
+                                                    std::size_t r) const {
+  std::size_t j = l;
+  r = std::min(r, toks_.size());
+  while (j < r) {
+    const Token& t = toks_[j];
+    if (!is_ident(t)) {
+      ++j;
+      continue;
+    }
+    // collapse a qualified path a::b::c to its last component
+    std::size_t k = j;
+    while (k + 2 < r && is_punct(toks_[k + 1], "::") && is_ident(toks_[k + 2]))
+      k += 2;
+    const std::string& name = toks_[k].text;
+    if (k + 1 < r && is_punct(toks_[k + 1], "(")) {
+      const std::size_t close = match_group(toks_, k + 1);
+      if (kSanitizerCalls.count(name) || kPublicAccessors.count(name) ||
+          verification_call(name)) {
+        j = close + 1;  // vetted: result public, args not scanned
+        continue;
+      }
+      if (secret_fn_name(name)) return name;  // mints/fetches a secret
+      if (kPropagatorCalls.count(name) ||
+          (!name.empty() &&
+       	   std::isupper(static_cast<unsigned char>(name[0])))) {
+        j = k + 2;  // byte combiner or constructor: scan the arguments
+        continue;
+      }
+      j = close + 1;  // unknown call: result assumed transformed/public
+      continue;
+    }
+    bool tainted = name_tainted(name);
+    // walk the member/accessor chain: a.b->c().d
+    std::size_t pos = k;
+    while (pos + 2 < r &&
+           (is_punct(toks_[pos + 1], ".") || is_punct(toks_[pos + 1], "->")) &&
+           is_ident(toks_[pos + 2])) {
+      const std::size_t mem = pos + 2;
+      const std::string& member = toks_[mem].text;
+      const bool is_call = mem + 1 < r && is_punct(toks_[mem + 1], "(");
+      if (kPublicAccessors.count(member) ||
+          (is_call && (kSanitizerCalls.count(member) ||
+                       verification_call(member)))) {
+        tainted = false;
+        pos = is_call ? match_group(toks_, mem + 1) : mem;
+        continue;
+      }
+      if (public_prefixed(member)) {
+        // key.pub / ct.masked_db: a public-prefixed member narrows the
+        // chain to the key's published components.
+        tainted = false;
+      } else if (secret_fn_name(member)) {
+        tainted = true;
+      } else if (has_benign_tail(member)) {
+        tainted = false;
+      }
+      if (is_call) {
+        if (tainted) return name + "." + member;
+        // method on an untainted object: scan its arguments instead
+        pos = mem + 1;  // '('
+        break;
+      }
+      pos = mem;
+    }
+    if (tainted) return name;
+    j = pos + 1;
+  }
+  return std::nullopt;
+}
+
+// Walks backwards from a '?' to the start of its condition expression.
+std::size_t FnAnalyzer::cond_start_backwards(std::size_t qidx,
+                                             std::size_t lo) const {
+  int depth = 0;
+  for (std::size_t j = qidx; j-- > lo;) {
+    const Token& t = toks_[j];
+    if (t.kind == TokKind::kPunct) {
+      const std::string& p = t.text;
+      if (p == ")" || p == "]" || p == "}") ++depth;
+      else if (p == "(" || p == "[" || p == "{") {
+        if (depth == 0) return j + 1;
+        --depth;
+      } else if (depth == 0 && (p == ";" || p == "," || p == "=")) {
+        return j + 1;
+      }
+    } else if (depth == 0 && t.kind == TokKind::kIdent &&
+               (t.text == "return" || t.text == "throw")) {
+      return j + 1;
+    }
+  }
+  return lo;
+}
+
+// Lambda introducer at '[': computes the body range so return/throw
+// inside it are not mistaken for the enclosing function's exits.
+void FnAnalyzer::record_lambda(std::size_t intro, std::size_t hi,
+                               std::size_t* body_open,
+                               std::size_t* body_close) const {
+  *body_open = *body_close = kNpos;
+  std::size_t j = match_group(toks_, intro);  // ']'
+  if (j >= hi) return;
+  ++j;
+  if (j < hi && is_punct(toks_[j], "(")) j = match_group(toks_, j) + 1;
+  while (j < hi && (is_ident(toks_[j], "mutable") ||
+                    is_ident(toks_[j], "noexcept") ||
+                    is_ident(toks_[j], "constexpr")))
+    ++j;
+  if (j < hi && is_punct(toks_[j], "->")) {
+    ++j;
+    while (j < hi && !is_punct(toks_[j], "{") && !is_punct(toks_[j], ";")) ++j;
+  }
+  if (j < hi && is_punct(toks_[j], "{")) {
+    *body_open = j;
+    *body_close = match_group(toks_, j);
+  }
+}
+
+// Attempts to parse a declaration at i: [cv]* Type[::T]*[<...>] [&|*]*
+// name (= expr | (expr) | {expr} | ;). On success registers the variable,
+// seeds/propagates taint, reports Bytes-copy escapes, and sets *next.
+bool FnAnalyzer::try_declaration(std::size_t i, std::size_t hi,
+                                 const std::vector<std::size_t>& blocks,
+                                 std::size_t* next) {
+  std::vector<std::vector<std::string>> groups;  // ident groups in order
+  std::vector<std::size_t> group_idx;
+  std::size_t j = i;
+  bool is_ref = false;
+  while (j < hi && is_ident(toks_[j])) {
+    const std::string& id = toks_[j].text;
+    if (kControlKeywords.count(id)) return false;
+    std::vector<std::string> g{id};
+    const std::size_t gstart = j;
+    ++j;
+    while (j + 1 < hi && is_punct(toks_[j], "::") && is_ident(toks_[j + 1])) {
+      g.push_back(toks_[j + 1].text);
+      j += 2;
+    }
+    if (j < hi && is_punct(toks_[j], "<")) {
+      const std::size_t tclose = match_angle(toks_, j);
+      if (tclose == kNpos) {
+        if (groups.size() < 1) return false;
+        break;  // comparison, not template args — name may already be set
+      }
+      for (std::size_t k = j + 1; k < tclose; ++k)
+        if (is_ident(toks_[k])) g.push_back(toks_[k].text);
+      j = tclose + 1;
+    }
+    groups.push_back(std::move(g));
+    group_idx.push_back(gstart);
+    while (j < hi && (is_punct(toks_[j], "&") || is_punct(toks_[j], "&&") ||
+                      is_punct(toks_[j], "*"))) {
+      is_ref = true;
+      ++j;
+    }
+  }
+  if (groups.size() < 2 || j >= hi) return false;
+  if (groups.back().size() != 1) return false;  // name can't be qualified
+  const Token& term = toks_[j];
+  if (!is_punct(term, "=") && !is_punct(term, ";") && !is_punct(term, "(") &&
+      !is_punct(term, "{"))
+    return false;
+
+  const std::string name = groups.back()[0];
+  std::vector<std::string> tids;
+  bool has_real_type = false;
+  for (std::size_t g = 0; g + 1 < groups.size(); ++g)
+    for (const std::string& id : groups[g]) {
+      tids.push_back(id);
+      if (!kCvWords.count(id)) has_real_type = true;
+    }
+  if (!has_real_type) return false;
+
+  VarInfo v;
+  v.type_idents = tids;
+  v.is_local = true;
+  v.is_bytes = is_bytes_like_type(tids);
+  v.is_stream = is_stream_type(tids);
+  v.decl_blocks = blocks;
+  v.taint_idx = i;
+  bool type_secret = false;
+  for (const std::string& id : tids)
+    if (secret_type_ident(id)) type_secret = true;
+  // masked_* / pub_* names are blinded-by-construction (OAEP's masked_db):
+  // the copy is a ciphertext component, not an escape, and size_t-typed
+  // "secret" names are lengths.
+  const bool declassified = public_prefixed(name) || public_typed(tids);
+  v.tainted = type_secret || (secret_fn_name(name) && !declassified);
+
+  std::size_t init_lo = kNpos, init_hi = kNpos;
+  if (is_punct(term, "=")) {
+    init_lo = j + 1;
+    init_hi = stmt_end(toks_, j, hi);
+  } else if (is_punct(term, "(") || is_punct(term, "{")) {
+    init_lo = j + 1;
+    init_hi = match_group(toks_, j);
+  }
+  std::optional<std::string> src;
+  if (init_lo != kNpos) src = find_tainted(init_lo, init_hi);
+  if (src && !v.tainted && !declassified) v.tainted = true;
+
+  if (src && v.is_bytes && !is_ref && !declassified) {
+    v.pending_escapes.push_back(
+        {toks_[i].line,
+         "secret '" + *src + "' is copied into non-wiping buffer '" + name +
+             "'; adopt it into a SecureBuffer (or keep it behind a "
+             "BytesView) so the bytes are zeroized on destruction"});
+  }
+  vars_[name] = std::move(v);
+  *next = j;  // terminator: init expr still gets scanned by the walker
+  return true;
+}
+
+// Assignment/compound-assignment propagation: lhs = rhs taints lhs's base
+// variable, and rhs flowing into a declared Bytes local is an escape.
+void FnAnalyzer::try_assignment(std::size_t i, std::size_t hi) {
+  std::size_t j = i;
+  if (!is_ident(toks_[j])) return;
+  const std::string base = toks_[j].text;
+  std::size_t path_len = 1;
+  ++j;
+  while (j + 1 < hi &&
+         (is_punct(toks_[j], ".") || is_punct(toks_[j], "->") ||
+          is_punct(toks_[j], "::")) &&
+         is_ident(toks_[j + 1])) {
+    j += 2;
+    ++path_len;
+  }
+  while (j < hi && is_punct(toks_[j], "[")) {
+    j = match_group(toks_, j);
+    if (j >= hi) return;
+    ++j;
+  }
+  if (j >= hi || toks_[j].kind != TokKind::kPunct) return;
+  const std::string& op = toks_[j].text;
+  if (op != "=" && op != "+=" && op != "-=" && op != "|=" && op != "&=" &&
+      op != "^=")
+    return;
+  const std::size_t end = stmt_end(toks_, j, hi);
+  const std::optional<std::string> src = find_tainted(j + 1, end);
+  if (!src) return;
+  auto it = vars_.find(base);
+  if (it != vars_.end()) {
+    if (public_prefixed(base)) return;  // blinding: masked_x = x ^ mask
+    if (!it->second.tainted) {
+      it->second.tainted = true;
+      it->second.taint_idx = i;
+    }
+    if (it->second.is_bytes && path_len == 1) {
+      it->second.pending_escapes.push_back(
+          {toks_[i].line,
+           "secret '" + *src + "' is assigned into non-wiping buffer '" +
+               base + "'; use SecureBuffer so the bytes are zeroized"});
+    }
+  }
+}
+
+void FnAnalyzer::analyze(std::size_t body_open, std::size_t body_close) {
+  std::vector<std::size_t> blocks;
+  bool stmt_start = true;
+  std::size_t i = body_open;
+  const std::size_t hi = std::min(body_close + 1, toks_.size());
+  while (i < hi) {
+    const Token& t = toks_[i];
+    if (t.kind == TokKind::kPunct) {
+      const std::string& p = t.text;
+      if (p == "{") {
+        blocks.push_back(i);
+        stmt_start = true;
+        ++i;
+        continue;
+      }
+      if (p == "}") {
+        if (!blocks.empty()) blocks.pop_back();
+        stmt_start = true;
+        ++i;
+        continue;
+      }
+      if (p == ";") {
+        stmt_start = true;
+        ++i;
+        continue;
+      }
+      if (p == "[") {
+        const bool subscript =
+            i > body_open && (is_ident(toks_[i - 1]) ||
+                              is_punct(toks_[i - 1], ")") ||
+                              is_punct(toks_[i - 1], "]"));
+        if (subscript) {
+          const std::size_t close = match_group(toks_, i);
+          if (auto n = find_tainted(i + 1, close)) {
+            flag(t.line, "secret-branch",
+                 "array index depends on secret '" + *n +
+                     "'; secret-indexed lookups leak the secret through "
+                     "cache timing — index with public values only");
+          }
+        } else {
+          // lambda introducer: remember its body so returns inside it are
+          // not treated as exits of this function
+          std::size_t lo = kNpos, lc = kNpos;
+          record_lambda(i, hi, &lo, &lc);
+          if (lo != kNpos) lambda_ranges_.push_back({lo, lc});
+        }
+        ++i;
+        continue;
+      }
+      if (p == "?") {
+        const std::size_t s = cond_start_backwards(i, body_open);
+        if (auto n = find_tainted(s, i)) {
+          flag(t.line, "secret-branch",
+               "ternary condition depends on secret '" + *n +
+                   "'; use a constant-time select instead");
+        }
+        ++i;
+        continue;
+      }
+      ++i;
+      if (p != ",") stmt_start = false;
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) {
+      ++i;
+      stmt_start = false;
+      continue;
+    }
+    const std::string& w = t.text;
+    if (w == "if" || w == "while" || w == "switch") {
+      std::size_t po = i + 1;
+      bool compile_time = false;
+      if (po < hi && is_ident(toks_[po], "constexpr")) {
+        compile_time = true;
+        ++po;
+      }
+      if (po < hi && is_punct(toks_[po], "(")) {
+        const std::size_t close = match_group(toks_, po);
+        if (!compile_time) {
+          if (auto n = find_tainted(po + 1, close)) {
+            flag(t.line, "secret-branch",
+                 w + " condition depends on secret '" + *n +
+                     "'; branching on key material leaks it through "
+                     "timing — restructure to constant time or compare "
+                     "via ct_equal");
+          }
+        }
+        i = po + 1;
+        stmt_start = true;
+        continue;
+      }
+      ++i;
+      continue;
+    }
+    if (w == "for") {
+      if (i + 1 < hi && is_punct(toks_[i + 1], "(")) {
+        const std::size_t open = i + 1;
+        const std::size_t close = match_group(toks_, open);
+        // classify: range-for has a top-level ':', classic has ';'s
+        std::size_t colon = kNpos, semi1 = kNpos, semi2 = kNpos;
+        int depth = 0;
+        for (std::size_t j = open + 1; j < close; ++j) {
+          if (toks_[j].kind != TokKind::kPunct) continue;
+          const std::string& q = toks_[j].text;
+          if (q == "(" || q == "[" || q == "{") ++depth;
+          else if (q == ")" || q == "]" || q == "}") --depth;
+          else if (depth == 0 && q == ";") {
+            if (semi1 == kNpos) semi1 = j;
+            else if (semi2 == kNpos) semi2 = j;
+          } else if (depth == 0 && q == ":" && semi1 == kNpos &&
+                     colon == kNpos) {
+            colon = j;
+          }
+        }
+        if (colon != kNpos && semi1 == kNpos) {
+          // range-for: register the loop variable; iterating a secret
+          // container taints the element, but the loop bound is its
+          // (public) size, so the loop itself is not flagged.
+          std::size_t name_idx = kNpos;
+          for (std::size_t j = open + 1; j < colon; ++j)
+            if (is_ident(toks_[j])) name_idx = j;
+          if (name_idx != kNpos) {
+            VarInfo v;
+            for (std::size_t j = open + 1; j < name_idx; ++j)
+              if (is_ident(toks_[j])) v.type_idents.push_back(toks_[j].text);
+            v.is_local = true;
+            v.decl_blocks = blocks;
+            v.taint_idx = name_idx;
+            bool type_secret = false;
+            for (const std::string& id : v.type_idents)
+              if (secret_type_ident(id)) type_secret = true;
+            v.tainted = type_secret ||
+                        secret_fn_name(toks_[name_idx].text) ||
+                        find_tainted(colon + 1, close).has_value();
+            vars_[toks_[name_idx].text] = std::move(v);
+          }
+          i = close + 1;
+          continue;
+        }
+        if (semi1 != kNpos && semi2 != kNpos) {
+          if (auto n = find_tainted(semi1 + 1, semi2)) {
+            flag(t.line, "secret-branch",
+                 "for-loop condition depends on secret '" + *n +
+                     "'; loop trip counts must derive from public values");
+          }
+        }
+        i = open + 1;
+        stmt_start = true;
+        continue;
+      }
+      ++i;
+      continue;
+    }
+    if (w == "return" || w == "throw") {
+      if (!in_lambda(i))
+        events_.push_back({i, t.line, w == "throw", blocks});
+      if (w == "throw") {
+        const std::size_t end = stmt_end(toks_, i, hi);
+        if (auto n = find_tainted(i + 1, end)) {
+          flag(t.line, "secret-taint-escape",
+               "secret '" + *n +
+                   "' flows into a thrown exception; exception objects "
+                   "are copied around unwiped — report public metadata "
+                   "only");
+        }
+      }
+      ++i;
+      stmt_start = false;
+      continue;
+    }
+    // wipe bookkeeping: v.wipe() / v->wipe() / v.clear() / secure_wipe(v)
+    if (vars_.count(w) && i + 3 < hi &&
+        (is_punct(toks_[i + 1], ".") || is_punct(toks_[i + 1], "->")) &&
+        (is_ident(toks_[i + 2], "wipe") || is_ident(toks_[i + 2], "clear")) &&
+        is_punct(toks_[i + 3], "(")) {
+      vars_[w].wipes.push_back({i, t.line, blocks});
+    } else if (w == "secure_wipe" && i + 2 < hi && is_punct(toks_[i + 1], "(") &&
+               is_ident(toks_[i + 2]) && vars_.count(toks_[i + 2].text)) {
+      vars_[toks_[i + 2].text].wipes.push_back(
+          {i, t.line, blocks});
+    }
+    // stream sink: root << ... << tainted
+    if (stmt_start) {
+      const std::size_t end = stmt_end(toks_, i, hi);
+      // find the first top-level '<<' in this statement
+      std::size_t shift = kNpos;
+      int depth = 0;
+      for (std::size_t j = i; j < end; ++j) {
+        if (toks_[j].kind != TokKind::kPunct) continue;
+        const std::string& q = toks_[j].text;
+        if (q == "(" || q == "[") ++depth;
+        else if (q == ")" || q == "]") --depth;
+        else if (depth == 0 && q == "<<") {
+          shift = j;
+          break;
+        }
+      }
+      if (shift != kNpos) {
+        // root: last component of the leading qualified path
+        std::size_t k = i;
+        while (k + 2 < shift && is_punct(toks_[k + 1], "::") &&
+               is_ident(toks_[k + 2]))
+          k += 2;
+        const std::string& root = toks_[k].text;
+        bool streamy = stream_like_name(root);
+        auto it = vars_.find(root);
+        if (it != vars_.end()) streamy = streamy || it->second.is_stream;
+        if (streamy) {
+          if (auto n = find_tainted(shift + 1, end)) {
+            flag(t.line, "secret-taint-escape",
+                 "secret '" + *n +
+                     "' is written to an output stream; serialized "
+                     "secrets land in unwiped stream buffers and logs");
+          }
+          i = end;
+          continue;
+        }
+      }
+    }
+    // log-call sink
+    if (log_like_name(w) && i + 1 < hi && is_punct(toks_[i + 1], "(")) {
+      const std::size_t close = match_group(toks_, i + 1);
+      if (auto n = find_tainted(i + 2, close)) {
+        flag(t.line, "secret-taint-escape",
+             "secret '" + *n + "' is passed to log/format call " + w +
+                 "(); log sinks persist their arguments unwiped");
+      }
+    }
+    if (stmt_start) {
+      std::size_t next = 0;
+      if (try_declaration(i, hi, blocks, &next)) {
+        i = next;
+        stmt_start = false;
+        continue;
+      }
+      try_assignment(i, hi);
+    }
+    ++i;
+    stmt_start = false;
+  }
+  finalize_leaky_returns();
+}
+
+void FnAnalyzer::finalize_leaky_returns() {
+  for (const auto& [name, v] : vars_) {
+    if (v.wipes.empty()) {
+      for (const VarInfo::Escape& e : v.pending_escapes)
+        flag(e.line, "secret-taint-escape", e.message);
+    }
+    if (!v.is_local || !v.tainted || v.wipes.empty()) continue;
+    std::size_t last_wipe = 0;
+    std::size_t last_wipe_line = 0;
+    for (const auto& wp : v.wipes) {
+      if (wp.idx > last_wipe) {
+        last_wipe = wp.idx;
+        last_wipe_line = wp.line;
+      }
+    }
+    for (const ReturnEvent& e : events_) {
+      if (e.idx <= v.taint_idx || e.idx >= last_wipe) continue;
+      // the variable must be in scope at the exit point
+      if (v.decl_blocks.size() > e.blocks.size()) continue;
+      bool in_scope = true;
+      for (std::size_t b = 0; b < v.decl_blocks.size(); ++b)
+        if (v.decl_blocks[b] != e.blocks[b]) in_scope = false;
+      if (!in_scope) continue;
+      // wiped on this path already? (a wipe earlier in an enclosing block)
+      bool wiped = false;
+      for (const auto& wp : v.wipes) {
+        if (wp.idx >= e.idx) continue;
+        const std::size_t wb = wp.blocks.empty() ? 0 : wp.blocks.back();
+        for (std::size_t b : e.blocks)
+          if (b == wb) wiped = true;
+        if (wp.blocks.empty()) wiped = true;  // top-level wipe
+        if (wiped) break;
+      }
+      if (!wiped) {
+        flag(e.line, "leaky-early-return",
+             std::string(e.is_throw ? "throw" : "early return") +
+                 " exits with secret '" + name +
+                 "' unwiped (the main path wipes it at line " +
+                 std::to_string(last_wipe_line) +
+                 "); wipe before every exit or hold it in SecureBuffer");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// file driver: locate signatures and function bodies
+// ---------------------------------------------------------------------------
+
+void run_dataflow_checks(const std::string& file, const LexedFile& lf,
+                         std::vector<Violation>& out) {
+  const Tokens& toks = lf.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_punct(toks[i], "(")) continue;
+    if (i == 0 || !is_ident(toks[i - 1])) continue;
+    const std::string& fname = toks[i - 1].text;
+    if (kControlKeywords.count(fname)) continue;
+    const std::size_t close = match_group(toks, i);
+    if (close >= toks.size()) continue;
+    std::size_t j = close + 1;
+    while (j < toks.size()) {
+      if (is_ident(toks[j]) &&
+          (toks[j].text == "const" || toks[j].text == "override" ||
+           toks[j].text == "final" || toks[j].text == "mutable")) {
+        ++j;
+        continue;
+      }
+      if (is_ident(toks[j], "noexcept")) {
+        ++j;
+        if (j < toks.size() && is_punct(toks[j], "("))
+          j = match_group(toks, j) + 1;
+        continue;
+      }
+      if (is_punct(toks[j], "&") || is_punct(toks[j], "&&")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (j < toks.size() && is_punct(toks[j], "->")) {
+      ++j;
+      while (j < toks.size() && !is_punct(toks[j], "{") &&
+             !is_punct(toks[j], ";") && !is_punct(toks[j], "="))
+        ++j;
+    }
+    if (j < toks.size() && is_punct(toks[j], ":")) {
+      // constructor member-init list: ident[(...)|{...}] (, ...)* then '{'
+      std::size_t k = j + 1;
+      bool ok = true;
+      while (k < toks.size()) {
+        if (!is_ident(toks[k])) {
+          ok = false;
+          break;
+        }
+        ++k;
+        while (k + 1 < toks.size() && is_punct(toks[k], "::") &&
+               is_ident(toks[k + 1]))
+          k += 2;
+        if (k < toks.size() && is_punct(toks[k], "<")) {
+          const std::size_t tc = match_angle(toks, k);
+          if (tc == kNpos) {
+            ok = false;
+            break;
+          }
+          k = tc + 1;
+        }
+        if (k < toks.size() &&
+            (is_punct(toks[k], "(") || is_punct(toks[k], "{"))) {
+          k = match_group(toks, k);
+          if (k >= toks.size()) {
+            ok = false;
+            break;
+          }
+          ++k;
+        } else {
+          ok = false;
+          break;
+        }
+        if (k < toks.size() && is_punct(toks[k], ",")) {
+          ++k;
+          continue;
+        }
+        break;
+      }
+      if (ok && k < toks.size() && is_punct(toks[k], "{")) j = k;
+      else continue;  // ternary or bitfield, not a constructor
+    }
+    const bool is_def = j < toks.size() && is_punct(toks[j], "{");
+    const bool is_decl =
+        j < toks.size() && (is_punct(toks[j], ";") || is_punct(toks[j], "="));
+    if (!is_def && !is_decl) continue;
+    const auto params = parse_params(toks, i, close);
+    if (!params) continue;  // expression/call site, not a signature
+    // Uppercase names are constructors/factory types: their by-value
+    // parameters are ownership-transfer sinks (value + std::move into the
+    // member), the idiom that leaves exactly one live copy. Taint still
+    // seeds from them for the body analysis below.
+    const bool ctor_like =
+        !fname.empty() && std::isupper(static_cast<unsigned char>(fname[0]));
+    if (!ctor_like) check_params_by_value(file, fname, *params, out);
+    if (is_def) {
+      const std::size_t body_close = match_group(toks, j);
+      if (body_close >= toks.size()) continue;
+      FnAnalyzer fn(file, toks, out);
+      for (const Param& p : *params) fn.seed_param(p);
+      fn.analyze(j, body_close);
+    }
+  }
+}
+
+}  // namespace medlint

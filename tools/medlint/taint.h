@@ -1,0 +1,41 @@
+// Intraprocedural secret-taint analysis over the lexer's token stream.
+//
+// The lexical checks in medlint.cpp see names; this engine sees flow.
+// Within each function body it seeds taint from secret-typed
+// declarations (SecureBuffer, the kSecretTypes holders) and the
+// repository's name heuristics, propagates it through assignments,
+// copy/move construction, references, secret-named accessors and the
+// byte-combining helpers (concat / xor_bytes), and then reports four
+// classes of sink:
+//
+//   secret-taint-escape    tainted value copied into a non-wiping
+//                          Bytes/std::vector<uint8_t>/std::string local,
+//                          streamed into an ostream/log call, or embedded
+//                          in a thrown exception's arguments
+//   secret-branch          if/while/switch/for condition, ternary
+//                          condition, or array index derived from a
+//                          tainted value (constant-time discipline)
+//   leaky-early-return     a tainted local is wiped on the main path but
+//                          an earlier return/throw leaves the function
+//                          with the secret still live
+//   secret-param-by-value  a secret-typed or secret-named parameter
+//                          taken by value, copying key material across
+//                          the call boundary
+//
+// The taint model is documented in docs/SECRET_HYGIENE.md; the
+// deliberate sanitizers (ct_equal results, size()/empty() metadata,
+// to_bytes() as the named serialization boundary) are listed there too.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "lexer.h"
+
+namespace medlint {
+
+void run_dataflow_checks(const std::string& file, const LexedFile& lf,
+                         std::vector<Violation>& out);
+
+}  // namespace medlint
