@@ -16,9 +16,12 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+
 #include "bench_util.h"
 #include "mediated/mediated_gdh.h"
 #include "mediated/mediated_ibe.h"
+#include "obs/export.h"
 #include "pairing/params.h"
 
 namespace {
@@ -138,5 +141,30 @@ int main() {
               "thousands of users — a token is needed per decryption/"
               "signature, not per message sent.\n",
               mediated::IbeMediator::kShardCount);
+
+  // Live obs scrape of everything the run above recorded: the same
+  // numbers a deployment would pull from the service, and the snapshot
+  // CI's metrics-smoke job validates and archives.
+  const obs::MetricsSnapshot snap = obs::registry().scrape();
+#if MEDCRYPT_OBS_ENABLED
+  std::printf("\n== obs scrape (per-stage latency, us) ==\n");
+  std::printf("%-32s %10s %10s %10s %10s\n", "stage", "count", "p50", "p99",
+              "max");
+  for (const auto& h : snap.histograms) {
+    std::printf("%-32s %10llu %10.1f %10.1f %10.1f\n", h.name.c_str(),
+                static_cast<unsigned long long>(h.hist.count),
+                h.hist.percentile(0.50) / 1e3, h.hist.percentile(0.99) / 1e3,
+                static_cast<double>(h.hist.max) / 1e3);
+  }
+#else
+  std::printf("\n== obs scrape skipped (MEDCRYPT_OBS=OFF) ==\n");
+#endif
+  {
+    std::ofstream prom("OBS_sem_throughput.prom");
+    prom << obs::to_prometheus(snap);
+    std::ofstream json("OBS_sem_throughput.json");
+    json << obs::to_json(snap, obs::registry().recent_traces());
+  }
+  std::printf("obs snapshot written: OBS_sem_throughput.prom / .json\n");
   return 0;
 }

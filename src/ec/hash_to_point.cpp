@@ -2,11 +2,15 @@
 
 #include "common/error.h"
 #include "hash/kdf.h"
+#include "obs/span.h"
 
 namespace medcrypt::ec {
 
 Point hash_to_subgroup(const std::shared_ptr<const Curve>& curve,
                        std::string_view domain, BytesView input) {
+  // Spans the whole try-and-increment loop, so the histogram exposes the
+  // geometric spread of attempts (~2 expected) as latency spread.
+  obs::Span span(obs::Stage::kHashToPoint);
   const auto& field = curve->field();
   // 128 extra bits make the mod-p bias negligible.
   const std::size_t xbytes = field->byte_size() + 16;

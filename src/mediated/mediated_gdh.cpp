@@ -1,5 +1,7 @@
 #include "mediated/mediated_gdh.h"
 
+#include "obs/span.h"
+
 namespace medcrypt::mediated {
 
 GdhMediator::GdhMediator(pairing::ParamSet group,
@@ -11,8 +13,10 @@ Point GdhMediator::issue_token(std::string_view identity,
   // Hash outside the lock scope — only the scalar multiplication needs
   // the lent key half.
   const Point h = gdh::hash_message(group_, message);
-  return with_key(identity,
-                  [&](const BigInt& x_sem) { return h.mul(x_sem); });
+  return with_key(identity, [&](const BigInt& x_sem) {
+    obs::Span span(obs::Stage::kScalarMul);
+    return h.mul(x_sem);
+  });
 }
 
 Point GdhMediator::issue_blind_token(std::string_view identity,
@@ -20,8 +24,10 @@ Point GdhMediator::issue_blind_token(std::string_view identity,
   if (blinded.is_infinity() || !blinded.in_subgroup()) {
     throw InvalidArgument("GdhMediator: blinded point not in the subgroup");
   }
-  return with_key(identity,
-                  [&](const BigInt& x_sem) { return blinded.mul(x_sem); });
+  return with_key(identity, [&](const BigInt& x_sem) {
+    obs::Span span(obs::Stage::kScalarMul);
+    return blinded.mul(x_sem);
+  });
 }
 
 MediatedGdhUser::MediatedGdhUser(pairing::ParamSet group, std::string identity,

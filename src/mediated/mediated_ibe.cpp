@@ -1,5 +1,7 @@
 #include "mediated/mediated_ibe.h"
 
+#include "obs/span.h"
+
 namespace medcrypt::mediated {
 
 IbeMediator::IbeMediator(ibe::SystemParams params,
@@ -14,6 +16,9 @@ void IbeMediator::install_key(std::string identity, Point d_sem) {
 }
 
 Fp2 IbeMediator::issue_token(std::string_view identity, const Point& u) const {
+  // Sampled end-to-end trace of one issuance; the nested stage spans
+  // (token_issue, pairing.miller, pairing.final_exp) attach to it.
+  obs::TraceScope trace("ibe.issue_token");
   return with_key(identity, [&](const IbeSemKey& key) {
     return pairing_.pair_with(key.prepared, u);
   });

@@ -1,5 +1,7 @@
 #include "mediated/mediated_ibs.h"
 
+#include "obs/span.h"
+
 namespace medcrypt::mediated {
 
 IbsMediator::IbsMediator(ibe::SystemParams params,
@@ -19,8 +21,10 @@ ec::Point IbsMediator::issue_token(std::string_view identity,
   // The SEM derives the challenge itself — it never multiplies its key
   // half by a caller-chosen scalar.
   const bigint::BigInt v = ibs::hess_challenge(params_, message, commitment);
-  return with_key(identity,
-                  [&](const IbsSemKey& key) { return key.table.mul(v); });
+  return with_key(identity, [&](const IbsSemKey& key) {
+    obs::Span span(obs::Stage::kScalarMul);
+    return key.table.mul(v);
+  });
 }
 
 MediatedIbsUser::MediatedIbsUser(ibe::SystemParams params,

@@ -9,25 +9,41 @@ namespace medcrypt::mediated {
 // idempotent no-op (revoking an already revoked identity) publishes
 // nothing, so the epoch moves only on real changes.
 
+namespace {
+
+// Effective (epoch-bumping) snapshot publications; idempotent no-ops do
+// not count. Cold path — the registry lookup cost is irrelevant here.
+void count_epoch_published() {
+  static auto& published =
+      obs::registry().counter("revocation.epochs_published");
+  published.add(1);
+}
+
+}  // namespace
+
 void RevocationList::revoke(std::string_view identity) {
   std::unique_lock lock(mu_);
   if (snap_->contains(identity)) return;
+  obs::Span span(obs::Stage::kSnapshotPublish);
   auto next = std::make_shared<Snapshot>();
   next->revoked = snap_->revoked;
   next->revoked.insert(std::string(identity));
   next->epoch = snap_->epoch + 1;
   snap_ = std::move(next);
+  count_epoch_published();
 }
 
 void RevocationList::unrevoke(std::string_view identity) {
   std::unique_lock lock(mu_);
   const auto it = snap_->revoked.find(identity);
   if (it == snap_->revoked.end()) return;
+  obs::Span span(obs::Stage::kSnapshotPublish);
   auto next = std::make_shared<Snapshot>();
   next->revoked = snap_->revoked;
   next->revoked.erase(std::string(identity));
   next->epoch = snap_->epoch + 1;
   snap_ = std::move(next);
+  count_epoch_published();
 }
 
 bool RevocationList::is_revoked(std::string_view identity) const {

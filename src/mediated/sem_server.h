@@ -48,6 +48,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/span.h"
 
 namespace medcrypt::mediated {
 
@@ -112,6 +113,12 @@ class RevocationList {
 /// requests whose token computation *completed*; a request that fails
 /// mid-computation (bad input detected under the key, arithmetic error)
 /// is counted in none of the buckets.
+///
+/// These are *audit* counters, not optional telemetry: they keep
+/// counting even when the obs layer is compiled out or killed at
+/// runtime. The obs registry additionally scrapes them (summed across
+/// all mediator instances) as `sem.tokens_issued` / `sem.denials` /
+/// `sem.unknown_identities` via registered counter sources.
 struct SemStats {
   std::uint64_t tokens_issued = 0;
   std::uint64_t denials = 0;
@@ -132,6 +139,18 @@ class MediatorBase {
     if (!revocations_) {
       throw InvalidArgument("MediatorBase: null revocation list");
     }
+    // Expose this instance's audit counters to the obs registry; sources
+    // sharing a name are summed on scrape, so a deployment running
+    // several mediators (IBE + GDH + IBS against one SEM) still reports
+    // one `sem.*` series. No-op when obs is compiled out.
+    auto& reg = obs::registry();
+    src_issued_ = reg.register_counter_source(
+        "sem.tokens_issued", [this] { return stats().tokens_issued; });
+    src_denied_ = reg.register_counter_source(
+        "sem.denials", [this] { return stats().denials; });
+    src_unknown_ = reg.register_counter_source(
+        "sem.unknown_identities",
+        [this] { return stats().unknown_identities; });
   }
 
   /// Wipes every installed SEM key half on teardown (each one is half of
@@ -141,6 +160,12 @@ class MediatorBase {
   ~MediatorBase() {
     static_assert(requires(KeyHalf& h) { h.wipe(); },
                   "SEM key-half types must provide wipe()");
+    // Unregister the scrape sources *before* tearing anything down — a
+    // concurrent scrape must never run a callback into a dying instance.
+    auto& reg = obs::registry();
+    reg.unregister_counter_source(src_issued_);
+    reg.unregister_counter_source(src_denied_);
+    reg.unregister_counter_source(src_unknown_);
     for (Shard& shard : shards_) {
       std::unique_lock lock(shard.mu);
       for (auto& entry : shard.keys) entry.second.wipe();
@@ -181,11 +206,21 @@ class MediatorBase {
     return revocations_;
   }
 
+  /// One pass over the audit cells: each cell is visited exactly once
+  /// and all three of its counters are read together, so a scrape is as
+  /// coherent as relaxed atomics allow. The result is still only
+  /// *weakly* consistent — recorders never synchronize with the scrape,
+  /// so an increment landing mid-pass may or may not be included and
+  /// the three totals need not come from one instant. Guaranteed: no
+  /// torn reads, per-counter monotonicity across scrapes, and every
+  /// increment that happened-before the call is counted.
   SemStats stats() const {
     SemStats s;
-    s.tokens_issued = tokens_issued_.load(std::memory_order_relaxed);
-    s.denials = denials_.load(std::memory_order_relaxed);
-    s.unknown_identities = unknown_.load(std::memory_order_relaxed);
+    for (const AuditCell& cell : audit_) {
+      s.tokens_issued += cell.issued.load(std::memory_order_relaxed);
+      s.denials += cell.denied.load(std::memory_order_relaxed);
+      s.unknown_identities += cell.unknown.load(std::memory_order_relaxed);
+    }
     return s;
   }
 
@@ -208,23 +243,32 @@ class MediatorBase {
   template <typename Fn>
   auto with_key_at(const RevocationList::Snapshot& snapshot,
                    std::string_view identity, Fn&& fn) const {
+    AuditCell& cell = audit_[obs::thread_cell()];
     if (snapshot.contains(identity)) {
-      denials_.fetch_add(1, std::memory_order_relaxed);
+      cell.denied.fetch_add(1, std::memory_order_relaxed);
       throw RevokedError("SEM: identity is revoked: " + std::string(identity));
     }
     const Shard& shard = shard_for(identity);
     std::shared_lock lock(shard.mu);
     const auto it = shard.keys.find(identity);
     if (it == shard.keys.end()) {
-      unknown_.fetch_add(1, std::memory_order_relaxed);
+      cell.unknown.fetch_add(1, std::memory_order_relaxed);
       throw InvalidArgument("SEM: unknown identity: " + std::string(identity));
     }
+    // The span times only the token computation itself (the scheme's
+    // pairing / scalar-mul under the lent key half), not the revocation
+    // check or registry lookup.
     if constexpr (std::is_void_v<std::invoke_result_t<Fn&, const KeyHalf&>>) {
-      std::invoke(fn, std::as_const(it->second));
-      tokens_issued_.fetch_add(1, std::memory_order_relaxed);
+      {
+        obs::Span span(obs::Stage::kTokenIssue);
+        std::invoke(fn, std::as_const(it->second));
+      }
+      cell.issued.fetch_add(1, std::memory_order_relaxed);
     } else {
+      obs::Span span(obs::Stage::kTokenIssue);
       auto result = std::invoke(fn, std::as_const(it->second));
-      tokens_issued_.fetch_add(1, std::memory_order_relaxed);
+      span.finish();
+      cell.issued.fetch_add(1, std::memory_order_relaxed);
       return result;
     }
   }
@@ -233,6 +277,15 @@ class MediatorBase {
   struct Shard {
     mutable std::shared_mutex mu;
     std::map<std::string, KeyHalf, std::less<>> keys;
+  };
+
+  // Audit counters, sharded per thread cell (obs::kThreadCells, 1 when
+  // obs is compiled out) so concurrent issuance on different threads
+  // does not bounce one cache line. stats() sums the cells in one pass.
+  struct alignas(64) AuditCell {
+    std::atomic<std::uint64_t> issued{0};
+    std::atomic<std::uint64_t> denied{0};
+    std::atomic<std::uint64_t> unknown{0};
   };
 
   Shard& shard_for(std::string_view identity) {
@@ -246,9 +299,10 @@ class MediatorBase {
 
   std::array<Shard, kShardCount> shards_;
   std::shared_ptr<RevocationList> revocations_;
-  mutable std::atomic<std::uint64_t> tokens_issued_{0};
-  mutable std::atomic<std::uint64_t> denials_{0};
-  mutable std::atomic<std::uint64_t> unknown_{0};
+  mutable std::array<AuditCell, obs::kThreadCells> audit_{};
+  std::uint64_t src_issued_ = 0;
+  std::uint64_t src_denied_ = 0;
+  std::uint64_t src_unknown_ = 0;
 };
 
 }  // namespace medcrypt::mediated

@@ -1,0 +1,119 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace medcrypt::obs {
+
+namespace {
+
+std::string prom_name(const std::string& name) {
+  std::string out = "medcrypt_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) {
+    out.append(buf,
+               std::min(static_cast<std::size_t>(n), sizeof(buf) - 1));
+  }
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& c : snap.counters) {
+    const std::string n = prom_name(c.name);
+    appendf(out, "# TYPE %s counter\n", n.c_str());
+    appendf(out, "%s %" PRIu64 "\n", n.c_str(), c.value);
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string n = prom_name(g.name);
+    appendf(out, "# TYPE %s gauge\n", n.c_str());
+    appendf(out, "%s %" PRId64 "\n", n.c_str(), g.value);
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string n = prom_name(h.name);
+    appendf(out, "# TYPE %s summary\n", n.c_str());
+    appendf(out, "%s{quantile=\"0.5\"} %.1f\n", n.c_str(),
+            h.hist.percentile(0.50));
+    appendf(out, "%s{quantile=\"0.9\"} %.1f\n", n.c_str(),
+            h.hist.percentile(0.90));
+    appendf(out, "%s{quantile=\"0.99\"} %.1f\n", n.c_str(),
+            h.hist.percentile(0.99));
+    appendf(out, "%s_sum %" PRIu64 "\n", n.c_str(), h.hist.sum);
+    appendf(out, "%s_count %" PRIu64 "\n", n.c_str(), h.hist.count);
+    appendf(out, "%s_max %" PRIu64 "\n", n.c_str(), h.hist.max);
+  }
+  return out;
+}
+
+namespace {
+
+void json_hist(std::string& out, const Histogram::Snapshot& h) {
+  appendf(out,
+          "{\"count\": %" PRIu64 ", \"sum\": %" PRIu64 ", \"max\": %" PRIu64
+          ", \"mean\": %.1f, \"p50\": %.1f, \"p90\": %.1f, \"p99\": %.1f}",
+          h.count, h.sum, h.max, h.mean(), h.percentile(0.50),
+          h.percentile(0.90), h.percentile(0.99));
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snap,
+                    const std::vector<TraceData>& traces) {
+  // Metric names are code-controlled identifiers (no quotes/backslashes),
+  // so plain %s inside quotes is safe.
+  std::string out = "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    appendf(out, "%s\n    \"%s\": %" PRIu64, i ? "," : "",
+            snap.counters[i].name.c_str(), snap.counters[i].value);
+  }
+  out += snap.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    appendf(out, "%s\n    \"%s\": %" PRId64, i ? "," : "",
+            snap.gauges[i].name.c_str(), snap.gauges[i].value);
+  }
+  out += snap.gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    appendf(out, "%s\n    \"%s\": ", i ? "," : "",
+            snap.histograms[i].name.c_str());
+    json_hist(out, snap.histograms[i].hist);
+  }
+  out += snap.histograms.empty() ? "},\n" : "\n  },\n";
+  out += "  \"traces\": [";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const TraceData& t = traces[i];
+    appendf(out, "%s\n    {\"pipeline\": \"%s\", \"total_ns\": %" PRIu64
+                 ", \"dropped\": %u, \"stages\": [",
+            i ? "," : "", t.pipeline, t.total_ns, t.dropped);
+    for (std::uint32_t s = 0; s < t.stage_count; ++s) {
+      const auto& rec = t.stages[s];
+      appendf(out, "%s{\"stage\": \"%s\", \"offset_ns\": %" PRIu64
+                   ", \"dur_ns\": %" PRIu64 "}",
+              s ? ", " : "", stage_name(rec.stage), rec.offset_ns,
+              rec.dur_ns);
+    }
+    out += "]}";
+  }
+  out += traces.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace medcrypt::obs

@@ -1,0 +1,61 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+
+namespace medcrypt::obs {
+
+void Histogram::Snapshot::merge(const Snapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+double Histogram::Snapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile among `count` samples (1-based), so
+  // p0 selects the first sample and p100 the last.
+  const double target =
+      std::max(1.0, q * static_cast<double>(count));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lo = static_cast<double>(bucket_lower_bound(i));
+    // The saturation bucket has no upper bound of its own; the recorded
+    // max caps it (and every interpolation) instead.
+    const double hi = i + 1 < kBucketCount
+                          ? static_cast<double>(bucket_lower_bound(i + 1))
+                          : static_cast<double>(max);
+    const double frac = std::clamp(
+        (target - before) / static_cast<double>(buckets[i]), 0.0, 1.0);
+    return std::min(lo + frac * std::max(hi - lo, 0.0),
+                    static_cast<double>(max));
+  }
+  return static_cast<double>(max);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace medcrypt::obs

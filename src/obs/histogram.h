@@ -1,0 +1,105 @@
+// Log-linear (HDR-style) latency histogram.
+//
+// Bucketing: values below 16 get width-1 buckets; every power-of-two
+// octave above that is split into 16 linear sub-buckets, so relative
+// bucket width is bounded by 1/16 ≈ 6% everywhere — tight enough for
+// p50/p90/p99 reporting without per-sample allocation or sorting.
+// 40 octave groups cover [0, ~8.4e12) ns (~2.3 hours); anything larger
+// saturates into the last bucket (max_ still records the true value).
+//
+// Recording is a handful of relaxed atomic adds — safe from any number
+// of threads, no locks. Scrapes copy the buckets into a plain Snapshot;
+// snapshots are mergeable (elementwise, associative) so sharded or
+// per-instance histograms aggregate exactly.
+//
+// This class is real even when MEDCRYPT_OBS=OFF — it is pure data-
+// structure math with no instrumentation role of its own; the compile-
+// time gate lives in the Span/Counter call sites that feed it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace medcrypt::obs {
+
+class Histogram {
+ public:
+  static constexpr std::size_t kSubBits = 4;
+  static constexpr std::size_t kSub = std::size_t{1} << kSubBits;  // 16
+  static constexpr std::size_t kGroups = 40;
+  static constexpr std::size_t kBucketCount = kSub * kGroups;  // 640
+
+  /// Bucket index of `v`. Total over the value range, monotone, and
+  /// exact (idx == v) for v < 2*kSub; saturates at kBucketCount - 1.
+  static std::size_t bucket_index(std::uint64_t v) {
+    if (v < kSub) return static_cast<std::size_t>(v);
+    const unsigned msb = static_cast<unsigned>(std::bit_width(v)) - 1;
+    const std::size_t group = msb - kSubBits + 1;
+    if (group >= kGroups) return kBucketCount - 1;
+    const std::size_t sub =
+        static_cast<std::size_t>(v >> (msb - kSubBits)) & (kSub - 1);
+    return group * kSub + sub;
+  }
+
+  /// Smallest value that maps to bucket `idx` (idx < kBucketCount).
+  static std::uint64_t bucket_lower_bound(std::size_t idx) {
+    if (idx < kSub) return idx;
+    const std::size_t group = idx / kSub;
+    const std::size_t sub = idx % kSub;
+    return static_cast<std::uint64_t>(kSub + sub) << (group - 1);
+  }
+
+  /// Point-in-time copy of a histogram; plain values, freely mergeable.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, kBucketCount> buckets{};
+
+    /// Elementwise accumulation; associative and commutative, so any
+    /// merge order over any partition of the samples yields the same
+    /// aggregate.
+    void merge(const Snapshot& other);
+
+    /// Quantile estimate with linear interpolation inside the selected
+    /// bucket; q in [0, 1]. Returns 0 for an empty histogram and never
+    /// exceeds the recorded max.
+    double percentile(double q) const;
+
+    double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+
+  void record(std::uint64_t v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev && !max_.compare_exchange_weak(
+                           prev, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  Snapshot snapshot() const;
+
+  /// Zeroes all cells. Not atomic with respect to concurrent record()
+  /// calls; callers quiesce recorders first (bench/test convenience).
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace medcrypt::obs

@@ -1,0 +1,86 @@
+// Runtime observability layer — umbrella header (docs/OBSERVABILITY.md).
+//
+// The paper's claims are quantitative (token cost, bits on the wire,
+// revocation latency); the ROADMAP's north star is a production SEM
+// under heavy traffic. This layer provides the in-process visibility a
+// deployment needs to check those claims live: lock-light counters,
+// log-linear latency histograms, and per-stage pipeline tracing, all
+// scraped through one MetricsRegistry.
+//
+// Two switches, two costs:
+//   - Compile time: the CMake option MEDCRYPT_OBS (default ON) defines
+//     MEDCRYPT_OBS_ENABLED for the whole tree. With OFF, every
+//     instrumentation class (Counter, Gauge, Span, TraceScope, the
+//     registry) collapses to an empty inline stub, so instrumentation
+//     points compile to nothing. Histogram and the exporters stay real
+//     in both modes — they are plain data structures with no hot-path
+//     role.
+//   - Run time: obs::set_enabled(false) is a relaxed-atomic kill switch
+//     for ON builds; bench_obs_overhead uses it to measure the ON-vs-OFF
+//     delta inside one binary.
+//
+// Hot-path discipline: recording is a couple of relaxed atomic adds on
+// per-thread-sharded cells (Counter) or on a histogram bucket — no
+// locks, no allocation after first use. Scrapes pay the synchronization
+// cost instead; see registry.h for the (weak) consistency contract.
+//
+// Secret hygiene: metric names, labels and trace payloads must never
+// carry key material — medlint's obs-secret-arg check rejects any
+// secret-named value in the argument list of an obs:: call.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#ifndef MEDCRYPT_OBS_ENABLED
+#define MEDCRYPT_OBS_ENABLED 1
+#endif
+
+namespace medcrypt::obs {
+
+/// Nanosecond monotonic timestamp; same steady_clock base as
+/// bench_util's timers, so obs histograms and bench medians are
+/// directly comparable.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#if MEDCRYPT_OBS_ENABLED
+
+/// Number of per-thread cells a sharded counter spreads its increments
+/// over. Threads are assigned cells round-robin at first use; 16 cells
+/// keep an 8–16 thread SEM free of increment contention without bloating
+/// every counter.
+inline constexpr std::size_t kThreadCells = 16;
+
+/// This thread's counter cell index (stable for the thread's lifetime).
+std::size_t thread_cell();
+
+namespace detail {
+inline std::atomic<bool> g_enabled{true};
+}  // namespace detail
+
+/// Runtime kill switch for all recording (ON builds only). Scrapes still
+/// work; they just see frozen values.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+#else  // !MEDCRYPT_OBS_ENABLED
+
+inline constexpr std::size_t kThreadCells = 1;
+inline std::size_t thread_cell() { return 0; }
+inline bool enabled() { return false; }
+inline void set_enabled(bool) {}
+
+#endif  // MEDCRYPT_OBS_ENABLED
+
+}  // namespace medcrypt::obs

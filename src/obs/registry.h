@@ -1,0 +1,283 @@
+// MetricsRegistry — the process-wide metric catalog.
+//
+// Three kinds of instrument:
+//   - Counter: monotone, per-thread sharded cells (obs::kThreadCells
+//     cache-line-padded relaxed atomics). add() is one relaxed
+//     fetch_add on this thread's cell; value() sums the cells.
+//   - Gauge: a single relaxed atomic int64 (set/add).
+//   - Histogram: see histogram.h; the registry owns one per name plus a
+//     fixed array of per-stage latency histograms (O(1) lookup from the
+//     Span hot path — no string hashing).
+//
+// Ownership: registry-created instruments live for the whole process
+// (the registry singleton is intentionally leaked, so instrumentation
+// from static destructors stays safe). Objects that keep their own
+// counters — MediatorBase's audit cells, sim::LinkStats — register a
+// *source* callback instead and unregister it on destruction; scrape()
+// sums sources with owned counters of the same name, which is how many
+// mediator instances aggregate into one `sem.tokens_issued` series.
+//
+// Consistency contract for scrape(): one pass, weakly consistent. The
+// scrape reads every cell exactly once under the registry's shared lock,
+// but recorders use relaxed atomics and never take that lock, so a
+// snapshot is NOT a linearizable cut: a counter incremented twice while
+// the scrape walks the cells may show either increment. What IS
+// guaranteed: no torn values, monotonicity across scrapes of the same
+// counter, and every increment that happened-before the scrape began is
+// included. That is the standard Prometheus-style contract and exactly
+// the trade that keeps token issuance lock-free.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/obs.h"
+
+namespace medcrypt::obs {
+
+// ---------------------------------------------------------------------------
+// Stage taxonomy for the crypto pipelines (docs/OBSERVABILITY.md).
+// ---------------------------------------------------------------------------
+
+enum class Stage : std::uint8_t {
+  kHashToPoint = 0,     // ec::hash_to_subgroup — full try-and-increment loop
+  kPairingMiller,       // Tate pairing, Miller loop (direct or prepared replay)
+  kPairingFinalExp,     // Tate pairing, final exponentiation
+  kPairingPrepare,      // TatePairing::prepare — per-enrollment, not per-token
+  kScalarMul,           // SEM-side scalar multiplication (GDH/IBS tokens)
+  kTokenIssue,          // MediatorBase::with_key_at token computation
+  kShareExtract,        // ThresholdDealer::extract_shares (all players)
+  kShareCompute,        // threshold: one player's decryption share
+  kShareCombine,        // threshold: Lagrange recombination of t shares
+  kSnapshotPublish,     // RevocationList: copy-mutate-publish of a snapshot
+};
+inline constexpr std::size_t kStageCount = 10;
+
+/// Dotted stage name as it appears in the metric catalog (the exported
+/// histogram is "stage.<name>_ns").
+const char* stage_name(Stage stage);
+
+/// One completed sampled pipeline execution. Fixed-capacity so pushing
+/// a trace never allocates.
+struct TraceData {
+  static constexpr std::size_t kMaxStages = 16;
+
+  struct StageRec {
+    Stage stage = Stage::kTokenIssue;
+    std::uint64_t offset_ns = 0;  // start relative to the trace start
+    std::uint64_t dur_ns = 0;
+  };
+
+  const char* pipeline = "";
+  std::uint64_t start_ns = 0;
+  std::uint64_t total_ns = 0;
+  std::uint32_t stage_count = 0;   // recorded entries in `stages`
+  std::uint32_t dropped = 0;       // spans beyond kMaxStages
+  std::array<StageRec, kMaxStages> stages{};
+};
+
+// ---------------------------------------------------------------------------
+// Scrape result — plain values, shared by both build modes so the
+// exporters and tests compile unconditionally.
+// ---------------------------------------------------------------------------
+
+struct MetricsSnapshot {
+  struct CounterEntry {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeEntry {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct HistogramEntry {
+    std::string name;
+    Histogram::Snapshot hist;
+  };
+
+  std::vector<CounterEntry> counters;      // sorted by name
+  std::vector<GaugeEntry> gauges;          // sorted by name
+  std::vector<HistogramEntry> histograms;  // sorted by name
+};
+
+#if MEDCRYPT_OBS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Real instruments.
+// ---------------------------------------------------------------------------
+
+/// Monotone counter over per-thread sharded cells. add() never takes a
+/// lock; value() is a weakly consistent sum (see the scrape contract).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    cells_[thread_cell()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() {
+    for (Cell& cell : cells_) cell.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kThreadCells> cells_{};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    if (!enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) {
+    if (!enabled()) return;
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry. Intentionally leaked: instrumentation
+  /// may run during static teardown.
+  static MetricsRegistry& instance();
+
+  /// Named instruments, created on first use and alive forever; the
+  /// returned reference is stable. Cold path (map under a lock) — hot
+  /// call sites cache the reference in a function-local static.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Per-stage latency histogram; O(1), allocation-free after
+  /// construction — safe for the pairing hot path.
+  Histogram& stage_histogram(Stage stage) {
+    return *stage_[static_cast<std::size_t>(stage)];
+  }
+
+  /// Registers an external counter source scraped as `name`; instances
+  /// holding their own cells (MediatorBase audit counters) use this so
+  /// the registry stays the single scrape surface. Sources sharing a
+  /// name are summed. Returns a handle for unregister_counter_source —
+  /// the owner MUST unregister before the callback's captures die.
+  std::uint64_t register_counter_source(std::string name,
+                                        std::function<std::uint64_t()> fn);
+  void unregister_counter_source(std::uint64_t id);
+
+  /// Appends a completed trace to the ring of recent traces (capacity
+  /// kTraceRingSize, oldest overwritten).
+  static constexpr std::size_t kTraceRingSize = 128;
+  void push_trace(const TraceData& trace);
+  std::vector<TraceData> recent_traces() const;
+
+  /// One weakly consistent pass over every instrument and source.
+  MetricsSnapshot scrape() const;
+
+  /// Zeroes owned instruments and drops recorded traces (registered
+  /// sources are left alone — their owners hold the cells). Benches and
+  /// tests use this to isolate measurement windows.
+  void reset();
+
+ private:
+  MetricsRegistry();
+
+  struct Source {
+    std::uint64_t id = 0;
+    std::string name;
+    std::function<std::uint64_t()> fn;
+  };
+
+  mutable std::shared_mutex mu_;  // instrument maps + sources
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::vector<Source> sources_;
+  std::uint64_t next_source_id_ = 1;
+
+  std::array<std::unique_ptr<Histogram>, kStageCount> stage_;
+
+  mutable std::mutex trace_mu_;
+  std::array<TraceData, kTraceRingSize> traces_{};
+  std::size_t trace_next_ = 0;
+  std::size_t trace_count_ = 0;
+};
+
+#else  // !MEDCRYPT_OBS_ENABLED
+
+// ---------------------------------------------------------------------------
+// No-op stubs: same API surface, empty inline bodies, so every
+// instrumentation point compiles away.
+// ---------------------------------------------------------------------------
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) {}
+  std::uint64_t value() const { return 0; }
+  void reset() {}
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t) {}
+  void add(std::int64_t) {}
+  std::int64_t value() const { return 0; }
+  void reset() {}
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance() {
+    static MetricsRegistry stub;
+    return stub;
+  }
+  Counter& counter(std::string_view) { return counter_; }
+  Gauge& gauge(std::string_view) { return gauge_; }
+  Histogram& histogram(std::string_view) { return histogram_; }
+  Histogram& stage_histogram(Stage) { return histogram_; }
+  std::uint64_t register_counter_source(std::string,
+                                        std::function<std::uint64_t()>) {
+    return 0;
+  }
+  void unregister_counter_source(std::uint64_t) {}
+  static constexpr std::size_t kTraceRingSize = 0;
+  void push_trace(const TraceData&) {}
+  std::vector<TraceData> recent_traces() const { return {}; }
+  MetricsSnapshot scrape() const { return {}; }
+  void reset() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;  // never recorded into: no Span/Counter feeds it
+};
+
+#endif  // MEDCRYPT_OBS_ENABLED
+
+/// Shorthand for the singleton.
+inline MetricsRegistry& registry() { return MetricsRegistry::instance(); }
+
+}  // namespace medcrypt::obs

@@ -1,0 +1,120 @@
+// Scoped tracing for the crypto pipelines.
+//
+// Span(Stage) times one stage: construction stamps the clock, the
+// destructor records the elapsed nanoseconds into the registry's
+// per-stage histogram (O(1) array lookup, relaxed atomics — no locks,
+// no allocation). If a sampled TraceScope is active on this thread, the
+// span also appends a StageRec to the in-flight trace, giving a
+// per-stage breakdown of one concrete pipeline execution.
+//
+// TraceScope brackets a whole pipeline (e.g. one token issuance). It is
+// sampled — by default 1 execution in 16 carries a trace — so the common
+// case costs one counter bump and a branch. The sampled case fills a
+// fixed-capacity TraceData on this thread's stack frame and pushes it
+// into the registry's ring of recent traces on scope exit (the only
+// lock, taken once per *sampled* pipeline, never per span).
+//
+// Neither type is copyable or movable: they pin a scope, nothing else.
+#pragma once
+
+#include "obs/obs.h"
+#include "obs/registry.h"
+
+namespace medcrypt::obs {
+
+#if MEDCRYPT_OBS_ENABLED
+
+class TraceScope;
+
+namespace detail {
+// The trace being assembled on this thread, if any. Spans append to it;
+// nesting TraceScopes is not supported (inner scopes see a live pointer
+// and demote themselves to plain counting).
+inline thread_local TraceData* t_current_trace = nullptr;
+}  // namespace detail
+
+class Span {
+ public:
+  // The kill switch is consulted once, at construction: a span that
+  // starts disarmed stays disarmed (start_ == 0 sentinel), so flipping
+  // set_enabled mid-span never records a garbage duration.
+  explicit Span(Stage stage)
+      : stage_(stage), start_(enabled() ? now_ns() : 0) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Ends the timed window now instead of at scope exit; use when the
+  /// scope has trailing work that should not be measured. Idempotent
+  /// (the destructor becomes a no-op).
+  void finish() {
+    if (start_ == 0) return;
+    const std::uint64_t dur = now_ns() - start_;
+    registry().stage_histogram(stage_).record(dur);
+    if (TraceData* trace = detail::t_current_trace) {
+      if (trace->stage_count < TraceData::kMaxStages) {
+        trace->stages[trace->stage_count++] =
+            TraceData::StageRec{stage_, start_ - trace->start_ns, dur};
+      } else {
+        ++trace->dropped;
+      }
+    }
+    start_ = 0;
+  }
+
+  ~Span() { finish(); }
+
+ private:
+  Stage stage_;
+  std::uint64_t start_;
+};
+
+class TraceScope {
+ public:
+  /// `pipeline` must be a string literal (stored by pointer in the ring).
+  /// `sample_shift`: trace 1 execution in 2^shift; 4 → 1/16 default.
+  explicit TraceScope(const char* pipeline, unsigned sample_shift = 4) {
+    if (!enabled() || detail::t_current_trace != nullptr) return;
+    thread_local std::uint64_t tick = 0;
+    if ((tick++ & ((std::uint64_t{1} << sample_shift) - 1)) != 0) return;
+    trace_.pipeline = pipeline;
+    trace_.start_ns = now_ns();
+    detail::t_current_trace = &trace_;
+    armed_ = true;
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  ~TraceScope() {
+    if (!armed_) return;
+    detail::t_current_trace = nullptr;
+    trace_.total_ns = now_ns() - trace_.start_ns;
+    registry().push_trace(trace_);
+  }
+
+ private:
+  TraceData trace_{};
+  bool armed_ = false;
+};
+
+#else  // !MEDCRYPT_OBS_ENABLED
+
+class Span {
+ public:
+  explicit Span(Stage) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  void finish() {}
+};
+
+class TraceScope {
+ public:
+  explicit TraceScope(const char*, unsigned = 4) {}
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+};
+
+#endif  // MEDCRYPT_OBS_ENABLED
+
+}  // namespace medcrypt::obs

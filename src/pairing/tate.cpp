@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "ec/jacobian.h"
+#include "obs/span.h"
 
 namespace medcrypt::pairing {
 
@@ -40,6 +41,7 @@ TatePairing::TatePairing(std::shared_ptr<const Curve> curve)
 }
 
 Fp2 TatePairing::miller(const Point& p, const Point& q) const {
+  obs::Span span(obs::Stage::kPairingMiller);
   const auto& field = curve_->field();
 
   // Distorted coordinates of Q: x' = -x(Q) in F_p, y' = i * y(Q).
@@ -103,6 +105,7 @@ Fp2 TatePairing::miller(const Point& p, const Point& q) const {
 }
 
 Fp2 TatePairing::final_exponentiation(const Fp2& f) const {
+  obs::Span span(obs::Stage::kPairingFinalExp);
   // f^((p^2-1)/q) = (f^(p-1))^((p+1)/q); f^p is the conjugate, so
   // f^(p-1) = conj(f) / f.
   Fp2 powered = f.conjugate();
@@ -157,6 +160,7 @@ PreparedPairing TatePairing::prepare(const Point& p) const {
     out.infinity_ = true;
     return out;
   }
+  obs::Span span(obs::Stage::kPairingPrepare);
 
   // Walk the exact control flow of miller(), but instead of evaluating
   // the line functions at a concrete Q', record their coefficients:
@@ -207,6 +211,9 @@ Fp2 TatePairing::pair_with(const PreparedPairing& prepared,
   const auto& field = curve_->field();
   if (prepared.infinity_ || q.is_infinity()) return Fp2::one(field);
 
+  // The step replay is this path's Miller loop; it lands in the same
+  // stage histogram as the direct evaluation in miller().
+  obs::Span span(obs::Stage::kPairingMiller);
   const Fp xq = -q.x();
   const Fp& yq = q.y();
   Fp2 f = Fp2::one(field);
@@ -227,6 +234,7 @@ Fp2 TatePairing::pair_with(const PreparedPairing& prepared,
   if (f.is_zero()) {
     throw Error("TatePairing: degenerate Miller value");
   }
+  span.finish();  // final_exponentiation times itself
   return final_exponentiation(f);
 }
 

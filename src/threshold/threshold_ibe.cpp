@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/error.h"
+#include "obs/span.h"
 
 namespace medcrypt::threshold {
 
@@ -39,6 +40,7 @@ ThresholdDealer::ThresholdDealer(pairing::ParamSet group,
 
 std::vector<KeyShare> ThresholdDealer::extract_shares(
     std::string_view identity) const {
+  obs::Span span(obs::Stage::kShareExtract);
   const Point q_id = ibe::map_identity(setup_.params, identity);
   const BigInt& q = setup_.params.order();
   std::vector<KeyShare> shares;
@@ -85,6 +87,7 @@ bool verify_setup_consistency(const ThresholdSetup& setup,
 DecryptionShare compute_decryption_share(const ThresholdSetup& setup,
                                          const KeyShare& share, const Point& u,
                                          bool prove, RandomSource& rng) {
+  obs::Span span(obs::Stage::kShareCompute);
   const pairing::TatePairing pairing(setup.params.curve());
   DecryptionShare out;
   out.index = share.index;
@@ -104,6 +107,7 @@ DecryptionShare compute_decryption_share(const ThresholdSetup& setup,
 
 Fp2 combine_decryption_shares(const ThresholdSetup& setup,
                               std::span<const DecryptionShare> shares) {
+  obs::Span span(obs::Stage::kShareCombine);
   if (shares.size() != setup.threshold) {
     throw InvalidArgument(
         "combine_decryption_shares: need exactly t shares");

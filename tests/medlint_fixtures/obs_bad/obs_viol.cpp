@@ -1,0 +1,21 @@
+// Planted obs-secret-arg violations: secret-named values flowing into
+// obs:: instrumentation calls. Line numbers are asserted by
+// medlint_test.cpp — keep them stable.
+namespace obs {
+struct Gauge {
+  void set(long) {}
+  void add(long) {}
+};
+struct Reg {
+  Gauge& gauge(const char*);
+  Gauge& counter(const char*);
+};
+Reg& registry();
+}  // namespace obs
+
+void leak_metrics(const long& master_key, const long& key_share,
+                  const long& key_len) {
+  obs::registry().gauge("sem.key").set(master_key);       // line 18: flagged
+  obs::registry().counter("sem.shares").add(key_share);   // line 19: flagged
+  obs::registry().gauge("sem.key_len").set(key_len);      // benign tail: clean
+}

@@ -1,0 +1,26 @@
+// Correct obs usage that obs-secret-arg must NOT flag: the obs layer's
+// own vocabulary (obs::Stage::kTokenIssue names a pipeline stage, it
+// does not carry a token), callee positions, literals, and
+// public-metadata tails.
+namespace obs {
+enum class Stage { kTokenIssue, kScalarMul };
+struct Span {
+  explicit Span(Stage) {}
+};
+struct Counter {
+  void add(unsigned long) {}
+};
+Counter& counter(const char*);
+}  // namespace obs
+
+unsigned long mul(unsigned long v);
+
+void instrument_ok(unsigned long ops) {
+  obs::Span issue_span(obs::Stage::kTokenIssue);
+  obs::Span mul_span(obs::Stage::kScalarMul);
+  const unsigned long key_len = 32;
+  obs::counter("ops").add(1);
+  obs::counter("ops").add(ops);
+  obs::counter("meta").add(key_len);
+  obs::counter("derived").add(mul(ops));
+}

@@ -77,16 +77,39 @@ TEST(Medlint, AllowlistSuppressesVettedFindings) {
       << r.output;
 }
 
-TEST(Medlint, ListChecksEnumeratesAllTen) {
+TEST(Medlint, ListChecksEnumeratesAllEleven) {
   const RunResult r = run_medlint("--list-checks");
   EXPECT_EQ(r.exit_code, 0);
   for (const char* id :
        {"secret-memcmp", "secret-equality", "secret-vector",
         "banned-randomness", "missing-wipe-dtor", "secret-return-by-value",
         "secret-taint-escape", "secret-branch", "leaky-early-return",
-        "secret-param-by-value"}) {
+        "secret-param-by-value", "obs-secret-arg"}) {
     EXPECT_NE(r.output.find(id), std::string::npos) << id;
   }
+}
+
+// ---------------------------------------------------------------------------
+// obs-secret-arg: instrumentation must never see key material
+// ---------------------------------------------------------------------------
+
+TEST(Medlint, ObsSecretArgFlagsSecretNamesInObsCalls) {
+  const RunResult r = run_medlint("--src " + fixtures("obs_bad"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("obs_viol.cpp:18: [obs-secret-arg]"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("obs_viol.cpp:19: [obs-secret-arg]"),
+            std::string::npos)
+      << r.output;
+  // The benign-metadata tail (key_len) on line 20 must stay quiet.
+  EXPECT_EQ(r.output.find("obs_viol.cpp:20"), std::string::npos) << r.output;
+}
+
+TEST(Medlint, ObsSecretArgIgnoresStageEnumsCalleesAndMetadata) {
+  const RunResult r = run_medlint("--src " + fixtures("obs_clean"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("obs-secret-arg"), std::string::npos) << r.output;
 }
 
 TEST(Medlint, BadUsageExitsTwo) {

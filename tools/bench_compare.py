@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json reports against committed baselines.
+
+The bench binaries (see bench/bench_util.h JsonReport) write one
+BENCH_<tag>.json per run with entries of two shapes:
+
+    {"name": ..., "median_ns": <float>, "iterations": N}          # timing
+    {"name": ..., "value": <float>, "unit": "tokens_per_s", ...}   # rate/size
+
+Direction is inferred from the unit: nanoseconds regress when they go
+UP, throughput units regress when they go DOWN, and size-like units
+(bytes) are compared but only reported, never failed — payload sizes
+are deterministic, so any change is a diff to read, not a regression
+to threshold.
+
+Usage:
+    tools/bench_compare.py [--baseline-dir bench/baselines]
+                           [--current-dir .] [--threshold 25] [--strict]
+    tools/bench_compare.py --update        # refresh baselines from current
+
+Exit codes: 0 ok (or regressions found but not --strict), 1 regression
+beyond threshold with --strict, 2 usage/IO error.
+
+The default threshold is deliberately loose (25%): CI machines are
+noisy and these benches run with MEDCRYPT_BENCH_ITERS=1 there. For
+local perf work, run with --threshold 5 and meaningful iteration
+counts.
+"""
+
+import argparse
+import glob
+import json
+import os
+import shutil
+import sys
+
+HIGHER_IS_BETTER = {"tokens_per_s", "ops_per_s", "msgs_per_s"}
+REPORT_ONLY = {"bytes", "count"}
+
+
+def load_report(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for entry in data.get("results", []):
+        if "median_ns" in entry:
+            out[entry["name"]] = (float(entry["median_ns"]), "ns")
+        else:
+            out[entry["name"]] = (float(entry["value"]), entry.get("unit", ""))
+    return data.get("bench", os.path.basename(path)), out
+
+
+def compare_one(tag, base, cur, threshold_pct):
+    """Returns (lines, regression_count, compared_count)."""
+    lines = []
+    regressions = 0
+    compared = 0
+    for name in sorted(base):
+        if name not in cur:
+            lines.append(f"  {name:<44} MISSING from current run")
+            continue
+        bval, bunit = base[name]
+        cval, cunit = cur[name]
+        if bunit != cunit:
+            lines.append(
+                f"  {name:<44} unit changed {bunit} -> {cunit}; skipped")
+            continue
+        if bval == 0:
+            lines.append(f"  {name:<44} baseline is 0; skipped")
+            continue
+        delta_pct = (cval - bval) / bval * 100.0
+        if bunit in REPORT_ONLY:
+            marker = "=" if cval == bval else "!"
+            lines.append(f"  {name:<44} {bval:>12.1f} -> {cval:>12.1f} "
+                         f"{bunit:<12} ({delta_pct:+6.1f}%) {marker}")
+            continue
+        compared += 1
+        # Normalize so positive regress_pct always means "got worse".
+        regress_pct = -delta_pct if bunit in HIGHER_IS_BETTER else delta_pct
+        bad = regress_pct > threshold_pct
+        marker = "REGRESSION" if bad else "ok"
+        if bad:
+            regressions += 1
+        lines.append(f"  {name:<44} {bval:>12.1f} -> {cval:>12.1f} "
+                     f"{bunit:<12} ({delta_pct:+6.1f}%) {marker}")
+    for name in sorted(set(cur) - set(base)):
+        lines.append(f"  {name:<44} new (no baseline)")
+    return lines, regressions, compared
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--current-dir", default=".")
+    ap.add_argument("--threshold", type=float, default=25.0,
+                    help="regression threshold in percent (default 25)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 when any metric regresses past threshold")
+    ap.add_argument("--update", action="store_true",
+                    help="copy current BENCH_*.json into the baseline dir")
+    args = ap.parse_args()
+
+    current = sorted(glob.glob(os.path.join(args.current_dir, "BENCH_*.json")))
+    if args.update:
+        if not current:
+            print("bench_compare: no BENCH_*.json in", args.current_dir,
+                  file=sys.stderr)
+            return 2
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for path in current:
+            shutil.copy(path, os.path.join(args.baseline_dir,
+                                           os.path.basename(path)))
+            print("baselined", os.path.basename(path))
+        return 0
+
+    baselines = sorted(glob.glob(os.path.join(args.baseline_dir,
+                                              "BENCH_*.json")))
+    if not baselines:
+        print("bench_compare: no baselines in", args.baseline_dir,
+              file=sys.stderr)
+        return 2
+
+    total_regressions = 0
+    total_compared = 0
+    for bpath in baselines:
+        fname = os.path.basename(bpath)
+        cpath = os.path.join(args.current_dir, fname)
+        if not os.path.exists(cpath):
+            print(f"{fname}: not produced by this run; skipped")
+            continue
+        try:
+            tag, base = load_report(bpath)
+            _, cur = load_report(cpath)
+        except (json.JSONDecodeError, KeyError) as e:
+            print(f"bench_compare: malformed report {fname}: {e}",
+                  file=sys.stderr)
+            return 2
+        lines, regressions, compared = compare_one(tag, base, cur,
+                                                   args.threshold)
+        print(f"{tag} (threshold {args.threshold:.0f}%):")
+        print("\n".join(lines) if lines else "  (empty)")
+        total_regressions += regressions
+        total_compared += compared
+
+    print(f"\n{total_compared} metric(s) compared, "
+          f"{total_regressions} regression(s)")
+    if total_regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,16 +9,23 @@
 //   medcrypt_cli revoke <dir> <identity>           instant revocation
 //   medcrypt_cli unrevoke <dir> <identity>
 //   medcrypt_cli status <dir>                      list users/revocations
+//   medcrypt_cli stats <dir> [ops] [--prom|--json] in-process stress run,
+//                                                  dump live obs snapshot
 //
 // The "SEM" and the "user" are this same binary reading different key
 // files; a real deployment would put sem.d/* behind a network service.
+#include <cinttypes>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "hash/drbg.h"
 #include "mediated/mediated_ibe.h"
+#include "obs/export.h"
+#include "obs/span.h"
 #include "pairing/params.h"
 
 namespace fs = std::filesystem;
@@ -161,13 +168,102 @@ int cmd_status(const fs::path& dir) {
   return 0;
 }
 
+// In-process stress run + live scrape of the obs registry. Enrolls every
+// user found in <dir>/users, then drives `ops` mediated decryptions
+// round-robin across them; each one exercises hash-to-point (encrypt),
+// SEM token issuance, and both pairing stages. Prints the counter
+// catalog and per-stage latency percentiles, or the raw Prometheus/JSON
+// exposition with --prom/--json.
+int cmd_stats(const fs::path& dir, std::size_t ops, const std::string& format) {
+  Deployment d(dir);
+  const auto params = d.system_params();
+
+  auto revocations = std::make_shared<mediated::RevocationList>();
+  mediated::IbeMediator sem(params, revocations);
+  std::vector<mediated::MediatedIbeUser> users;
+  std::vector<std::string> ids;
+  for (const auto& e : fs::directory_iterator(dir / "users")) {
+    const std::string id = e.path().stem().string();
+    if (fs::exists(dir / "revoked" / id)) continue;
+    sem.install_key(id, params.curve()->decompress(from_hex(read_file(
+                            dir / "sem.d" / (id + ".pt")))));
+    users.emplace_back(params, id,
+                       params.curve()->decompress(from_hex(
+                           read_file(dir / "users" / (id + ".pt")))));
+    ids.push_back(id);
+  }
+  if (users.empty()) throw Error("stats: no enrolled users (run enroll)");
+
+  hash::SystemRandom rng;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::size_t u = i % users.size();
+    const auto ct =
+        ibe::full_encrypt(params, ids[u], pad_block("obs stress"), rng);
+    (void)users[u].decrypt(ct, sem);
+  }
+
+  const obs::MetricsSnapshot snap = obs::registry().scrape();
+  if (format == "--prom") {
+    std::cout << obs::to_prometheus(snap);
+    return 0;
+  }
+  if (format == "--json") {
+    std::cout << obs::to_json(snap, obs::registry().recent_traces());
+    return 0;
+  }
+
+#if !MEDCRYPT_OBS_ENABLED
+  std::cout << "(observability compiled out: MEDCRYPT_OBS=OFF — counters "
+               "and histograms below are the library's always-on audit "
+               "stats only)\n";
+#endif
+  const auto stats = sem.stats();
+  std::cout << "stress run: " << ops << " mediated decryptions over "
+            << users.size() << " users\n\ncounters:\n";
+  std::printf("  %-32s %" PRIu64 "\n", "sem.tokens_issued",
+              stats.tokens_issued);
+  std::printf("  %-32s %" PRIu64 "\n", "sem.denials", stats.denials);
+  std::printf("  %-32s %" PRIu64 "\n", "sem.unknown_identities",
+              stats.unknown_identities);
+  for (const auto& c : snap.counters) {
+    if (c.name.rfind("sem.", 0) == 0) continue;  // printed above
+    std::printf("  %-32s %" PRIu64 "\n", c.name.c_str(), c.value);
+  }
+  if (!snap.histograms.empty()) {
+    std::cout << "\nlatency (us):\n";
+    std::printf("  %-32s %10s %10s %10s %10s %10s\n", "stage", "count",
+                "p50", "p90", "p99", "max");
+    for (const auto& h : snap.histograms) {
+      std::printf("  %-32s %10" PRIu64 " %10.1f %10.1f %10.1f %10.1f\n",
+                  h.name.c_str(), h.hist.count,
+                  h.hist.percentile(0.50) / 1e3, h.hist.percentile(0.90) / 1e3,
+                  h.hist.percentile(0.99) / 1e3,
+                  static_cast<double>(h.hist.max) / 1e3);
+    }
+  }
+  const auto traces = obs::registry().recent_traces();
+  if (!traces.empty()) {
+    const obs::TraceData& t = traces.back();
+    std::printf("\nmost recent trace (%s, total %.1f us):\n", t.pipeline,
+                static_cast<double>(t.total_ns) / 1e3);
+    for (std::uint32_t s = 0; s < t.stage_count; ++s) {
+      std::printf("  +%8.1f us  %-28s %10.1f us\n",
+                  static_cast<double>(t.stages[s].offset_ns) / 1e3,
+                  obs::stage_name(t.stages[s].stage),
+                  static_cast<double>(t.stages[s].dur_ns) / 1e3);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto usage = [] {
     std::cerr << "usage: medcrypt_cli "
-                 "setup|enroll|encrypt|decrypt|revoke|unrevoke|status <dir> "
-                 "[args]\n";
+                 "setup|enroll|encrypt|decrypt|revoke|unrevoke|status|stats "
+                 "<dir> [args]\n"
+                 "       medcrypt_cli stats <dir> [ops] [--prom|--json]\n";
     return 2;
   };
   if (argc < 3) return usage();
@@ -181,6 +277,19 @@ int main(int argc, char** argv) {
     if (cmd == "revoke" && argc == 4) return cmd_revoke(dir, argv[3], true);
     if (cmd == "unrevoke" && argc == 4) return cmd_revoke(dir, argv[3], false);
     if (cmd == "status") return cmd_status(dir);
+    if (cmd == "stats") {
+      std::size_t ops = 200;
+      std::string format;
+      for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--prom" || arg == "--json") {
+          format = arg;
+        } else {
+          ops = static_cast<std::size_t>(std::stoul(arg));
+        }
+      }
+      return cmd_stats(dir, ops, format);
+    }
     return usage();
   } catch (const RevokedError& e) {
     std::cerr << "DENIED: " << e.what() << "\n";

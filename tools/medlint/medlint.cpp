@@ -109,6 +109,9 @@ constexpr CheckInfo kChecks[] = {
     {"secret-param-by-value",
      "secret-typed or secret-named parameter passed by value, copying "
      "key material across the call boundary"},
+    {"obs-secret-arg",
+     "secret-named value passed to an obs:: record/span API; metrics "
+     "labels and trace payloads must never carry key material"},
 };
 
 bool known_check(const std::string& id) {
@@ -189,6 +192,61 @@ bool is_benign_operand(const std::string& op) {
   const std::string& tail = parts.back();
   return tail == "len" || tail == "size" || tail == "count" ||
          tail == "bits" || tail == "bytes" || tail == "index";
+}
+
+// Identifier path shape shared with kCompareRe's operands.
+const std::regex kIdentPathRe(
+    R"([A-Za-z_]\w*(?:(?:\.|->|::)[A-Za-z_]\w*)*)");
+
+// obs-secret-arg: flags secret-named identifier paths inside the
+// argument parens of an obs:: call on this line. The obs layer's own
+// vocabulary is exempt — obs::Stage::kTokenIssue *names* the token-
+// issuance stage, it does not carry a token — as are callee positions
+// (`h.mul(...)`: `mul` names a function) and public-metadata tails
+// (`key_len`). Line-lexical by design, like the other checks here: the
+// registry taint engine is not wired to cross statement boundaries, so
+// aliasing an obs handle into a local defeats it — code review owns
+// that residue (docs/SECRET_HYGIENE.md).
+void check_obs_args(const std::string& file, std::size_t lineno,
+                    const std::string& code, std::vector<Violation>& out) {
+  const std::size_t obs_pos = code.find("obs::");
+  if (obs_pos == std::string::npos) return;
+  const std::size_t open = code.find('(', obs_pos);
+  if (open == std::string::npos) return;
+
+  // Paren depth at each position, counted from the obs call's opening
+  // paren; identifiers outside it (depth 0) belong to other statements.
+  std::vector<int> depth(code.size(), 0);
+  int d = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '(') ++d;
+    if (code[i] == ')') d = std::max(0, d - 1);
+    depth[i] = d;
+  }
+
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kIdentPathRe);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t pos = static_cast<std::size_t>(it->position());
+    if (pos <= open || depth[pos] < 1) continue;
+    const std::string path = it->str();
+    if (path.rfind("obs::", 0) == 0 ||
+        path.rfind("medcrypt::obs::", 0) == 0) {
+      continue;
+    }
+    // Callee position: the next non-space character is '('.
+    std::size_t after = pos + it->length();
+    while (after < code.size() && code[after] == ' ') ++after;
+    if (after < code.size() && code[after] == '(') continue;
+    const std::string last = medlint::last_member(path);
+    if (medlint::has_benign_tail(last)) continue;
+    if (medlint::is_secret_name(path)) {
+      out.push_back({file, lineno, "obs-secret-arg",
+                     "'" + path + "' is secret-named and flows into an "
+                     "obs:: instrumentation call; metric labels and trace "
+                     "payloads are exported in cleartext and must never "
+                     "carry key material"});
+    }
+  }
 }
 
 void check_line(const std::string& file, std::size_t lineno,
@@ -582,8 +640,10 @@ int main(int argc, char** argv) {
   for (const fs::path& file : files) {
     const medlint::LexedFile lf = medlint::lex_file(read_lines(file));
     std::vector<Violation> found;
-    for (std::size_t i = 0; i < lf.stripped.size(); ++i)
+    for (std::size_t i = 0; i < lf.stripped.size(); ++i) {
       check_line(file.string(), i + 1, lf.stripped[i], found);
+      check_obs_args(file.string(), i + 1, lf.stripped[i], found);
+    }
     check_secret_types(file.string(), lf.stripped, found);
     medlint::run_dataflow_checks(file.string(), lf, found);
     const auto inline_allow = inline_suppressions(lf.comments);
