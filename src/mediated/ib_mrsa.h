@@ -131,6 +131,14 @@ class IbMRsaUser {
  public:
   IbMRsaUser(IbMRsaParams params, std::string identity, BigInt user_key);
 
+  /// d_ID,user is the half the §4 security argument keeps from the SEM;
+  /// scrub it when the holder dies.
+  ~IbMRsaUser() { user_key_.wipe(); }
+  IbMRsaUser(const IbMRsaUser&) = default;
+  IbMRsaUser(IbMRsaUser&&) = default;
+  IbMRsaUser& operator=(const IbMRsaUser&) = default;
+  IbMRsaUser& operator=(IbMRsaUser&&) = default;
+
   const std::string& identity() const { return identity_; }
 
   /// Mediated decryption (OAEP-decoded). Throws RevokedError or

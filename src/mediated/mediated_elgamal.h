@@ -44,6 +44,14 @@ class MediatedElGamalUser {
   MediatedElGamalUser(elgamal::Params params, std::string identity,
                       BigInt user_key, Point public_key);
 
+  /// x_user is the additive share of the decryption exponent; scrub it
+  /// when the holder dies.
+  ~MediatedElGamalUser() { user_key_.wipe(); }
+  MediatedElGamalUser(const MediatedElGamalUser&) = default;
+  MediatedElGamalUser(MediatedElGamalUser&&) = default;
+  MediatedElGamalUser& operator=(const MediatedElGamalUser&) = default;
+  MediatedElGamalUser& operator=(MediatedElGamalUser&&) = default;
+
   const std::string& identity() const { return identity_; }
   const Point& public_key() const { return public_key_; }
 

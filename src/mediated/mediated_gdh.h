@@ -53,6 +53,14 @@ class MediatedGdhUser {
   MediatedGdhUser(pairing::ParamSet group, std::string identity,
                   BigInt user_key, Point public_key);
 
+  /// x_user is the §5 additive key share; scrub it when the holder
+  /// dies.
+  ~MediatedGdhUser() { user_key_.wipe(); }
+  MediatedGdhUser(const MediatedGdhUser&) = default;
+  MediatedGdhUser(MediatedGdhUser&&) = default;
+  MediatedGdhUser& operator=(const MediatedGdhUser&) = default;
+  MediatedGdhUser& operator=(MediatedGdhUser&&) = default;
+
   const std::string& identity() const { return identity_; }
   const Point& public_key() const { return public_key_; }
 

@@ -96,6 +96,14 @@ class MediatedIbeUser {
   MediatedIbeUser(ibe::SystemParams params, std::string identity,
                   Point user_key);
 
+  /// d_ID,user is the user's half of the §4 private key; scrub its
+  /// coordinates when the holder dies.
+  ~MediatedIbeUser() { user_key_.wipe(); }
+  MediatedIbeUser(const MediatedIbeUser&) = default;
+  MediatedIbeUser(MediatedIbeUser&&) = default;
+  MediatedIbeUser& operator=(const MediatedIbeUser&) = default;
+  MediatedIbeUser& operator=(MediatedIbeUser&&) = default;
+
   const std::string& identity() const { return identity_; }
 
   /// Runs the §4 decryption protocol. `transport`, when given, accounts

@@ -80,6 +80,14 @@ class MediatedIbsUser {
   MediatedIbsUser(ibe::SystemParams params, std::string identity,
                   ec::Point user_key);
 
+  /// d_ID,user is the user's half of the Hess signing key; scrub its
+  /// coordinates when the holder dies.
+  ~MediatedIbsUser() { user_key_.wipe(); }
+  MediatedIbsUser(const MediatedIbsUser&) = default;
+  MediatedIbsUser(MediatedIbsUser&&) = default;
+  MediatedIbsUser& operator=(const MediatedIbsUser&) = default;
+  MediatedIbsUser& operator=(MediatedIbsUser&&) = default;
+
   const std::string& identity() const { return identity_; }
 
   /// Runs the mediated signing protocol; verifies the assembled

@@ -94,6 +94,14 @@ class MRsaUser {
  public:
   MRsaUser(rsa::PublicKey pub, std::string identity, bigint::BigInt user_key);
 
+  /// d_user is the exponent half the §2 collusion analysis protects;
+  /// scrub it when the holder dies.
+  ~MRsaUser() { user_key_.wipe(); }
+  MRsaUser(const MRsaUser&) = default;
+  MRsaUser(MRsaUser&&) = default;
+  MRsaUser& operator=(const MRsaUser&) = default;
+  MRsaUser& operator=(MRsaUser&&) = default;
+
   const std::string& identity() const { return identity_; }
   const rsa::PublicKey& public_key() const { return pub_; }
 

@@ -1,0 +1,19 @@
+// Atomic-ordering positive: relaxed ordering outside the observability
+// tree without a relaxed_ok annotation. Line numbers are asserted by
+// medlint_test.cpp.
+#include <atomic>
+#include <cstdint>
+
+// Telemetry counter, annotated: unordered increments are fine.
+// medlint: relaxed_ok
+std::atomic<std::uint64_t> g_ticks{0};
+
+void tick() { g_ticks.fetch_add(1, std::memory_order_relaxed); }
+
+// Epoch counter gates which key material readers see; relaxed load
+// provides no synchronizes-with edge.
+std::atomic<std::uint64_t> g_epoch{0};
+
+std::uint64_t current_epoch() {
+  return g_epoch.load(std::memory_order_relaxed);  // line 18: flagged
+}

@@ -1,0 +1,23 @@
+// Epoch-publish positives: a published_by snapshot pointer replaced
+// without the mutex, and in-place mutation of the published object.
+// Line numbers are asserted by medlint_test.cpp.
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+struct RevocationSet {
+  void publish(std::shared_ptr<std::set<std::string>> next) {
+    std::lock_guard<std::mutex> g(mu_);
+    snap_ = std::move(next);  // under lock: clean
+  }
+  void publish_racy(std::shared_ptr<std::set<std::string>> next) {
+    snap_ = std::move(next);  // line 15: flagged (swap without mu_)
+  }
+  void mutate_in_place(const std::string& id) {
+    std::lock_guard<std::mutex> g(mu_);
+    snap_->insert(id);  // line 19: flagged (in-place mutation)
+  }
+  std::mutex mu_;
+  std::shared_ptr<std::set<std::string>> snap_;  // medlint: published_by(mu_)
+};

@@ -1,0 +1,26 @@
+// Lock-discipline positives: guarded members touched without the named
+// mutex held, and a requires_lock callee invoked bare. Line numbers are
+// asserted by medlint_test.cpp.
+#include <map>
+#include <mutex>
+#include <string>
+
+struct Registry {
+  void install(const std::string& id, int v) {
+    std::lock_guard<std::mutex> g(mu_);
+    keys_[id] = v;  // under lock: clean
+  }
+  int peek(const std::string& id) const {
+    return keys_.count(id);  // line 14: flagged (read without mu_)
+  }
+  void drop(const std::string& id) {
+    keys_.erase(id);  // line 17: flagged (write without mu_)
+  }
+  // medlint: requires_lock(mu_)
+  void compact_locked() { keys_.clear(); }
+  void compact() {
+    compact_locked();  // line 22: flagged (callee requires mu_)
+  }
+  mutable std::mutex mu_;
+  std::map<std::string, int> keys_;  // medlint: guarded_by(mu_)
+};

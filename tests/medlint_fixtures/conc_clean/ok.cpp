@@ -1,0 +1,40 @@
+// Concurrency negatives: every guarded access holds the right lock in
+// the right mode. None of these may fire.
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <string>
+
+struct Registry {
+  Registry() { keys_["genesis"] = 0; }  // ctor: exclusive by construction
+  void install(const std::string& id, int v) {
+    std::unique_lock<std::shared_mutex> g(mu_);
+    keys_[id] = v;
+  }
+  int peek(const std::string& id) const {
+    std::shared_lock<std::shared_mutex> g(mu_);
+    return keys_.count(id);
+  }
+  // medlint: requires_lock(mu_)
+  void compact_locked() { keys_.clear(); }
+  void compact() {
+    std::unique_lock<std::shared_mutex> g(mu_);
+    compact_locked();
+  }
+  mutable std::shared_mutex mu_;
+  std::map<std::string, int> keys_;  // medlint: guarded_by(mu_)
+};
+
+struct RevocationSet {
+  void publish(std::shared_ptr<std::set<std::string>> next) {
+    std::lock_guard<std::mutex> g(mu_);
+    snap_ = std::move(next);
+  }
+  std::shared_ptr<std::set<std::string>> snapshot() const {
+    return snap_;  // reads of the published pointer are unchecked
+  }
+  std::mutex mu_;
+  std::shared_ptr<std::set<std::string>> snap_;  // medlint: published_by(mu_)
+};

@@ -1,0 +1,15 @@
+// Conservative extern sink: transmit() has no definition or declaration
+// anywhere in the scanned tree, so its wipe discipline is unknowable.
+// Line numbers are asserted by medlint_test.cpp.
+#include <vector>
+#include <functional>
+using Bytes = std::vector<unsigned char>;
+
+void beacon(const Bytes& auth_secret) {
+  transmit(auth_secret);  // line 9: flagged (unknown external callee)
+}
+
+// Indirect call: a function object's target cannot be summarized.
+void fanout(const Bytes& mac_key, std::function<void(const Bytes&)> sink) {
+  sink(mac_key);  // line 14: flagged (function pointer / std::function)
+}

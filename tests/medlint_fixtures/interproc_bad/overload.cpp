@@ -1,0 +1,16 @@
+// Overload sets merge conservatively: if any overload stores its
+// argument unwiped, calls through the shared name are flagged. Line
+// numbers are asserted by medlint_test.cpp.
+#include <vector>
+using Bytes = std::vector<unsigned char>;
+
+struct Wallet {
+  void put(int denomination) { count_ += denomination; }
+  void put(const Bytes& b) { coins_ = b; }
+  int count_ = 0;
+  Bytes coins_;
+};
+
+void fund(Wallet& w, const Bytes& priv_key) {
+  w.put(priv_key);  // line 15: flagged (merged overload summary)
+}

@@ -1,0 +1,23 @@
+// Interprocedural positives: cross-function stashes the intraprocedural
+// engine could not see. Line numbers are asserted by medlint_test.cpp —
+// keep them stable.
+#include <vector>
+using Bytes = std::vector<unsigned char>;
+
+// The ROADMAP case: a helper stores its argument in a non-wiping member;
+// the call site is flagged through the helper's linked summary.
+struct TokenCache {
+  void remember(const Bytes& t) { held_ = t; }
+  Bytes held_;
+};
+
+void cache_token(TokenCache& cache, const Bytes& session_key) {
+  cache.remember(session_key);  // line 15: flagged (summary store)
+}
+
+// Namespace-scope stash: globals have no wiping owner.
+Bytes g_staging;
+
+void stage_for_retry(const Bytes& master_key) {
+  g_staging = master_key;  // line 22: flagged (global store)
+}

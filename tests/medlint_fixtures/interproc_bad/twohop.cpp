@@ -1,0 +1,17 @@
+// Two-hop taint chain a -> b -> c: only the summary fixpoint can see
+// that entry()'s secret ends up stored. Line numbers are asserted by
+// medlint_test.cpp.
+#include <vector>
+using Bytes = std::vector<unsigned char>;
+
+struct ShareVault {
+  void keep(const Bytes& s) { slot_ = s; }
+  Bytes slot_;
+};
+
+void hop2(ShareVault& v, const Bytes& b) { v.keep(b); }
+void hop1(ShareVault& v, const Bytes& a) { hop2(v, a); }
+
+void entry(ShareVault& v, const Bytes& key_share) {
+  hop1(v, key_share);  // line 16: flagged (store two calls down)
+}

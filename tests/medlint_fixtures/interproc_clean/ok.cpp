@@ -1,0 +1,33 @@
+// Interprocedural negatives: the sanctioned counterparts of every
+// interproc_bad shape. None of these may fire.
+#include <vector>
+using Bytes = std::vector<unsigned char>;
+void secure_wipe(Bytes& b);
+
+// Wiped counterpart of the ROADMAP stash: the holder's destructor
+// scrubs, so the linker classifies the store as wiped custody transfer.
+struct WipedTokenCache {
+  ~WipedTokenCache() { secure_wipe(held_); }
+  void remember(const Bytes& t) { held_ = t; }
+  Bytes held_;
+};
+
+void cache_token(WipedTokenCache& cache, const Bytes& session_key) {
+  cache.remember(session_key);
+}
+
+// Declared in the scanned tree: not an extern sink, and with no
+// definition the summary-less call is treated as a transform.
+void transmit(const Bytes& frame);
+void beacon(const Bytes& auth_token) { transmit(auth_token); }
+
+// Self-recursion: the link fixpoint terminates and nothing is stored.
+Bytes fold(const Bytes& acc, int depth) {
+  if (depth <= 0) return acc;
+  return fold(acc, depth - 1);
+}
+
+// The callee wipes its argument; passing a secret to it is the fix, not
+// a finding.
+void shred(Bytes& b) { secure_wipe(b); }
+void retire(Bytes& session_key) { shred(session_key); }

@@ -1,0 +1,385 @@
+#include "concurrency.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace medlint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+const std::set<std::string> kLockTypes = {
+    "lock_guard", "unique_lock", "shared_lock", "scoped_lock",
+};
+
+// In-place mutators that break the epoch-publish contract (and that mark
+// a guarded access as a write).
+const std::set<std::string> kMutatorCalls = {
+    "insert",  "insert_or_assign", "emplace",   "emplace_back", "push_back",
+    "push_front", "emplace_front", "erase",     "clear",        "resize",
+    "pop_back", "pop_front",       "assign",    "try_emplace",  "remove",
+    "store",
+};
+
+struct LockScope {
+  std::string mutex;
+  bool exclusive;
+  std::size_t end;  // token index where the scope closes
+};
+
+// Local/parameter symbol table: name -> type identifiers, for resolving
+// `obj.member` accesses to the owning class.
+using SymTab = std::map<std::string, std::vector<std::string>>;
+
+void collect_local_types(const Tokens& toks, std::size_t lo, std::size_t hi,
+                         SymTab* out) {
+  bool stmt_start = true;
+  std::size_t i = lo;
+  while (i < hi) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) {
+      if (t.kind == TokKind::kPunct) {
+        const std::string& p = t.text;
+        if (p == "{" || p == "}" || p == ";" || p == "(") stmt_start = true;
+        else if (p != ",") stmt_start = false;
+      }
+      ++i;
+      continue;
+    }
+    if (!stmt_start || kControlKeywords.count(t.text)) {
+      ++i;
+      stmt_start = false;
+      continue;
+    }
+    std::vector<std::vector<std::string>> groups;
+    std::size_t j = i;
+    while (j < hi && is_ident(toks[j])) {
+      if (kControlKeywords.count(toks[j].text)) break;
+      std::vector<std::string> g{toks[j].text};
+      ++j;
+      while (j + 1 < hi && is_punct(toks[j], "::") && is_ident(toks[j + 1])) {
+        g.push_back(toks[j + 1].text);
+        j += 2;
+      }
+      if (j < hi && is_punct(toks[j], "<")) {
+        const std::size_t tc = match_angle(toks, j);
+        if (tc == kNpos) break;
+        for (std::size_t k = j + 1; k < tc; ++k)
+          if (is_ident(toks[k])) g.push_back(toks[k].text);
+        j = tc + 1;
+      }
+      groups.push_back(std::move(g));
+      while (j < hi && (is_punct(toks[j], "&") || is_punct(toks[j], "&&") ||
+                        is_punct(toks[j], "*")))
+        ++j;
+    }
+    if (groups.size() >= 2 && j < hi && groups.back().size() == 1 &&
+        (is_punct(toks[j], "=") || is_punct(toks[j], ";") ||
+         is_punct(toks[j], "(") || is_punct(toks[j], "{") ||
+         is_punct(toks[j], ":"))) {
+      std::vector<std::string> tids;
+      for (std::size_t g = 0; g + 1 < groups.size(); ++g)
+        for (const std::string& id : groups[g]) tids.push_back(id);
+      (*out)[groups.back()[0]] = std::move(tids);
+      i = j;
+      stmt_start = false;
+      continue;
+    }
+    ++i;
+    stmt_start = false;
+  }
+}
+
+// Last identifier of [lo, hi): `shard.mu` -> "mu", `*mu_` -> "mu_".
+std::string last_ident_of(const Tokens& toks, std::size_t lo, std::size_t hi) {
+  std::string last;
+  for (std::size_t j = lo; j < hi && j < toks.size(); ++j)
+    if (is_ident(toks[j])) last = toks[j].text;
+  return last;
+}
+
+struct FnChecker {
+  const std::string& file;
+  const Tokens& toks;
+  const FileModel& model;
+  const Program& prog;
+  const FnInfo& fn;
+  const ClassInfo* cls;  // linked enclosing class, may be null
+  std::vector<Violation>& out;
+  SymTab symtab;
+  std::vector<LockScope> locks;
+  std::set<std::pair<std::size_t, std::string>> seen;
+
+  void flag(std::size_t line, const char* check, std::string msg) {
+    if (seen.insert({line, check}).second)
+      out.push_back({file, line, check, std::move(msg)});
+  }
+
+  bool held(const std::string& mutex, bool need_exclusive) const {
+    for (const LockScope& l : locks) {
+      if (l.mutex != mutex) continue;
+      if (!need_exclusive || l.exclusive) return true;
+    }
+    return false;
+  }
+
+  // Finds among `tids` a linked class that declares `member`.
+  const ClassInfo* class_with_member(const std::vector<std::string>& tids,
+                                     const std::string& member) const {
+    for (const std::string& tid : tids) {
+      const ClassInfo* ci = prog.find_class(tid);
+      if (ci != nullptr && ci->members.count(member)) return ci;
+    }
+    return nullptr;
+  }
+
+  // Is the access starting at the member token a write? `m = ...`,
+  // `m += ...`, `m++`, `m.insert(...)`, optionally through `[...]`.
+  bool is_write_at(std::size_t after_member, bool* in_place_mutation) const {
+    std::size_t j = after_member;
+    *in_place_mutation = false;
+    while (j < toks.size() && is_punct(toks[j], "[")) {
+      const std::size_t c = match_group(toks, j);
+      if (c >= toks.size()) return false;
+      j = c + 1;
+    }
+    if (j >= toks.size()) return false;
+    if (toks[j].kind == TokKind::kPunct) {
+      const std::string& p = toks[j].text;
+      if (p == "=" || p == "+=" || p == "-=" || p == "|=" || p == "&=" ||
+          p == "^=" || p == "++" || p == "--")
+        return true;
+      if ((p == "." || p == "->") && j + 2 < toks.size() &&
+          is_ident(toks[j + 1]) && is_punct(toks[j + 2], "(") &&
+          kMutatorCalls.count(toks[j + 1].text)) {
+        *in_place_mutation = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void check_member_access(const ClassInfo& owner, const std::string& member,
+                           std::size_t line, std::size_t after_member) {
+    const auto mit = owner.members.find(member);
+    if (mit == owner.members.end()) return;
+    const MemberInfo& mi = mit->second;
+    bool in_place = false;
+    const bool write = is_write_at(after_member, &in_place);
+    if (!mi.published_by.empty()) {
+      if (in_place) {
+        flag(line, "epoch-publish",
+             "snapshot '" + member + "' of " + owner.name +
+                 " (medlint: published_by(" + mi.published_by +
+                 ")) is mutated in place; published epochs are immutable — "
+                 "build a new snapshot and swap the pointer under '" +
+                 mi.published_by + "'");
+      } else if (write && !held(mi.published_by, /*need_exclusive=*/true)) {
+        flag(line, "epoch-publish",
+             "snapshot '" + member + "' of " + owner.name +
+                 " is replaced without an exclusive hold of '" +
+                 mi.published_by +
+                 "' (medlint: published_by); concurrent readers can "
+                 "observe a torn epoch — swap under std::unique_lock");
+      }
+      return;
+    }
+    if (mi.guarded_by.empty()) return;
+    if (!held(mi.guarded_by, /*need_exclusive=*/write)) {
+      flag(line, "lock-discipline",
+           std::string(write ? "write to" : "read of") + " member '" +
+               member + "' of " + owner.name + " without " +
+               (write ? "an exclusive hold" : "a hold") + " of '" +
+               mi.guarded_by +
+               "' (medlint: guarded_by); take a lock_guard/unique_lock" +
+               (write ? "" : " or shared_lock") + " on '" + mi.guarded_by +
+               "' first");
+    }
+  }
+
+  void run() {
+    const std::size_t lo = fn.body_open + 1;
+    const std::size_t hi = std::min(fn.body_close, toks.size());
+    for (const Param& p : fn.params)
+      if (!p.name.empty()) symtab[p.name] = p.type_idents;
+    collect_local_types(toks, lo, hi, &symtab);
+    if (!fn.requires_lock.empty())
+      locks.push_back({fn.requires_lock, /*exclusive=*/true, hi});
+
+    std::vector<std::size_t> block_close;  // enclosing '}' indices
+    std::size_t i = lo;
+    while (i < hi) {
+      // retire scopes we have walked past
+      while (!locks.empty() && i > locks.back().end) locks.pop_back();
+      const Token& t = toks[i];
+      if (is_punct(t, "{")) {
+        const std::size_t c = match_group(toks, i);
+        block_close.push_back(c >= toks.size() ? hi : c);
+        ++i;
+        continue;
+      }
+      if (is_punct(t, "}")) {
+        if (!block_close.empty()) block_close.pop_back();
+        ++i;
+        continue;
+      }
+      if (!is_ident(t)) {
+        ++i;
+        continue;
+      }
+      if (i > lo && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")))
+        {
+          ++i;  // member selections are handled from the chain's base
+          continue;
+        }
+
+      // skip `std ::` / other qualifiers
+      std::size_t base = i;
+      while (base + 2 < hi && is_punct(toks[base + 1], "::") &&
+             is_ident(toks[base + 2]))
+        base += 2;
+      const std::string& name = toks[base].text;
+
+      // RAII lock acquisition
+      if (kLockTypes.count(name)) {
+        std::size_t j = base + 1;
+        if (j < hi && is_punct(toks[j], "<")) {
+          const std::size_t tc = match_angle(toks, j);
+          if (tc != kNpos) j = tc + 1;
+        }
+        if (j < hi && is_ident(toks[j]) && j + 1 < hi &&
+            (is_punct(toks[j + 1], "(") || is_punct(toks[j + 1], "{"))) {
+          const std::size_t open = j + 1;
+          const std::size_t close = match_group(toks, open);
+          if (close < hi) {
+            const std::size_t scope_end =
+                block_close.empty() ? hi : block_close.back();
+            const bool exclusive = name != "shared_lock";
+            for (const auto& [alo, ahi] : split_args(toks, open, close)) {
+              // skip tag arguments (std::defer_lock, std::adopt_lock)
+              const std::string m = last_ident_of(toks, alo, ahi);
+              if (m.empty() || m == "defer_lock") continue;
+              const std::string mu = (m == "adopt_lock" || m == "try_to_lock")
+                                         ? std::string()
+                                         : m;
+              if (!mu.empty()) locks.push_back({mu, exclusive, scope_end});
+            }
+            i = close + 1;
+            continue;
+          }
+        }
+      }
+
+      // call to a requires_lock-annotated function
+      if (base + 1 < hi && is_punct(toks[base + 1], "(")) {
+        const auto rl = prog.fn_requires_lock.find(name);
+        if (rl != prog.fn_requires_lock.end() && name != fn.name &&
+            !held(rl->second, /*need_exclusive=*/false)) {
+          flag(t.line, "lock-discipline",
+               "call to '" + name + "()' requires lock '" + rl->second +
+                   "' (medlint: requires_lock) but no lock on '" +
+                   rl->second + "' is held at the call site");
+        }
+      }
+
+      // guarded/published member accesses
+      const bool exempt = fn.ctor_like || fn.is_dtor;
+      if (!exempt) {
+        if (name == "this" && base + 2 < hi && is_punct(toks[base + 1], "->") &&
+            is_ident(toks[base + 2])) {
+          if (cls != nullptr)
+            check_member_access(*cls, toks[base + 2].text, t.line, base + 3);
+        } else if (base + 2 < hi &&
+                   (is_punct(toks[base + 1], ".") ||
+                    is_punct(toks[base + 1], "->")) &&
+                   is_ident(toks[base + 2]) && symtab.count(name)) {
+          // obj.member: resolve obj's type through the local symbol table
+          const ClassInfo* owner =
+              class_with_member(symtab[name], toks[base + 2].text);
+          if (owner != nullptr)
+            check_member_access(*owner, toks[base + 2].text, t.line,
+                                base + 3);
+        } else if (cls != nullptr && !symtab.count(name) &&
+                   cls->members.count(name)) {
+          // bare member of the enclosing class, not shadowed by a local;
+          // covers `m_.count(x)` / `m_->insert(x)` — the guarded member
+          // is `m_` itself and is_write_at classifies the chained call
+          check_member_access(*cls, name, t.line, base + 1);
+        }
+      }
+      i = base + 1;
+    }
+  }
+};
+
+// relaxed_ok vocabulary for the atomic-ordering check: any annotated
+// class, member or global name mentioned in the statement vets it.
+std::set<std::string> relaxed_ok_names(const Program& prog) {
+  std::set<std::string> names;
+  for (const auto& [cname, ci] : prog.classes) {
+    if (ci.relaxed_ok) names.insert(cname);
+    for (const auto& [mname, mi] : ci.members)
+      if (mi.relaxed_ok) names.insert(mname);
+  }
+  for (const auto& [gname, gi] : prog.globals)
+    if (gi.relaxed_ok) names.insert(gname);
+  return names;
+}
+
+void check_atomic_ordering(const std::string& file, const LexedFile& lf,
+                           const Program& prog, std::vector<Violation>& out) {
+  if (file.find("/obs/") != std::string::npos) return;
+  const Tokens& toks = lf.tokens;
+  std::set<std::string> vetted;
+  bool vetted_built = false;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const bool relaxed =
+        is_ident(toks[i], "memory_order_relaxed") ||
+        (is_ident(toks[i], "relaxed") && i >= 2 &&
+         is_punct(toks[i - 1], "::") && is_ident(toks[i - 2], "memory_order"));
+    if (!relaxed) continue;
+    if (!vetted_built) {
+      vetted = relaxed_ok_names(prog);
+      vetted_built = true;
+    }
+    // enclosing statement: back to the previous ; { } and forward to next
+    std::size_t lo = i;
+    while (lo > 0 && !is_punct(toks[lo - 1], ";") &&
+           !is_punct(toks[lo - 1], "{") && !is_punct(toks[lo - 1], "}"))
+      --lo;
+    const std::size_t hi = stmt_end(toks, i, toks.size());
+    bool ok = false;
+    for (std::size_t j = lo; j < hi && !ok; ++j)
+      if (is_ident(toks[j]) && vetted.count(toks[j].text)) ok = true;
+    if (!ok) {
+      out.push_back(
+          {file, toks[i].line, "atomic-ordering",
+           "memory_order_relaxed outside src/obs/: relaxed ordering is "
+           "reserved for the observability counter cells; use "
+           "acquire/release (or annotate the cell `// medlint: relaxed_ok` "
+           "with a justification for why unordered increments are safe)"});
+    }
+  }
+}
+
+}  // namespace
+
+void run_concurrency_checks(const std::string& file, const LexedFile& lf,
+                            const FileModel& model, const Program& prog,
+                            std::vector<Violation>& out) {
+  for (const FnInfo& fn : model.fns) {
+    if (!fn.is_definition) continue;
+    const std::string& cname = fn.enclosing_class();
+    const ClassInfo* cls =
+        cname.empty() ? nullptr : prog.find_class(cname);
+    FnChecker chk{file, lf.tokens, model, prog, fn, cls, out, {}, {}, {}};
+    chk.run();
+  }
+  check_atomic_ordering(file, lf, prog, out);
+}
+
+}  // namespace medlint

@@ -1,0 +1,41 @@
+// Lock-discipline / epoch-consistency checks for the SEM concurrency
+// layer, driven by the `// medlint:` annotation grammar parsed in
+// callgraph.cpp:
+//
+//   guarded_by(m)     on a member/global: every access must happen with
+//                     lock `m` held (writes need an exclusive hold; a
+//                     shared_lock satisfies reads). Call-graph aware: a
+//                     function annotated requires_lock(m) analyzes as if
+//                     `m` were held for its whole body, and calling such
+//                     a function without `m` held is itself flagged.
+//   published_by(m)   epoch-publish discipline for revocation snapshots:
+//                     the member may only be *replaced* (snap_ = next)
+//                     under an exclusive hold of `m`, and must never be
+//                     mutated in place (snap_->insert(...)) — readers
+//                     acquire a consistent epoch by copying the pointer.
+//   relaxed_ok        on a class/member/global: vetted for
+//                     memory_order_relaxed (monotonic counter cells).
+//
+//   atomic-ordering   memory_order_relaxed is reserved for src/obs/
+//                     counter cells; anywhere else the statement must
+//                     mention a relaxed_ok-annotated name.
+//
+// Constructors and destructors are exempt from guarded_by/published_by:
+// the object is not yet (or no longer) shared.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "callgraph.h"
+#include "common.h"
+#include "lexer.h"
+#include "summary.h"
+
+namespace medlint {
+
+void run_concurrency_checks(const std::string& file, const LexedFile& lf,
+                            const FileModel& model, const Program& prog,
+                            std::vector<Violation>& out);
+
+}  // namespace medlint

@@ -296,4 +296,58 @@ std::size_t match_group(const std::vector<Token>& tokens, std::size_t open) {
   return tokens.size();
 }
 
+std::size_t match_angle(const std::vector<Token>& tokens, std::size_t open) {
+  int depth = 0;
+  const std::size_t limit = std::min(tokens.size(), open + 64);
+  for (std::size_t j = open; j < limit; ++j) {
+    if (tokens[j].kind != TokKind::kPunct) continue;
+    const std::string& t = tokens[j].text;
+    if (t == "<") {
+      ++depth;
+    } else if (t == ">") {
+      if (--depth == 0) return j;
+    } else if (t == ">>") {
+      depth -= 2;
+      if (depth <= 0) return j;
+    } else if (t == ";" || t == "{" || t == "}" || t == "(" || t == ")" ||
+               t == "&&" || t == "||" || t == "==") {
+      return static_cast<std::size_t>(-1);
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+std::size_t stmt_end(const std::vector<Token>& tokens, std::size_t i,
+                     std::size_t hi) {
+  int depth = 0;
+  for (std::size_t j = i; j < hi; ++j) {
+    if (tokens[j].kind != TokKind::kPunct) continue;
+    const std::string& t = tokens[j].text;
+    if (t == "(" || t == "[") ++depth;
+    else if (t == ")" || t == "]") --depth;
+    else if (depth == 0 && (t == ";" || t == "{" || t == "}")) return j;
+  }
+  return hi;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> split_args(
+    const std::vector<Token>& tokens, std::size_t open, std::size_t close) {
+  std::vector<std::pair<std::size_t, std::size_t>> args;
+  if (close <= open + 1 || close >= tokens.size()) return args;
+  std::size_t lo = open + 1;
+  int depth = 0;
+  for (std::size_t j = open + 1; j < close; ++j) {
+    if (tokens[j].kind != TokKind::kPunct) continue;
+    const std::string& t = tokens[j].text;
+    if (t == "(" || t == "[" || t == "{") ++depth;
+    else if (t == ")" || t == "]" || t == "}") --depth;
+    else if (depth == 0 && t == ",") {
+      args.push_back({lo, j});
+      lo = j + 1;
+    }
+  }
+  args.push_back({lo, close});
+  return args;
+}
+
 }  // namespace medlint

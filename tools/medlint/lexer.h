@@ -45,4 +45,27 @@ LexedFile lex_file(const std::vector<std::string>& lines);
 // "{"), or tokens.size() when unbalanced. Skips nested groups.
 std::size_t match_group(const std::vector<Token>& tokens, std::size_t open);
 
+inline bool is_punct(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+inline bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
+inline bool is_ident(const Token& t, const char* s) {
+  return t.kind == TokKind::kIdent && t.text == s;
+}
+
+// Matches a '<' against its '>' within a short window; returns
+// (size_t)-1 when the tokens read as a comparison rather than a template
+// argument list.
+std::size_t match_angle(const std::vector<Token>& tokens, std::size_t open);
+
+// Index of the next ';' at the current nesting level (also stops at '{'
+// and '}' so a missing semicolon cannot run away).
+std::size_t stmt_end(const std::vector<Token>& tokens, std::size_t i,
+                     std::size_t hi);
+
+// Splits the argument list of the group opened at `open` (whose matching
+// close is `close`) into top-level comma-separated token ranges [lo, hi).
+std::vector<std::pair<std::size_t, std::size_t>> split_args(
+    const std::vector<Token>& tokens, std::size_t open, std::size_t close);
+
 }  // namespace medlint

@@ -7,8 +7,16 @@
 // comparison silently voids the revocation guarantee, so this checker
 // enforces the repository's secret-handling rules over every PR.
 //
-// v2 layers a token-level dataflow engine (taint.cpp, on top of the real
-// tokenizer in lexer.cpp) over the original line-lexical checks:
+// v3 is interprocedural: a structural pass (callgraph.cpp) models every
+// function/class/global in each TU, a facts pass (summary.cpp) computes
+// per-function summaries (param escapes into return values, stores into
+// members/globals beyond the call, out-parameter flows, wipes) that are
+// linked and fixpointed into a whole-program view, and the dataflow
+// engine (taint.cpp) consumes those summaries at call sites. File facts
+// are cached by content hash (--summary-cache) so re-lints stay fast.
+// A concurrency pass (concurrency.cpp) checks the SEM service's lock
+// discipline against `// medlint: guarded_by/published_by/requires_lock/
+// relaxed_ok` annotations.
 //
 // lexical (line/regex over the stripped view):
 //   secret-memcmp          byte-wise libc comparisons are banned; use
@@ -24,15 +32,29 @@
 //                          value copies stored secrets onto every
 //                          caller's stack; lend const T& (with_key)
 //
-// dataflow (intraprocedural taint over the token stream):
+// dataflow (interprocedural taint over the token stream):
 //   secret-taint-escape    tainted value copied into Bytes/std::string,
-//                          streamed, logged, or thrown
+//                          streamed, logged, thrown, or stored beyond
+//                          the call through a callee's summary
+//   secret-extern-call     tainted value passed to a function with no
+//                          visible definition/declaration (or through a
+//                          function pointer); allowlist vetted externs
+//                          with --extern-allowlist
 //   secret-branch          branch condition / loop bound / ternary /
 //                          array index derived from a tainted value
 //   leaky-early-return     early return/throw skips a wipe the main
 //                          path performs
 //   secret-param-by-value  secret-typed or secret-named parameter taken
 //                          by value across a call boundary
+//
+// concurrency (annotation-driven, over the same file model):
+//   lock-discipline        guarded_by(m) member touched without m held
+//                          (writes need an exclusive hold); calling a
+//                          requires_lock(m) function without m
+//   epoch-publish          published_by(m) snapshot replaced without an
+//                          exclusive hold, or mutated in place
+//   atomic-ordering        memory_order_relaxed outside src/obs/ without
+//                          a relaxed_ok-annotated cell
 //
 // Suppression, most specific first:
 //   * `// medlint: allow(<check-id>)` on the finding's line or the line
@@ -46,13 +68,18 @@
 //
 // Usage:
 //   medlint --src <dir> [--src <dir> ...] [--allowlist <file>]
-//           [--baseline <file>] [--sarif <file>] [--verbose]
+//           [--baseline <file>] [--extern-allowlist <file>]
+//           [--summary-cache <file>] [--sarif <file>] [--stats]
+//           [--verbose]
 //   medlint --list-checks
 //
-// Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+// Exit status: 0 clean, 1 violations found, 2 usage/IO error (including
+// a stale --baseline entry that matches no current finding).
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -63,8 +90,11 @@
 #include <string>
 #include <vector>
 
+#include "callgraph.h"
 #include "common.h"
+#include "concurrency.h"
 #include "lexer.h"
+#include "summary.h"
 #include "taint.h"
 
 namespace {
@@ -112,6 +142,19 @@ constexpr CheckInfo kChecks[] = {
     {"obs-secret-arg",
      "secret-named value passed to an obs:: record/span API; metrics "
      "labels and trace payloads must never carry key material"},
+    {"secret-extern-call",
+     "tainted secret passed to a function with no visible definition or "
+     "declaration (or through a function pointer); its wipe discipline "
+     "is unknowable — allowlist vetted externs with --extern-allowlist"},
+    {"lock-discipline",
+     "guarded_by(m) member accessed without lock m held (writes need an "
+     "exclusive hold), or a requires_lock(m) function called without m"},
+    {"epoch-publish",
+     "published_by(m) snapshot replaced without an exclusive hold of m, "
+     "or mutated in place; published epochs are immutable"},
+    {"atomic-ordering",
+     "memory_order_relaxed outside src/obs/ on a cell not annotated "
+     "`// medlint: relaxed_ok`"},
 };
 
 bool known_check(const std::string& id) {
@@ -451,16 +494,72 @@ std::vector<AllowEntry> load_suppressions(const std::string& path,
   return entries;
 }
 
-bool matches(const Violation& v, const std::vector<AllowEntry>& allow) {
-  for (const AllowEntry& e : allow) {
+constexpr std::size_t kNoMatch = static_cast<std::size_t>(-1);
+
+// Index of the first matching entry, or kNoMatch. The index (not a bool)
+// is the point: --baseline tracks per-entry hit counts so stale entries
+// — accepted findings whose code has since been fixed or moved — are a
+// hard error instead of silently rotting in the file.
+std::size_t match_index(const Violation& v,
+                        const std::vector<AllowEntry>& allow) {
+  for (std::size_t i = 0; i < allow.size(); ++i) {
+    const AllowEntry& e = allow[i];
     if (e.check != "*" && e.check != v.check) continue;
     if (v.file.size() >= e.path_suffix.size() &&
         v.file.compare(v.file.size() - e.path_suffix.size(),
                        e.path_suffix.size(), e.path_suffix) == 0) {
-      return true;
+      return i;
     }
   }
-  return false;
+  return kNoMatch;
+}
+
+// Loads --extern-allowlist: one vetted external function name per line,
+// each with a justification comment directly above it (the same contract
+// as --baseline — an unexplained "trust this extern" entry is worthless
+// at review time).
+std::set<std::string> load_extern_allowlist(const std::string& path) {
+  std::set<std::string> names;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "medlint: cannot open extern allowlist: " << path << "\n";
+    std::exit(2);
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  bool prev_was_comment = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    const bool has_comment =
+        hash != std::string::npos && line.find_first_not_of(" \t") == hash;
+    if (hash != std::string::npos) line.erase(hash);
+    const std::size_t b = line.find_first_not_of(" \t");
+    const std::size_t e = line.find_last_not_of(" \t");
+    if (b == std::string::npos) {
+      prev_was_comment = has_comment;
+      continue;
+    }
+    const std::string name = line.substr(b, e - b + 1);
+    if (name.find_first_not_of(
+            "abcdefghijklmnopqrstuvwxyz"
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_") != std::string::npos) {
+      std::cerr << "medlint: malformed extern-allowlist entry (want a bare "
+                   "function name) at " << path << ":" << lineno << ": "
+                << name << "\n";
+      std::exit(2);
+    }
+    if (!prev_was_comment) {
+      std::cerr << "medlint: extern-allowlist entry at " << path << ":"
+                << lineno << " has no justification comment directly above "
+                   "it; every vetted extern must say why it is safe to "
+                   "receive secrets\n";
+      std::exit(2);
+    }
+    names.insert(name);
+    prev_was_comment = false;
+  }
+  return names;
 }
 
 // `// medlint: allow(check-a, check-b)` — suppresses those checks on the
@@ -583,8 +682,11 @@ int main(int argc, char** argv) {
   std::vector<std::string> src_dirs;
   std::string allowlist_path;
   std::string baseline_path;
+  std::string extern_allow_path;
+  std::string cache_path;
   std::string sarif_path;
   bool verbose = false;
+  bool stats = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--src" && i + 1 < argc) {
@@ -593,10 +695,16 @@ int main(int argc, char** argv) {
       allowlist_path = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (arg == "--extern-allowlist" && i + 1 < argc) {
+      extern_allow_path = argv[++i];
+    } else if (arg == "--summary-cache" && i + 1 < argc) {
+      cache_path = argv[++i];
     } else if (arg == "--sarif" && i + 1 < argc) {
       sarif_path = argv[++i];
     } else if (arg == "--verbose") {
       verbose = true;
+    } else if (arg == "--stats") {
+      stats = true;
     } else if (arg == "--list-checks") {
       for (const CheckInfo& c : kChecks)
         std::cout << c.id << "\t" << c.summary << "\n";
@@ -604,7 +712,8 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: medlint --src <dir> [--src <dir>...] "
                    "[--allowlist <file>] [--baseline <file>] "
-                   "[--sarif <file>] [--verbose] [--list-checks]\n";
+                   "[--extern-allowlist <file>] [--summary-cache <file>] "
+                   "[--sarif <file>] [--stats] [--verbose] [--list-checks]\n";
       return 2;
     }
   }
@@ -619,6 +728,9 @@ int main(int argc, char** argv) {
   std::vector<AllowEntry> baseline;
   if (!baseline_path.empty())
     baseline = load_suppressions(baseline_path, /*require_justification=*/true);
+  std::set<std::string> extern_allow;
+  if (!extern_allow_path.empty())
+    extern_allow = load_extern_allowlist(extern_allow_path);
 
   std::vector<fs::path> files;
   for (const std::string& dir : src_dirs) {
@@ -633,34 +745,81 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Pass 1: lex every file once, build its structural model, and compute
+  // (or fetch from the content-hash cache) its function facts. Linking
+  // merges the per-file facts and runs the store/return fixpoint so that
+  // pass 2 sees every callee's summary regardless of file order.
+  struct Unit {
+    fs::path path;
+    medlint::LexedFile lf;
+    medlint::FileModel model;
+  };
+  medlint::SummaryCache cache(cache_path);
+  std::vector<Unit> units;
+  std::vector<medlint::FileFacts> all_facts;
+  units.reserve(files.size());
+  all_facts.reserve(files.size());
+  for (const fs::path& file : files) {
+    const std::vector<std::string> lines = read_lines(file);
+    std::string joined;
+    for (const std::string& l : lines) {
+      joined += l;
+      joined += '\n';
+    }
+    Unit u;
+    u.path = file;
+    u.lf = medlint::lex_file(lines);
+    u.model = medlint::build_file_model(u.lf);
+    const std::uint64_t h = medlint::fnv1a_hash(joined);
+    medlint::FileFacts facts;
+    if (!cache.lookup(file.string(), h, &facts)) {
+      facts = medlint::compute_file_facts(u.lf, u.model);
+      cache.store(file.string(), h, facts);
+    }
+    all_facts.push_back(std::move(facts));
+    units.push_back(std::move(u));
+  }
+  cache.save();
+  medlint::Program prog = medlint::link_program(all_facts);
+  prog.extern_allow = std::move(extern_allow);
+
+  // Pass 2: per-file checks, with the linked program in scope.
   std::vector<Violation> violations;
   std::size_t allowlisted = 0;
   std::size_t baselined = 0;
   std::size_t inline_suppressed = 0;
-  for (const fs::path& file : files) {
-    const medlint::LexedFile lf = medlint::lex_file(read_lines(file));
+  std::vector<std::size_t> baseline_hits(baseline.size(), 0);
+  std::map<std::string, std::size_t> per_check;
+  for (const Unit& u : units) {
+    const std::string file = u.path.string();
     std::vector<Violation> found;
-    for (std::size_t i = 0; i < lf.stripped.size(); ++i) {
-      check_line(file.string(), i + 1, lf.stripped[i], found);
-      check_obs_args(file.string(), i + 1, lf.stripped[i], found);
+    for (std::size_t i = 0; i < u.lf.stripped.size(); ++i) {
+      check_line(file, i + 1, u.lf.stripped[i], found);
+      check_obs_args(file, i + 1, u.lf.stripped[i], found);
     }
-    check_secret_types(file.string(), lf.stripped, found);
-    medlint::run_dataflow_checks(file.string(), lf, found);
-    const auto inline_allow = inline_suppressions(lf.comments);
+    check_secret_types(file, u.lf.stripped, found);
+    medlint::run_dataflow_checks(file, u.lf, u.model, prog, found);
+    medlint::run_concurrency_checks(file, u.lf, u.model, prog, found);
+    const auto inline_allow = inline_suppressions(u.lf.comments);
     for (Violation& v : found) {
+      ++per_check[v.check];
       const auto it = inline_allow.find(v.line);
+      const std::size_t bi = match_index(v, baseline);
       if (it != inline_allow.end() &&
           (it->second.count(v.check) || it->second.count("*"))) {
         ++inline_suppressed;
         if (verbose)
           std::cout << v.file << ":" << v.line << ": inline-allowed ["
                     << v.check << "]\n";
-      } else if (matches(v, allow)) {
+      } else if (match_index(v, allow) != kNoMatch) {
         ++allowlisted;
         if (verbose)
           std::cout << v.file << ":" << v.line << ": allowlisted [" << v.check
                     << "]\n";
-      } else if (matches(v, baseline)) {
+      } else if (bi != kNoMatch) {
+        ++baseline_hits[bi];
         ++baselined;
         if (verbose)
           std::cout << v.file << ":" << v.line << ": baselined [" << v.check
@@ -669,6 +828,26 @@ int main(int argc, char** argv) {
         violations.push_back(std::move(v));
       }
     }
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // A baseline entry that no longer matches anything is debt already
+  // paid: keeping it would let a *new* finding of the same shape slip
+  // through unreviewed. Hard error so the file only ever shrinks.
+  bool stale = false;
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    if (baseline_hits[i] == 0) {
+      std::cerr << "medlint: stale baseline entry (matches no current "
+                   "finding): " << baseline[i].path_suffix << ":"
+                << baseline[i].check << "\n";
+      stale = true;
+    }
+  }
+  if (stale) {
+    std::cerr << "medlint: prune the stale entries from " << baseline_path
+              << "; the baseline may only shrink\n";
+    return 2;
   }
 
   std::stable_sort(violations.begin(), violations.end(),
@@ -681,6 +860,22 @@ int main(int argc, char** argv) {
               << v.message << "\n";
   }
   if (!sarif_path.empty()) write_sarif(sarif_path, violations);
+  if (stats) {
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0).count();
+    const std::size_t lookups = cache.hits() + cache.misses();
+    std::cout << "medlint stats:\n"
+              << "  analysis time: " << ms << " ms over " << files.size()
+              << " file(s)\n"
+              << "  summary cache: " << cache.hits() << " hit(s), "
+              << cache.misses() << " miss(es)";
+    if (lookups > 0)
+      std::cout << " (" << (100 * cache.hits() / lookups) << "% hit rate)";
+    std::cout << "\n  findings by check (pre-suppression):\n";
+    if (per_check.empty()) std::cout << "    (none)\n";
+    for (const auto& [check, n] : per_check)
+      std::cout << "    " << check << ": " << n << "\n";
+  }
   std::cout << "medlint: scanned " << files.size() << " file(s), "
             << violations.size() << " violation(s), " << allowlisted
             << " allowlisted, " << baselined << " baselined, "

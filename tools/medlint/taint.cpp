@@ -5,6 +5,9 @@
 #include <set>
 #include <utility>
 
+#include "callgraph.h"
+#include "summary.h"
+
 namespace medlint {
 
 namespace {
@@ -12,34 +15,6 @@ namespace {
 using Tokens = std::vector<Token>;
 
 constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
-
-bool is_punct(const Token& t, const char* s) {
-  return t.kind == TokKind::kPunct && t.text == s;
-}
-bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
-bool is_ident(const Token& t, const char* s) {
-  return t.kind == TokKind::kIdent && t.text == s;
-}
-
-// Keywords that may precede '(' without naming a callee or a function.
-const std::set<std::string> kControlKeywords = {
-    "if",     "while",    "for",      "switch",        "catch",
-    "return", "sizeof",   "alignof",  "throw",         "new",
-    "delete", "case",     "default",  "else",          "do",
-    "using",  "typedef",  "goto",     "static_assert", "decltype",
-    "noexcept", "alignas", "defined", "requires",
-};
-
-const std::set<std::string> kCvWords = {
-    "const",    "constexpr", "static",       "volatile", "mutable",
-    "typename", "struct",    "inline",       "register", "thread_local",
-    "unsigned", "signed",    "virtual",      "explicit", "friend",
-};
-
-bool secret_type_ident(const std::string& id) {
-  return id == "SecureBuffer" || kSecretTypes.count(id) != 0 ||
-         kSecretReturnTypes.count(id) != 0;
-}
 
 // Non-owning views and scalars: passing one by value does not copy the
 // secret's storage, so a secret-*named* parameter of such a type is fine.
@@ -67,49 +42,12 @@ const std::set<std::string> kPublicScalarTypes = {
     "size_t", "ptrdiff_t", "size_type", "difference_type", "bool",
 };
 
-// Type name spelled with a public prefix (PublicKey, MaskedShare):
-// declaring a variable of such a type declassifies its secret-looking
-// name — `const PublicKey& key` carries only public components.
-bool public_prefixed(const std::string& name) {
-  const std::vector<std::string> parts = name_components(name);
-  return !parts.empty() && kPublicPrefixes.count(parts.front()) != 0;
-}
-
 bool public_typed(const std::vector<std::string>& tids) {
   for (const std::string& id : tids) {
     if (kPublicScalarTypes.count(id) || public_prefixed(id)) return true;
   }
   return false;
 }
-
-// Accessors whose results are public metadata even on a tainted object:
-// lengths/counts are public by the ct_equal contract, and to_bytes() is
-// the *named* serialization boundary (secure_buffer.h) — calling it is an
-// explicit, reviewable decision, so its result is treated as declassified.
-const std::set<std::string> kPublicAccessors = {
-    "size",     "empty",      "length",    "count",    "capacity",
-    "max_size", "bit_length", "bit_count", "npos",     "to_bytes",
-    "find",     "contains",   "has_value", "end",      "cend",
-};
-// "end" is public (an iterator sentinel for lookup-miss tests) but
-// "begin" deliberately is not: Bytes(key.begin(), key.end()) is the
-// copy-the-secret idiom the escape check exists to catch.
-
-// Calls whose result is public and whose arguments are exactly the vetted
-// constant-time/wiping internals — never scanned for sink violations.
-const std::set<std::string> kSanitizerCalls = {
-    "ct_equal", "secure_wipe", "wipe", "sizeof", "alignof", "assert",
-};
-
-// Calls that merely combine or forward bytes: result tainted iff an
-// argument is (so their argument lists are scanned). Everything not
-// listed here is assumed to *transform* its inputs (hash, encrypt, ...)
-// and does not propagate taint through its return value.
-const std::set<std::string> kPropagatorCalls = {
-    "concat", "xor_bytes", "move",    "forward", "min",  "max",
-    "subspan", "view",     "span",    "data",    "get",  "ref",
-    "cref",   "first",     "last",    "to_hex",  "swap",
-};
 
 const std::set<std::string> kLogCalls = {
     "printf", "fprintf", "sprintf", "snprintf", "vprintf",
@@ -141,23 +79,6 @@ bool is_stream_type(const std::vector<std::string>& tids) {
   return false;
 }
 
-bool secret_fn_name(const std::string& name) {
-  return is_secret_storage_name(name) && !has_benign_tail(name);
-}
-
-// Protocol verification predicates: a leading verify/check/validate
-// component marks a call whose boolean verdict is public by design
-// (Feldman complaints, share-proof checks, signature verification are all
-// published). Their verdicts may gate branches; their arguments are not
-// scanned. Deliberately narrow — is_/has_ predicates are NOT included,
-// because parity/zero tests on secrets (is_odd) are classic leaks.
-bool verification_call(const std::string& name) {
-  const std::vector<std::string> parts = name_components(name);
-  if (parts.empty()) return false;
-  return parts.front() == "verify" || parts.front() == "check" ||
-         parts.front() == "validate";
-}
-
 bool stream_like_name(const std::string& name) {
   for (const std::string& part : name_components(name))
     if (kStreamWords.count(part)) return true;
@@ -171,124 +92,8 @@ bool log_like_name(const std::string& name) {
 }
 
 // ---------------------------------------------------------------------------
-// token-range helpers
+// the secret-param-by-value check (parameter lists come from callgraph.h)
 // ---------------------------------------------------------------------------
-
-// Matches a '<' against its '>' within a short window; returns kNpos when
-// the tokens read as a comparison rather than a template argument list.
-std::size_t match_angle(const Tokens& toks, std::size_t open) {
-  int depth = 0;
-  const std::size_t limit = std::min(toks.size(), open + 64);
-  for (std::size_t j = open; j < limit; ++j) {
-    if (toks[j].kind != TokKind::kPunct) continue;
-    const std::string& t = toks[j].text;
-    if (t == "<") {
-      ++depth;
-    } else if (t == ">") {
-      if (--depth == 0) return j;
-    } else if (t == ">>") {
-      depth -= 2;
-      if (depth <= 0) return j;
-    } else if (t == ";" || t == "{" || t == "}" || t == "(" || t == ")" ||
-               t == "&&" || t == "||" || t == "==") {
-      return kNpos;
-    }
-  }
-  return kNpos;
-}
-
-// Index of the next ';' at the current nesting level (also stops at '{'
-// and '}' so a missing semicolon cannot run away).
-std::size_t stmt_end(const Tokens& toks, std::size_t i, std::size_t hi) {
-  int depth = 0;
-  for (std::size_t j = i; j < hi; ++j) {
-    if (toks[j].kind != TokKind::kPunct) continue;
-    const std::string& t = toks[j].text;
-    if (t == "(" || t == "[") ++depth;
-    else if (t == ")" || t == "]") --depth;
-    else if (depth == 0 && (t == ";" || t == "{" || t == "}")) return j;
-  }
-  return hi;
-}
-
-// ---------------------------------------------------------------------------
-// signatures: parameter parsing and the secret-param-by-value check
-// ---------------------------------------------------------------------------
-
-struct Param {
-  std::vector<std::string> type_idents;
-  std::string name;     // empty for unnamed params
-  bool by_value = true;
-  std::size_t line = 0;
-};
-
-// Parses "(...)" as a parameter list. Returns nullopt when the span reads
-// as an expression (numbers, strings, arithmetic, member access, nested
-// calls) — which is how call sites are told apart from declarations.
-std::optional<std::vector<Param>> parse_params(const Tokens& toks,
-                                               std::size_t open,
-                                               std::size_t close) {
-  std::vector<Param> params;
-  std::size_t start = open + 1;
-  int angle = 0;
-  for (std::size_t j = open + 1; j <= close; ++j) {
-    const Token& t = toks[j];
-    if (t.kind == TokKind::kNumber || t.kind == TokKind::kString ||
-        t.kind == TokKind::kChar) {
-      return std::nullopt;
-    }
-    if (t.kind == TokKind::kPunct) {
-      const std::string& p = t.text;
-      if (p == "<") ++angle;
-      else if (p == ">") angle = std::max(0, angle - 1);
-      else if (p == ">>") angle = std::max(0, angle - 2);
-      else if (p == "=") {
-        // default argument: skip to the ',' / ')' closing this param
-        int d = 0;
-        while (j < close) {
-          const Token& u = toks[j];
-          if (is_punct(u, "(") || is_punct(u, "[") || is_punct(u, "{")) ++d;
-          else if (is_punct(u, ")") || is_punct(u, "]") || is_punct(u, "}")) --d;
-          else if (d == 0 && is_punct(u, ",")) break;
-          ++j;
-        }
-        // fall through to the ','/close handling below
-      } else if (p != "," && p != "::" && p != "&" && p != "&&" && p != "*" &&
-                 p != "..." && p != ")" && p != "[" && p != "]") {
-        return std::nullopt;  // '.', '->', arithmetic, nested '(' ...
-      }
-    }
-    const bool at_split =
-        j == close || (angle == 0 && is_punct(toks[j], ","));
-    if (!at_split) continue;
-
-    // one parameter span: [start, j)
-    Param prm;
-    std::vector<std::size_t> ident_idx;
-    for (std::size_t k = start; k < j; ++k) {
-      if (is_ident(toks[k])) ident_idx.push_back(k);
-      else if (is_punct(toks[k], "&") || is_punct(toks[k], "&&") ||
-               is_punct(toks[k], "*")) {
-        prm.by_value = false;
-      }
-    }
-    start = j + 1;
-    if (ident_idx.empty()) continue;  // "void", "...", empty
-    prm.line = toks[ident_idx.front()].line;
-    const std::size_t last = ident_idx.back();
-    const bool named = ident_idx.size() >= 2 && last > 0 &&
-                       !is_punct(toks[last - 1], "::") &&
-                       (last + 1 == j || is_punct(toks[last + 1], "[")) ;
-    for (std::size_t k : ident_idx) {
-      if (named && k == last) continue;
-      prm.type_idents.push_back(toks[k].text);
-    }
-    if (named) prm.name = toks[last].text;
-    if (prm.type_idents.size() == 1 && prm.type_idents[0] == "void") continue;
-    params.push_back(std::move(prm));
-  }
-  return params;
-}
 
 void check_params_by_value(const std::string& file, const std::string& fn,
                            const std::vector<Param>& params,
@@ -357,9 +162,9 @@ struct ReturnEvent {
 
 class FnAnalyzer {
  public:
-  FnAnalyzer(const std::string& file, const Tokens& toks,
-             std::vector<Violation>& out)
-      : file_(file), toks_(toks), out_(out) {}
+  FnAnalyzer(const std::string& file, const Tokens& toks, const Program& prog,
+             const ClassInfo* cls, std::vector<Violation>& out)
+      : file_(file), toks_(toks), prog_(prog), cls_(cls), out_(out) {}
 
   void seed_param(const Param& p) {
     if (p.name.empty()) return;
@@ -377,6 +182,12 @@ class FnAnalyzer {
   }
 
   void analyze(std::size_t body_open, std::size_t body_close);
+
+  // Constructor member-init-list entries: a tainted argument stored into
+  // a non-wiping member is the canonical interprocedural stash. Entries
+  // naming a base class instead of a member defer to that constructor's
+  // summary. Call after seeding the parameters.
+  void check_inits(const std::vector<MemberInit>& inits);
 
  private:
   void flag(std::size_t line, const char* check, std::string msg) {
@@ -398,6 +209,11 @@ class FnAnalyzer {
                        const std::vector<std::size_t>& blocks,
                        std::size_t* next);
   void try_assignment(std::size_t i, std::size_t hi);
+  void check_call_site(std::size_t i, std::size_t hi);
+  void check_summary_stores(const std::string& name, const FnSummary& s,
+                            const std::vector<std::pair<std::size_t,
+                                                        std::size_t>>& args,
+                            std::size_t line);
   void record_lambda(std::size_t intro, std::size_t hi,
                      std::size_t* body_open, std::size_t* body_close) const;
   void finalize_leaky_returns();
@@ -410,6 +226,8 @@ class FnAnalyzer {
 
   const std::string& file_;
   const Tokens& toks_;
+  const Program& prog_;
+  const ClassInfo* cls_;  // enclosing class, linked view; may be null
   std::vector<Violation>& out_;
   std::map<std::string, VarInfo> vars_;
   std::vector<ReturnEvent> events_;
@@ -444,6 +262,18 @@ std::optional<std::string> FnAnalyzer::find_tainted(std::size_t l,
           (!name.empty() &&
        	   std::isupper(static_cast<unsigned char>(name[0])))) {
         j = k + 2;  // byte combiner or constructor: scan the arguments
+        continue;
+      }
+      if (const FnSummary* s = prog_.summary(name)) {
+        // the callee's summary says which parameters flow back out of the
+        // return value: derive(secret) taints the result
+        const auto args = split_args(toks_, k + 1, close);
+        for (std::size_t a = 0; a < args.size() && a < s->params.size();
+             ++a) {
+          if (!s->params[a].escapes_return) continue;
+          if (auto t = find_tainted(args[a].first, args[a].second)) return t;
+        }
+        j = close + 1;
         continue;
       }
       j = close + 1;  // unknown call: result assumed transformed/public
@@ -486,6 +316,120 @@ std::optional<std::string> FnAnalyzer::find_tainted(std::size_t l,
     j = pos + 1;
   }
   return std::nullopt;
+}
+
+// Flags tainted arguments reaching parameters the callee's summary marks
+// as stored in non-wiping storage. Shared by call sites, constructor
+// paren/brace initializers and base-class member-init entries.
+void FnAnalyzer::check_summary_stores(
+    const std::string& name, const FnSummary& s,
+    const std::vector<std::pair<std::size_t, std::size_t>>& args,
+    std::size_t line) {
+  for (std::size_t a = 0; a < args.size() && a < s.params.size(); ++a) {
+    const ParamFx& fx = s.params[a];
+    if (!fx.stored_unwiped) continue;
+    if (auto t = find_tainted(args[a].first, args[a].second)) {
+      flag(line, "secret-taint-escape",
+           "secret '" + *t + "' is passed to '" + name +
+               "()', which stores it in non-wiping " + fx.store_desc +
+               "; the copy outlives the call — wipe it in the owner's "
+               "destructor or hold it in SecureBuffer");
+    }
+  }
+}
+
+// Interprocedural call-site check: consult the callee's summary (stores,
+// out-parameter flows), and treat a summary-less call to a name with no
+// visible declaration anywhere in the scanned tree as a conservative
+// sink for tainted arguments.
+void FnAnalyzer::check_call_site(std::size_t i, std::size_t hi) {
+  const std::string& name = toks_[i].text;
+  if (kControlKeywords.count(name) || kSanitizerCalls.count(name) ||
+      kPublicAccessors.count(name) || kPropagatorCalls.count(name) ||
+      verification_call(name) || log_like_name(name) ||
+      secret_fn_name(name)) {
+    return;  // all handled by find_tainted / the log sink
+  }
+  const std::size_t close = match_group(toks_, i + 1);
+  if (close >= std::min(hi, toks_.size())) return;
+  const auto args = split_args(toks_, i + 1, close);
+  if (const FnSummary* s = prog_.summary(name)) {
+    check_summary_stores(name, *s, args, toks_[i].line);
+    for (std::size_t a = 0; a < args.size() && a < s->params.size(); ++a) {
+      const ParamFx& fx = s->params[a];
+      if (fx.out_flows.empty()) continue;
+      if (!find_tainted(args[a].first, args[a].second)) continue;
+      // the callee copies this argument into by-ref out-parameters:
+      // taint the caller-side variables passed in those positions
+      for (unsigned o : fx.out_flows) {
+        if (o >= args.size()) continue;
+        for (std::size_t q = args[o].first; q < args[o].second; ++q) {
+          if (!is_ident(toks_[q])) continue;
+          auto it = vars_.find(toks_[q].text);
+          if (it != vars_.end() && !it->second.tainted) {
+            it->second.tainted = true;
+            it->second.taint_idx = i;
+          }
+          break;
+        }
+      }
+    }
+    return;
+  }
+  const bool method =
+      i > 0 && (is_punct(toks_[i - 1], ".") || is_punct(toks_[i - 1], "->"));
+  if (method || prog_.known(name)) return;
+  if (!name.empty() && std::isupper(static_cast<unsigned char>(name[0])))
+    return;  // constructor of an unscanned type: ownership-transfer idiom
+  if (kValueOkTypes.count(name) || kViewTypes.count(name) ||
+      kStreamTypes.count(name)) {
+    return;  // functional-style cast, not a call
+  }
+  if (prog_.extern_allow.count(name)) return;
+  const bool indirect = vars_.count(name) != 0;
+  for (const auto& [lo, ahi] : args) {
+    if (auto t = find_tainted(lo, ahi)) {
+      flag(toks_[i].line, "secret-extern-call",
+           "secret '" + *t + "' is passed to " +
+               (indirect
+                    ? "an indirect call through '" + name +
+                          "' (function pointer / std::function); medlint "
+                          "cannot see the target's wipe discipline"
+                    : "external function '" + name +
+                          "()' with no visible definition or declaration "
+                          "in the scanned tree; its wipe discipline is "
+                          "unknown") +
+               " — define it where medlint can summarize it, or add it to "
+               "the extern allowlist with a justification");
+      return;
+    }
+  }
+}
+
+void FnAnalyzer::check_inits(const std::vector<MemberInit>& inits) {
+  for (const MemberInit& mi : inits) {
+    if (cls_ == nullptr || cls_->members.count(mi.member) == 0) {
+      // base-class entry (or unknown member): the base constructor's
+      // summary decides whether the arguments are stashed
+      if (const FnSummary* s = prog_.summary(mi.member)) {
+        if (mi.args_lo > 0) {
+          check_summary_stores(mi.member, *s,
+                               split_args(toks_, mi.args_lo - 1, mi.args_hi),
+                               mi.line);
+        }
+      }
+      continue;
+    }
+    if (public_prefixed(mi.member) || has_benign_tail(mi.member)) continue;
+    if (member_wiping(*cls_, mi.member)) continue;
+    if (auto t = find_tainted(mi.args_lo, mi.args_hi)) {
+      flag(mi.line, "secret-taint-escape",
+           "secret '" + *t + "' is stored into non-wiping member '" +
+               mi.member + "' of " + cls_->name +
+               "; the secret outlives the constructor — wipe it in ~" +
+               cls_->name + "() or hold it in SecureBuffer");
+    }
+  }
 }
 
 // Walks backwards from a '?' to the start of its condition expression.
@@ -618,6 +562,20 @@ bool FnAnalyzer::try_declaration(std::size_t i, std::size_t hi,
   if (init_lo != kNpos) src = find_tainted(init_lo, init_hi);
   if (src && !v.tainted && !declassified) v.tainted = true;
 
+  // A class-typed declaration invokes that class's constructor: its
+  // merged summary says whether an argument is stashed in non-wiping
+  // storage (T obj(secret) / T obj{secret}).
+  if (init_lo != kNpos && (is_punct(term, "(") || is_punct(term, "{"))) {
+    for (const std::string& id : tids) {
+      if (kCvWords.count(id)) continue;
+      const FnSummary* s = prog_.summary(id);
+      if (s == nullptr) continue;
+      check_summary_stores(id, *s, split_args(toks_, j, init_hi),
+                           toks_[i].line);
+      break;
+    }
+  }
+
   if (src && v.is_bytes && !is_ref && !declassified) {
     v.pending_escapes.push_back(
         {toks_[i].line,
@@ -631,19 +589,21 @@ bool FnAnalyzer::try_declaration(std::size_t i, std::size_t hi,
 }
 
 // Assignment/compound-assignment propagation: lhs = rhs taints lhs's base
-// variable, and rhs flowing into a declared Bytes local is an escape.
+// variable, rhs flowing into a declared Bytes local is an escape, and rhs
+// flowing into a member of the enclosing class or a namespace-scope
+// global is the stash-beyond-the-call shape the interprocedural summary
+// reports at call sites — here it is caught at the definition itself.
 void FnAnalyzer::try_assignment(std::size_t i, std::size_t hi) {
   std::size_t j = i;
   if (!is_ident(toks_[j])) return;
-  const std::string base = toks_[j].text;
-  std::size_t path_len = 1;
+  std::vector<std::string> path{toks_[j].text};
   ++j;
   while (j + 1 < hi &&
          (is_punct(toks_[j], ".") || is_punct(toks_[j], "->") ||
           is_punct(toks_[j], "::")) &&
          is_ident(toks_[j + 1])) {
+    path.push_back(toks_[j + 1].text);
     j += 2;
-    ++path_len;
   }
   while (j < hi && is_punct(toks_[j], "[")) {
     j = match_group(toks_, j);
@@ -658,19 +618,52 @@ void FnAnalyzer::try_assignment(std::size_t i, std::size_t hi) {
   const std::size_t end = stmt_end(toks_, j, hi);
   const std::optional<std::string> src = find_tainted(j + 1, end);
   if (!src) return;
+  const std::string& base = path.front();
   auto it = vars_.find(base);
   if (it != vars_.end()) {
     if (public_prefixed(base)) return;  // blinding: masked_x = x ^ mask
-    if (!it->second.tainted) {
+    // Field-insensitive compromise: `out.secret_share = x` does NOT
+    // taint the whole aggregate (that would poison out.qualified and
+    // every other public field); later reads of the secret field are
+    // still caught by the member-name heuristics in find_tainted.
+    if (path.size() == 1 && !it->second.tainted) {
       it->second.tainted = true;
       it->second.taint_idx = i;
     }
-    if (it->second.is_bytes && path_len == 1) {
+    if (it->second.is_bytes && path.size() == 1) {
       it->second.pending_escapes.push_back(
           {toks_[i].line,
            "secret '" + *src + "' is assigned into non-wiping buffer '" +
                base + "'; use SecureBuffer so the bytes are zeroized"});
     }
+    return;
+  }
+  // lhs is not a local/parameter: a member of the enclosing class
+  // (bare `m_ = ...` or `this->m_ = ...`) or a file-scope global.
+  std::string member;
+  if (base == "this" && path.size() >= 2) member = path[1];
+  else if (path.size() == 1) member = base;
+  else return;  // obj.field on a foreign object: the owner's checks apply
+  if (public_prefixed(member) || has_benign_tail(member)) return;
+  if (cls_ != nullptr && cls_->members.count(member)) {
+    if (member_wiping(*cls_, member)) return;
+    flag(toks_[i].line, "secret-taint-escape",
+         "secret '" + *src + "' is stored into non-wiping member '" +
+             member + "' of " + cls_->name +
+             "; the copy outlives this call — wipe it in ~" + cls_->name +
+             "() or hold it in SecureBuffer");
+    return;
+  }
+  if (base == "this") return;
+  const auto g = prog_.globals.find(member);
+  if (g != prog_.globals.end()) {
+    for (const std::string& tid : g->second.type_idents)
+      if (secret_type_ident(tid)) return;  // self-wiping holder type
+    flag(toks_[i].line, "secret-taint-escape",
+         "secret '" + *src + "' is stored into namespace-scope global '" +
+             member +
+             "'; globals have no wiping owner — hold it in SecureBuffer "
+             "or a self-wiping secret type");
   }
 }
 
@@ -902,6 +895,9 @@ void FnAnalyzer::analyze(std::size_t body_open, std::size_t body_close) {
                  "(); log sinks persist their arguments unwiped");
       }
     }
+    // interprocedural call-site checks: callee summaries and the
+    // conservative external-call sink
+    if (i + 1 < hi && is_punct(toks_[i + 1], "(")) check_call_site(i, hi);
     if (stmt_start) {
       std::size_t next = 0;
       if (try_declaration(i, hi, blocks, &next)) {
@@ -965,107 +961,31 @@ void FnAnalyzer::finalize_leaky_returns() {
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// file driver: locate signatures and function bodies
+// file driver: functions come from the structural model (callgraph.cpp),
+// summaries and linked class definitions from the Program (summary.cpp)
 // ---------------------------------------------------------------------------
 
 void run_dataflow_checks(const std::string& file, const LexedFile& lf,
+                         const FileModel& model, const Program& prog,
                          std::vector<Violation>& out) {
   const Tokens& toks = lf.tokens;
-  for (std::size_t i = 0; i < toks.size(); ++i) {
-    if (!is_punct(toks[i], "(")) continue;
-    if (i == 0 || !is_ident(toks[i - 1])) continue;
-    const std::string& fname = toks[i - 1].text;
-    if (kControlKeywords.count(fname)) continue;
-    const std::size_t close = match_group(toks, i);
-    if (close >= toks.size()) continue;
-    std::size_t j = close + 1;
-    while (j < toks.size()) {
-      if (is_ident(toks[j]) &&
-          (toks[j].text == "const" || toks[j].text == "override" ||
-           toks[j].text == "final" || toks[j].text == "mutable")) {
-        ++j;
-        continue;
-      }
-      if (is_ident(toks[j], "noexcept")) {
-        ++j;
-        if (j < toks.size() && is_punct(toks[j], "("))
-          j = match_group(toks, j) + 1;
-        continue;
-      }
-      if (is_punct(toks[j], "&") || is_punct(toks[j], "&&")) {
-        ++j;
-        continue;
-      }
-      break;
-    }
-    if (j < toks.size() && is_punct(toks[j], "->")) {
-      ++j;
-      while (j < toks.size() && !is_punct(toks[j], "{") &&
-             !is_punct(toks[j], ";") && !is_punct(toks[j], "="))
-        ++j;
-    }
-    if (j < toks.size() && is_punct(toks[j], ":")) {
-      // constructor member-init list: ident[(...)|{...}] (, ...)* then '{'
-      std::size_t k = j + 1;
-      bool ok = true;
-      while (k < toks.size()) {
-        if (!is_ident(toks[k])) {
-          ok = false;
-          break;
-        }
-        ++k;
-        while (k + 1 < toks.size() && is_punct(toks[k], "::") &&
-               is_ident(toks[k + 1]))
-          k += 2;
-        if (k < toks.size() && is_punct(toks[k], "<")) {
-          const std::size_t tc = match_angle(toks, k);
-          if (tc == kNpos) {
-            ok = false;
-            break;
-          }
-          k = tc + 1;
-        }
-        if (k < toks.size() &&
-            (is_punct(toks[k], "(") || is_punct(toks[k], "{"))) {
-          k = match_group(toks, k);
-          if (k >= toks.size()) {
-            ok = false;
-            break;
-          }
-          ++k;
-        } else {
-          ok = false;
-          break;
-        }
-        if (k < toks.size() && is_punct(toks[k], ",")) {
-          ++k;
-          continue;
-        }
-        break;
-      }
-      if (ok && k < toks.size() && is_punct(toks[k], "{")) j = k;
-      else continue;  // ternary or bitfield, not a constructor
-    }
-    const bool is_def = j < toks.size() && is_punct(toks[j], "{");
-    const bool is_decl =
-        j < toks.size() && (is_punct(toks[j], ";") || is_punct(toks[j], "="));
-    if (!is_def && !is_decl) continue;
-    const auto params = parse_params(toks, i, close);
-    if (!params) continue;  // expression/call site, not a signature
+  for (const FnInfo& fn : model.fns) {
     // Uppercase names are constructors/factory types: their by-value
     // parameters are ownership-transfer sinks (value + std::move into the
-    // member), the idiom that leaves exactly one live copy. Taint still
-    // seeds from them for the body analysis below.
-    const bool ctor_like =
-        !fname.empty() && std::isupper(static_cast<unsigned char>(fname[0]));
-    if (!ctor_like) check_params_by_value(file, fname, *params, out);
-    if (is_def) {
-      const std::size_t body_close = match_group(toks, j);
-      if (body_close >= toks.size()) continue;
-      FnAnalyzer fn(file, toks, out);
-      for (const Param& p : *params) fn.seed_param(p);
-      fn.analyze(j, body_close);
-    }
+    // member), the idiom that leaves exactly one live copy. Destructors
+    // have no parameters worth checking. Taint still seeds from the
+    // parameters for the body analysis below.
+    if (!fn.ctor_like && !fn.is_dtor)
+      check_params_by_value(file, fn.name, fn.params, out);
+    if (!fn.is_definition) continue;
+    const std::string& cls_name = fn.enclosing_class();
+    const ClassInfo* cls =
+        cls_name.empty() ? nullptr : prog.find_class(cls_name);
+    FnAnalyzer an(file, toks, prog, cls, out);
+    for (const Param& p : fn.params) an.seed_param(p);
+    if (!fn.inits.empty()) an.check_inits(fn.inits);
+    if (fn.body_open < toks.size() && fn.body_close < toks.size())
+      an.analyze(fn.body_open, fn.body_close);
   }
 }
 

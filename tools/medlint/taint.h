@@ -1,17 +1,32 @@
-// Intraprocedural secret-taint analysis over the lexer's token stream.
+// Secret-taint analysis over the lexer's token stream — pass 2 of the
+// interprocedural engine.
 //
 // The lexical checks in medlint.cpp see names; this engine sees flow.
 // Within each function body it seeds taint from secret-typed
 // declarations (SecureBuffer, the kSecretTypes holders) and the
 // repository's name heuristics, propagates it through assignments,
 // copy/move construction, references, secret-named accessors and the
-// byte-combining helpers (concat / xor_bytes), and then reports four
-// classes of sink:
+// byte-combining helpers (concat / xor_bytes), and consumes the linked
+// function summaries (summary.cpp) at call sites: derive(secret) taints
+// its result when the callee's summary says the parameter escapes into
+// the return value, stash(secret) is an escape when the summary says the
+// parameter lands in non-wiping storage, and out-parameter flows taint
+// the caller-side arguments. It reports five classes of sink:
 //
 //   secret-taint-escape    tainted value copied into a non-wiping
 //                          Bytes/std::vector<uint8_t>/std::string local,
-//                          streamed into an ostream/log call, or embedded
-//                          in a thrown exception's arguments
+//                          stored into a non-wiping class member or
+//                          namespace-scope global (directly, via a
+//                          constructor init-list, or through a callee
+//                          whose summary stores it), streamed into an
+//                          ostream/log call, or embedded in a thrown
+//                          exception's arguments
+//   secret-extern-call     tainted value passed to a function with no
+//                          definition or declaration anywhere in the
+//                          scanned tree (or through a function pointer /
+//                          std::function); its wipe discipline is
+//                          unknowable, so the call is a conservative
+//                          sink unless allowlisted (--extern-allowlist)
 //   secret-branch          if/while/switch/for condition, ternary
 //                          condition, or array index derived from a
 //                          tainted value (constant-time discipline)
@@ -30,12 +45,15 @@
 #include <string>
 #include <vector>
 
+#include "callgraph.h"
 #include "common.h"
 #include "lexer.h"
+#include "summary.h"
 
 namespace medlint {
 
 void run_dataflow_checks(const std::string& file, const LexedFile& lf,
+                         const FileModel& model, const Program& prog,
                          std::vector<Violation>& out);
 
 }  // namespace medlint
