@@ -1,44 +1,130 @@
 #include "ec/hash_to_point.h"
 
+#include <utility>
+
 #include "common/error.h"
+#include "ec/jacobian.h"
 #include "hash/kdf.h"
 #include "obs/span.h"
 
 namespace medcrypt::ec {
+
+namespace {
+
+// One rejection-sampling attempt, shared by the single and batch paths so
+// their outputs are bit-identical (the golden-vector test pins this).
+// `ctr_input` is the caller's reusable counter ‖ input buffer; only the 4
+// counter bytes are rewritten per attempt. Returns true with the affine
+// candidate (x, y) — cofactor clearing is the caller's job.
+bool derive_candidate(const std::shared_ptr<const Curve>& curve,
+                      std::string_view domain, Bytes& ctr_input,
+                      std::uint32_t counter, std::size_t xbytes, Fp& x_out,
+                      Fp& y_out) {
+  for (int i = 0; i < 4; ++i) {
+    ctr_input[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(counter >> (24 - 8 * i));
+  }
+  const Bytes material = hash::expand(domain, ctr_input, xbytes + 1);
+  const auto& field = curve->field();
+  Fp x = field->from_bigint(
+      BigInt::from_bytes_be(BytesView(material.data(), xbytes)));
+  const Fp rhs = curve->rhs(x);
+
+  Fp y;
+  if (!field->sqrt_exponent().is_zero()) {
+    // p ≡ 3 (mod 4): fuse the Legendre test into the root. s = rhs^((p+1)/4)
+    // is a square root iff rhs is a QR; the s^2 == rhs check accepts the
+    // exact same candidate set as the separate Euler-criterion power
+    // (including rhs == 0, where s == 0 passes and the order-2 point is
+    // later killed by cofactor clearing) at half the exponentiation cost.
+    Fp s = rhs.pow(field->sqrt_exponent());
+    if (!(s.square() == rhs)) return false;
+    y = std::move(s);
+  } else {
+    if (!rhs.is_square()) return false;
+    y = rhs.sqrt();
+  }
+  // Use one derived bit to pick the root deterministically.
+  const bool want_odd = (material[xbytes] & 1) != 0;
+  if (y.parity() != want_odd) y.negate_inplace();
+  x_out = std::move(x);
+  y_out = std::move(y);
+  return true;
+}
+
+// counter ‖ input — public hash-to-curve material, not a key seed. Built
+// once per hash; derive_candidate patches the counter bytes in place.
+Bytes make_ctr_input(BytesView input) {
+  Bytes ctr_input(4);
+  ctr_input.reserve(4 + input.size());
+  ctr_input.insert(ctr_input.end(), input.begin(), input.end());
+  return ctr_input;
+}
+
+}  // namespace
 
 Point hash_to_subgroup(const std::shared_ptr<const Curve>& curve,
                        std::string_view domain, BytesView input) {
   // Spans the whole try-and-increment loop, so the histogram exposes the
   // geometric spread of attempts (~2 expected) as latency spread.
   obs::Span span(obs::Stage::kHashToPoint);
-  const auto& field = curve->field();
   // 128 extra bits make the mod-p bias negligible.
-  const std::size_t xbytes = field->byte_size() + 16;
+  const std::size_t xbytes = curve->field()->byte_size() + 16;
+  Bytes ctr_input = make_ctr_input(input);
 
+  Fp x, y;
   for (std::uint32_t counter = 0;; ++counter) {
-    // counter ‖ input — public hash-to-curve material, not a key seed.
-    Bytes ctr_input;
-    ctr_input.reserve(4 + input.size());
-    for (int i = 0; i < 4; ++i) {
-      ctr_input.push_back(static_cast<std::uint8_t>(counter >> (24 - 8 * i)));
+    if (!derive_candidate(curve, domain, ctr_input, counter, xbytes, x, y)) {
+      continue;
     }
-    ctr_input.insert(ctr_input.end(), input.begin(), input.end());
-
-    const Bytes material = hash::expand(domain, ctr_input, xbytes + 1);
-    const Fp x = field->from_bigint(
-        BigInt::from_bytes_be(BytesView(material.data(), xbytes)));
-    const Fp rhs = curve->rhs(x);
-    if (!rhs.is_square()) continue;
-
-    Fp y = rhs.sqrt();
-    // Use one derived bit to pick the root deterministically.
-    const bool want_odd = (material[xbytes] & 1) != 0;
-    if (y.parity() != want_odd) y = -y;
-
-    const Point candidate = curve->point(x, y).mul(curve->cofactor());
+    Point candidate = curve->point(x, y).mul(curve->cofactor());
     if (candidate.is_infinity()) continue;  // killed by cofactor clearing
     return candidate;
   }
+}
+
+std::vector<Point> hash_to_subgroup_batch(
+    const std::shared_ptr<const Curve>& curve, std::string_view domain,
+    std::span<const BytesView> inputs) {
+  obs::Span span(obs::Stage::kHashToPointBatch);
+  const std::size_t xbytes = curve->field()->byte_size() + 16;
+
+  // Cofactor-clear each accepted candidate in Jacobian form; the single
+  // batched conversion below replaces per-point inversions.
+  std::vector<JacPoint> cleared(inputs.size());
+  Fp x, y;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    Bytes ctr_input = make_ctr_input(inputs[i]);
+    for (std::uint32_t counter = 0;; ++counter) {
+      if (!derive_candidate(curve, domain, ctr_input, counter, xbytes, x,
+                            y)) {
+        continue;
+      }
+      cleared[i] = jac_mul_raw(curve->point(x, y), curve->cofactor());
+      if (cleared[i].inf) continue;  // killed by cofactor clearing
+      break;
+    }
+  }
+  return jac_to_affine_batch(curve, cleared);
+}
+
+const ShardedLruCache<Point>& identity_point_cache() {
+  // Leaked like the metrics registry: cached points keep their curve
+  // contexts alive, and lookups may run during static teardown.
+  static const auto* cache = new ShardedLruCache<Point>(
+      {.capacity = 4096, .metric_prefix = "sem.cache.h1"});
+  return *cache;
+}
+
+Point hash_to_subgroup_cached(const std::shared_ptr<const Curve>& curve,
+                              std::string_view domain, BytesView input,
+                              std::uint64_t epoch) {
+  return identity_point_cache().get_or_compute(
+      domain, input, epoch,
+      [&] { return hash_to_subgroup(curve, domain, input); },
+      // Distinct curve contexts may produce colliding tags; a cached
+      // point from another curve is a miss, not a wrong answer.
+      [&](const Point& p) { return p.curve() == curve; });
 }
 
 }  // namespace medcrypt::ec

@@ -163,11 +163,11 @@ JacPoint jac_add_mixed(const Curve& curve, const JacPoint& t, const Point& p,
   return JacPoint{std::move(x3), std::move(y3), std::move(z3), false};
 }
 
-Point jac_mul(const Point& p, const bigint::BigInt& k) {
+JacPoint jac_mul_raw(const Point& p, const bigint::BigInt& k) {
   const auto& curve = p.curve();
   if (!curve) throw InvalidArgument("jac_mul: default-constructed point");
-  if (k.is_zero() || p.is_infinity()) return curve->infinity();
-  if (k.is_negative()) return jac_mul(-p, -k);
+  if (k.is_zero() || p.is_infinity()) return JacPoint{};
+  if (k.is_negative()) return jac_mul_raw(-p, -k);
 
   // 4-bit window over an affine table (mixed additions stay cheap).
   // The 2P..15P entries are accumulated in Jacobian form and converted
@@ -201,7 +201,11 @@ Point jac_mul(const Point& p, const bigint::BigInt& k) {
       acc = jac_add_mixed(*curve, acc, table[idx]);
     }
   }
-  return jac_to_affine(curve, acc);
+  return acc;
+}
+
+Point jac_mul(const Point& p, const bigint::BigInt& k) {
+  return jac_to_affine(p.curve(), jac_mul_raw(p, k));
 }
 
 }  // namespace medcrypt::ec

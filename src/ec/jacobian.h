@@ -81,4 +81,10 @@ JacPoint jac_add_mixed(const Curve& curve, const JacPoint& t, const Point& p,
 /// Semantics identical to the affine reference (negative k negates).
 Point jac_mul(const Point& p, const bigint::BigInt& k);
 
+/// jac_mul without the final affine conversion: the result stays in
+/// Jacobian form so batch callers (hash_to_subgroup_batch's cofactor
+/// clearing) can share one inversion across many results via
+/// jac_to_affine_batch.
+JacPoint jac_mul_raw(const Point& p, const bigint::BigInt& k);
+
 }  // namespace medcrypt::ec

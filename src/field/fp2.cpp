@@ -1,5 +1,8 @@
 #include "field/fp2.h"
 
+#include <utility>
+#include <vector>
+
 #include "common/error.h"
 
 namespace medcrypt::field {
@@ -95,6 +98,35 @@ Fp2 Fp2::random(const std::shared_ptr<const PrimeField>& field,
 
 Fp2 Fp2::one(const std::shared_ptr<const PrimeField>& field) {
   return Fp2(field->one(), field->zero());
+}
+
+void batch_inverse(std::span<Fp2> xs) {
+  if (xs.empty()) return;
+  for (const Fp2& x : xs) {
+    if (x.is_zero()) {
+      throw InvalidArgument("batch_inverse: zero element");
+    }
+  }
+  if (xs.size() == 1) {
+    xs[0] = xs[0].inverse();
+    return;
+  }
+  // prefix[i] = x_0 · … · x_i; invert the full product once, then peel
+  // one factor per step walking backwards.
+  std::vector<Fp2> prefix(xs.size());
+  prefix[0] = xs[0];
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    prefix[i] = prefix[i - 1];
+    prefix[i].mul_inplace(xs[i]);
+  }
+  Fp2 inv_tail = prefix.back().inverse();
+  for (std::size_t i = xs.size(); i-- > 1;) {
+    Fp2 inv_i = inv_tail;
+    inv_i.mul_inplace(prefix[i - 1]);  // 1/x_i
+    inv_tail.mul_inplace(xs[i]);       // drop x_i from the tail
+    xs[i] = std::move(inv_i);
+  }
+  xs[0] = std::move(inv_tail);
 }
 
 }  // namespace medcrypt::field

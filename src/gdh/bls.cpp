@@ -1,6 +1,7 @@
 #include "gdh/bls.h"
 
 #include "ec/hash_to_point.h"
+#include "pairing/prepared_cache.h"
 #include "pairing/tate.h"
 
 namespace medcrypt::gdh {
@@ -23,8 +24,20 @@ bool verify(const pairing::ParamSet& group, const Point& pub,
             BytesView message, const Point& signature) {
   if (signature.is_infinity() || !signature.in_subgroup()) return false;
   const pairing::TatePairing pairing(group.curve);
-  return pairing.pair(group.generator, signature) ==
-         pairing.pair(pub, hash_message(group, message));
+  // ê(P, σ) = ê(R, h)  ⇔  ê(P, σ)·ê(−R, h) == 1 — one product
+  // multi-pairing (shared squaring chain, single final exponentiation)
+  // instead of two independent pairings, with both fixed first
+  // arguments' Miller programs served from the prepared cache.
+  const Point h = hash_message(group, message);
+  const Point neg_pub = -pub;
+  const auto prep_gen =
+      pairing::shared_prepared(pairing, group.generator, "gdh.verify");
+  const auto prep_neg_pub =
+      pairing::shared_prepared(pairing, neg_pub, "gdh.verify");
+  const pairing::TatePairing::PairTerm terms[] = {
+      {nullptr, prep_gen.get(), &signature},
+      {nullptr, prep_neg_pub.get(), &h}};
+  return pairing.pair_many(terms).is_one();
 }
 
 std::pair<BigInt, BigInt> split_key(const BigInt& secret, const BigInt& q,

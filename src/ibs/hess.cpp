@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "hash/kdf.h"
+#include "pairing/prepared_cache.h"
 
 namespace medcrypt::ibs {
 
@@ -47,8 +48,11 @@ HessSignature hess_sign(const ibe::SystemParams& params, const Point& d_id,
                         BytesView message, RandomSource& rng) {
   const pairing::TatePairing pairing(params.curve());
   const BigInt k = BigInt::random_unit(rng, params.order());
-  // r = ê(P, P)^k
-  const Fp2 r = pairing.pair(params.generator(), params.generator()).pow(k);
+  // r = ê(P, P)^k; the base is a per-curve public constant, served from
+  // the pairing-value cache after the first signature.
+  const Fp2 r = pairing::cached_pair(pairing, params.generator(),
+                                     params.generator(), "ibs.gpp")
+                    .pow(k);
   HessSignature sig;
   sig.v = hess_challenge(params, message, r);
   sig.u = d_id.mul(sig.v) + params.group.mul_g(k);
@@ -63,8 +67,19 @@ bool hess_verify(const ibe::SystemParams& params, std::string_view identity,
   const Point q_id = ibe::map_identity(params, identity);
   // r' = ê(u, P) · ê(Q_ID, P_pub)^{-v}  (negate the point, not the
   // exponent: v is reduced mod q and pairing outputs have order q).
-  const Fp2 r_prime = pairing.pair(signature.u, params.generator()) *
-                      pairing.pair(q_id.mul(signature.v), -params.p_pub);
+  // By pairing symmetry both factors have fixed, public first arguments
+  // (P and −P_pub), so the product runs as one multi-pairing over their
+  // cached prepared programs.
+  const Point vq = q_id.mul(signature.v);
+  const Point neg_ppub = -params.p_pub;
+  const auto prep_gen =
+      pairing::shared_prepared(pairing, params.generator(), "ibs.verify");
+  const auto prep_neg_ppub =
+      pairing::shared_prepared(pairing, neg_ppub, "ibs.verify");
+  const pairing::TatePairing::PairTerm terms[] = {
+      {nullptr, prep_gen.get(), &signature.u},
+      {nullptr, prep_neg_ppub.get(), &vq}};
+  const Fp2 r_prime = pairing.pair_many(terms);
   return hess_challenge(params, message, r_prime) == signature.v;
 }
 

@@ -1,8 +1,16 @@
 #include "mediated/mediated_gdh.h"
 
+#include "ec/hash_to_point.h"
 #include "obs/span.h"
 
 namespace medcrypt::mediated {
+
+namespace {
+// Cache tag domain for SEM-side h(M) lookups. Distinct from the hash's
+// own "GDH.h" domain string so mediator entries (stamped with the
+// revocation epoch) never thrash against epoch-less user-side callers.
+constexpr std::string_view kHashTag = "GDH.h@sem";
+}  // namespace
 
 GdhMediator::GdhMediator(pairing::ParamSet group,
                          std::shared_ptr<RevocationList> revocations)
@@ -11,12 +19,67 @@ GdhMediator::GdhMediator(pairing::ParamSet group,
 Point GdhMediator::issue_token(std::string_view identity,
                                BytesView message) const {
   // Hash outside the lock scope — only the scalar multiplication needs
-  // the lent key half.
-  const Point h = gdh::hash_message(group_, message);
+  // the lent key half. The cache is consulted at this SEM's current
+  // revocation epoch (see the header contract).
+  const Point h = ec::identity_point_cache().get_or_compute(
+      kHashTag, message, revocations()->epoch(),
+      [&] { return gdh::hash_message(group_, message); },
+      [&](const Point& p) { return p.curve() == group_.curve; });
   return with_key(identity, [&](const BigInt& x_sem) {
     obs::Span span(obs::Stage::kScalarMul);
     return h.mul(x_sem);
   });
+}
+
+std::vector<std::optional<Point>> GdhMediator::issue_tokens(
+    std::span<const SignRequest> requests) const {
+  const auto snapshot = revocations()->snapshot();
+  const auto& cache = ec::identity_point_cache();
+  const auto same_curve = [&](const Point& p) {
+    return p.curve() == group_.curve;
+  };
+
+  // Phase 1: probe the cache for every request's h(M); collect misses.
+  std::vector<Point> hashes(requests.size());
+  std::vector<std::size_t> miss_slots;
+  std::vector<BytesView> miss_messages;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (auto hit = cache.get(kHashTag, requests[i].message, snapshot->epoch,
+                             same_curve)) {
+      hashes[i] = std::move(*hit);
+    } else {
+      miss_slots.push_back(i);
+      miss_messages.push_back(requests[i].message);
+    }
+  }
+
+  // Phase 2: hash every miss in one batch (one shared inversion for the
+  // batch's cofactor-cleared conversions) and refill the cache.
+  if (!miss_slots.empty()) {
+    std::vector<Point> hashed =
+        ec::hash_to_subgroup_batch(group_.curve, "GDH.h", miss_messages);
+    for (std::size_t j = 0; j < miss_slots.size(); ++j) {
+      cache.put(kHashTag, miss_messages[j], snapshot->epoch, hashed[j]);
+      hashes[miss_slots[j]] = std::move(hashed[j]);
+    }
+  }
+
+  // Phase 3: per-request scalar multiplication under the lent key half,
+  // every request checked against the one snapshot captured above.
+  std::vector<std::optional<Point>> out;
+  out.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    try {
+      out.emplace_back(
+          with_key_at(*snapshot, requests[i].identity, [&](const BigInt& x_sem) {
+            obs::Span span(obs::Stage::kScalarMul);
+            return hashes[i].mul(x_sem);
+          }));
+    } catch (const Error&) {
+      out.emplace_back(std::nullopt);
+    }
+  }
+  return out;
 }
 
 Point GdhMediator::issue_blind_token(std::string_view identity,

@@ -26,22 +26,36 @@ Fp2 IbeMediator::issue_token(std::string_view identity, const Point& u) const {
 
 std::vector<std::optional<Fp2>> IbeMediator::issue_tokens(
     std::span<const TokenRequest> requests) const {
-  std::vector<std::optional<Fp2>> out;
-  out.reserve(requests.size());
+  std::vector<std::optional<Fp2>> out(requests.size());
   const auto snapshot = revocations()->snapshot();
-  for (const TokenRequest& request : requests) {
-    if (request.u == nullptr) {
-      out.emplace_back(std::nullopt);
-      continue;
-    }
+
+  // Phase 1: per-request Miller replay under the lent key half (the
+  // part that needs the registry lock and carries the audit counting).
+  // The final exponentiation is deferred so phase 2 can run every
+  // request's conj(f)/f through ONE batched inversion — the only part
+  // of distinct token outputs that can be legitimately shared.
+  std::vector<Fp2> millers;
+  std::vector<std::size_t> slots;
+  millers.reserve(requests.size());
+  slots.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const TokenRequest& request = requests[i];
+    if (request.u == nullptr) continue;
     try {
-      out.emplace_back(
+      millers.push_back(
           with_key_at(*snapshot, request.identity, [&](const IbeSemKey& key) {
-            return pairing_.pair_with(key.prepared, *request.u);
+            return pairing_.miller_with(key.prepared, *request.u);
           }));
+      slots.push_back(i);
     } catch (const Error&) {
-      out.emplace_back(std::nullopt);
+      // Slot stays nullopt; audit counters were updated by with_key_at.
     }
+  }
+
+  // Phase 2: batched final exponentiation outside every lock.
+  pairing_.final_exponentiation_batch(millers);
+  for (std::size_t j = 0; j < slots.size(); ++j) {
+    out[slots[j]] = std::move(millers[j]);
   }
   return out;
 }
@@ -49,10 +63,11 @@ std::vector<std::optional<Fp2>> IbeMediator::issue_tokens(
 MediatedIbeUser::MediatedIbeUser(ibe::SystemParams params,
                                  std::string identity, Point user_key)
     : params_(std::move(params)), identity_(std::move(identity)),
-      user_key_(std::move(user_key)), pairing_(params_.curve()) {}
+      user_key_(std::move(user_key)), pairing_(params_.curve()),
+      user_prepared_(pairing_.prepare(user_key_)) {}
 
 Fp2 MediatedIbeUser::partial(const Point& u) const {
-  return pairing_.pair(u, user_key_);
+  return pairing_.pair_with(user_prepared_, u);
 }
 
 Bytes MediatedIbeUser::decrypt(const ibe::FullCiphertext& ct,

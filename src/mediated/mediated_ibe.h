@@ -97,8 +97,12 @@ class MediatedIbeUser {
                   Point user_key);
 
   /// d_ID,user is the user's half of the §4 private key; scrub its
-  /// coordinates when the holder dies.
-  ~MediatedIbeUser() { user_key_.wipe(); }
+  /// coordinates — and the prepared program derived from them — when
+  /// the holder dies.
+  ~MediatedIbeUser() {
+    user_key_.wipe();
+    user_prepared_.wipe();
+  }
   MediatedIbeUser(const MediatedIbeUser&) = default;
   MediatedIbeUser(MediatedIbeUser&&) = default;
   MediatedIbeUser& operator=(const MediatedIbeUser&) = default;
@@ -122,6 +126,10 @@ class MediatedIbeUser {
   std::string identity_;
   Point user_key_;
   pairing::TatePairing pairing_;
+  // Prepared Miller program of d_ID,user (by pairing symmetry
+  // partial(U) = ê(d_user, U)), computed once at enrollment instead of
+  // per decryption. Derived from the secret half — wiped with it.
+  pairing::PreparedPairing user_prepared_;
 };
 
 /// PKG-side enrollment: extracts + splits the identity key, installs the

@@ -1,6 +1,7 @@
 #include "mediated/mediated_ibs.h"
 
 #include "obs/span.h"
+#include "pairing/prepared_cache.h"
 
 namespace medcrypt::mediated {
 
@@ -38,7 +39,9 @@ ibs::HessSignature MediatedIbsUser::sign(BytesView message,
                                          sim::Transport* transport) const {
   const pairing::TatePairing pairing(params_.curve());
   const bigint::BigInt k = bigint::BigInt::random_unit(rng, params_.order());
-  const Fp2 r = pairing.pair(params_.generator(), params_.generator()).pow(k);
+  const Fp2 r = pairing::cached_pair(pairing, params_.generator(),
+                                     params_.generator(), "ibs.gpp")
+                    .pow(k);
 
   // Request: identity + message + commitment (one G2 element).
   if (transport != nullptr) {

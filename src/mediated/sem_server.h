@@ -142,15 +142,17 @@ class MediatorBase {
     // Expose this instance's audit counters to the obs registry; sources
     // sharing a name are summed on scrape, so a deployment running
     // several mediators (IBE + GDH + IBS against one SEM) still reports
-    // one `sem.*` series. No-op when obs is compiled out.
-    auto& reg = obs::registry();
-    src_issued_ = reg.register_counter_source(
-        "sem.tokens_issued", [this] { return stats().tokens_issued; });
-    src_denied_ = reg.register_counter_source(
-        "sem.denials", [this] { return stats().denials; });
-    src_unknown_ = reg.register_counter_source(
-        "sem.unknown_identities",
-        [this] { return stats().unknown_identities; });
+    // one `sem.*` series. One multi-value source, so a scrape makes a
+    // single stats() pass and the three series come from one snapshot —
+    // a token landing mid-scrape can never show `issued` without the
+    // matching totals. No-op when obs is compiled out.
+    src_stats_ = obs::registry().register_scrape_source([this] {
+      const SemStats s = stats();
+      return obs::MetricsRegistry::ScrapeSeries{
+          {"sem.tokens_issued", s.tokens_issued},
+          {"sem.denials", s.denials},
+          {"sem.unknown_identities", s.unknown_identities}};
+    });
   }
 
   /// Wipes every installed SEM key half on teardown (each one is half of
@@ -160,12 +162,9 @@ class MediatorBase {
   ~MediatorBase() {
     static_assert(requires(KeyHalf& h) { h.wipe(); },
                   "SEM key-half types must provide wipe()");
-    // Unregister the scrape sources *before* tearing anything down — a
+    // Unregister the scrape source *before* tearing anything down — a
     // concurrent scrape must never run a callback into a dying instance.
-    auto& reg = obs::registry();
-    reg.unregister_counter_source(src_issued_);
-    reg.unregister_counter_source(src_denied_);
-    reg.unregister_counter_source(src_unknown_);
+    obs::registry().unregister_scrape_source(src_stats_);
     for (Shard& shard : shards_) {
       std::unique_lock lock(shard.mu);
       for (auto& entry : shard.keys) entry.second.wipe();
@@ -290,21 +289,22 @@ class MediatorBase {
     std::atomic<std::uint64_t> unknown{0};  // medlint: relaxed_ok
   };
 
+  static_assert((kShardCount & (kShardCount - 1)) == 0,
+                "kShardCount must be a power of two (mask-indexed)");
+
   Shard& shard_for(std::string_view identity) {
-    return shards_[std::hash<std::string_view>{}(identity) %
-                   kShardCount];
+    return shards_[std::hash<std::string_view>{}(identity) &
+                   (kShardCount - 1)];
   }
   const Shard& shard_for(std::string_view identity) const {
-    return shards_[std::hash<std::string_view>{}(identity) %
-                   kShardCount];
+    return shards_[std::hash<std::string_view>{}(identity) &
+                   (kShardCount - 1)];
   }
 
   std::array<Shard, kShardCount> shards_;
   std::shared_ptr<RevocationList> revocations_;
   mutable std::array<AuditCell, obs::kThreadCells> audit_{};
-  std::uint64_t src_issued_ = 0;
-  std::uint64_t src_denied_ = 0;
-  std::uint64_t src_unknown_ = 0;
+  std::uint64_t src_stats_ = 0;
 };
 
 }  // namespace medcrypt::mediated

@@ -8,10 +8,14 @@ const char* stage_name(Stage stage) {
   switch (stage) {
     case Stage::kHashToPoint:
       return "hash_to_point";
+    case Stage::kHashToPointBatch:
+      return "hash_to_point_batch";
     case Stage::kPairingMiller:
       return "pairing.miller";
     case Stage::kPairingFinalExp:
       return "pairing.final_exp";
+    case Stage::kPairingFinalExpBatch:
+      return "pairing.final_exp_batch";
     case Stage::kPairingPrepare:
       return "pairing.prepare";
     case Stage::kScalarMul:
@@ -106,6 +110,20 @@ void MetricsRegistry::unregister_counter_source(std::uint64_t id) {
   std::erase_if(sources_, [id](const Source& s) { return s.id == id; });
 }
 
+std::uint64_t MetricsRegistry::register_scrape_source(
+    std::function<ScrapeSeries()> fn) {
+  std::unique_lock lock(mu_);
+  const std::uint64_t id = next_source_id_++;
+  multi_sources_.push_back(MultiSource{id, std::move(fn)});
+  return id;
+}
+
+void MetricsRegistry::unregister_scrape_source(std::uint64_t id) {
+  std::unique_lock lock(mu_);
+  std::erase_if(multi_sources_,
+                [id](const MultiSource& s) { return s.id == id; });
+}
+
 void MetricsRegistry::push_trace(const TraceData& trace) {
   std::lock_guard lock(trace_mu_);
   traces_[trace_next_] = trace;
@@ -137,6 +155,13 @@ MetricsSnapshot MetricsRegistry::scrape() const {
   std::map<std::string, std::uint64_t, std::less<>> totals;
   for (const Source& s : sources_) {
     totals[s.name] += s.fn();
+  }
+  // Multi-value sources: one callback invocation yields every series, so
+  // series that must be mutually coherent come from a single snapshot.
+  for (const MultiSource& s : multi_sources_) {
+    for (auto& [name, value] : s.fn()) {
+      totals[name] += value;
+    }
   }
   for (const auto& [name, c] : counters_) {
     totals[name] += c->value();

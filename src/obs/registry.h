@@ -50,8 +50,10 @@ namespace medcrypt::obs {
 
 enum class Stage : std::uint8_t {
   kHashToPoint = 0,     // ec::hash_to_subgroup — full try-and-increment loop
+  kHashToPointBatch,    // ec::hash_to_subgroup_batch — whole batch, one span
   kPairingMiller,       // Tate pairing, Miller loop (direct or prepared replay)
   kPairingFinalExp,     // Tate pairing, final exponentiation
+  kPairingFinalExpBatch,  // batched final exponentiation (shared inversion)
   kPairingPrepare,      // TatePairing::prepare — per-enrollment, not per-token
   kScalarMul,           // SEM-side scalar multiplication (GDH/IBS tokens)
   kTokenIssue,          // MediatorBase::with_key_at token computation
@@ -60,7 +62,7 @@ enum class Stage : std::uint8_t {
   kShareCombine,        // threshold: Lagrange recombination of t shares
   kSnapshotPublish,     // RevocationList: copy-mutate-publish of a snapshot
 };
-inline constexpr std::size_t kStageCount = 10;
+inline constexpr std::size_t kStageCount = 12;
 
 /// Dotted stage name as it appears in the metric catalog (the exported
 /// histogram is "stage.<name>_ns").
@@ -188,6 +190,19 @@ class MetricsRegistry {
                                         std::function<std::uint64_t()> fn);
   void unregister_counter_source(std::uint64_t id);
 
+  /// Several named series produced by ONE callback invocation.
+  using ScrapeSeries = std::vector<std::pair<std::string, std::uint64_t>>;
+
+  /// Registers a source whose callback is invoked exactly once per
+  /// scrape and contributes every series it returns. Instruments whose
+  /// series must come from one snapshot — MediatorBase's `sem.*` audit
+  /// counters, where `tokens_issued` and `denials` from different passes
+  /// could tear — use this instead of one counter source per series.
+  /// Series names are summed with owned counters and other sources, like
+  /// register_counter_source. Same unregister-before-teardown contract.
+  std::uint64_t register_scrape_source(std::function<ScrapeSeries()> fn);
+  void unregister_scrape_source(std::uint64_t id);
+
   /// Appends a completed trace to the ring of recent traces (capacity
   /// kTraceRingSize, oldest overwritten).
   static constexpr std::size_t kTraceRingSize = 128;
@@ -210,12 +225,17 @@ class MetricsRegistry {
     std::string name;
     std::function<std::uint64_t()> fn;
   };
+  struct MultiSource {
+    std::uint64_t id = 0;
+    std::function<ScrapeSeries()> fn;
+  };
 
   mutable std::shared_mutex mu_;  // instrument maps + sources
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;   // medlint: guarded_by(mu_)
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;       // medlint: guarded_by(mu_)
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;  // medlint: guarded_by(mu_)
   std::vector<Source> sources_;  // medlint: guarded_by(mu_)
+  std::vector<MultiSource> multi_sources_;  // medlint: guarded_by(mu_)
   std::uint64_t next_source_id_ = 1;
 
   std::array<std::unique_ptr<Histogram>, kStageCount> stage_;
@@ -263,6 +283,11 @@ class MetricsRegistry {
     return 0;
   }
   void unregister_counter_source(std::uint64_t) {}
+  using ScrapeSeries = std::vector<std::pair<std::string, std::uint64_t>>;
+  std::uint64_t register_scrape_source(std::function<ScrapeSeries()>) {
+    return 0;
+  }
+  void unregister_scrape_source(std::uint64_t) {}
   static constexpr std::size_t kTraceRingSize = 0;
   void push_trace(const TraceData&) {}
   std::vector<TraceData> recent_traces() const { return {}; }

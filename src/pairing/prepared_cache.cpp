@@ -1,0 +1,53 @@
+#include "pairing/prepared_cache.h"
+
+#include "ec/identity_cache.h"
+
+namespace medcrypt::pairing {
+
+namespace {
+
+// Leaked like the metrics registry: entries keep their curve contexts
+// alive and lookups may run during static teardown. The prepared cache
+// is sized for verification bases (a handful per deployment, plus the
+// public keys of the verify-side working set); the pair-value cache for
+// the per-curve constants like ê(P, P).
+const ec::ShardedLruCache<std::shared_ptr<const PreparedPairing>>&
+prepared_cache() {
+  static const auto* cache =
+      new ec::ShardedLruCache<std::shared_ptr<const PreparedPairing>>(
+          {.capacity = 1024, .metric_prefix = "sem.cache.prepared"});
+  return *cache;
+}
+
+const ec::ShardedLruCache<Fp2>& pair_value_cache() {
+  static const auto* cache = new ec::ShardedLruCache<Fp2>(
+      {.capacity = 256, .metric_prefix = "sem.cache.gpp"});
+  return *cache;
+}
+
+}  // namespace
+
+std::shared_ptr<const PreparedPairing> shared_prepared(
+    const TatePairing& pairing, const Point& p, std::string_view domain) {
+  const Bytes encoded = p.to_bytes();
+  return prepared_cache().get_or_compute(
+      domain, encoded, /*epoch=*/0,
+      [&] {
+        return std::make_shared<const PreparedPairing>(pairing.prepare(p));
+      },
+      [&](const std::shared_ptr<const PreparedPairing>& prep) {
+        return prep != nullptr && prep->curve() == pairing.curve();
+      });
+}
+
+Fp2 cached_pair(const TatePairing& pairing, const Point& p, const Point& q,
+                std::string_view domain) {
+  const Bytes encoded = concat(p.to_bytes(), q.to_bytes());
+  return pair_value_cache().get_or_compute(
+      domain, encoded, /*epoch=*/0, [&] { return pairing.pair(p, q); },
+      [&](const Fp2& v) {
+        return v.re().field() == pairing.curve()->field();
+      });
+}
+
+}  // namespace medcrypt::pairing

@@ -104,15 +104,10 @@ Fp2 TatePairing::miller(const Point& p, const Point& q) const {
   return f;
 }
 
-Fp2 TatePairing::final_exponentiation(const Fp2& f) const {
-  obs::Span span(obs::Stage::kPairingFinalExp);
-  // f^((p^2-1)/q) = (f^(p-1))^((p+1)/q); f^p is the conjugate, so
-  // f^(p-1) = conj(f) / f.
-  Fp2 powered = f.conjugate();
-  powered.mul_inplace(f.inverse());
-
-  // Windowed tail exponentiation over the schedule precomputed at
-  // construction; the 15-entry power table lives on the stack.
+Fp2 TatePairing::tail_power(const Fp2& powered) const {
+  // Windowed tail exponentiation powered^((p+1)/q) over the schedule
+  // precomputed at construction; the 15-entry power table lives on the
+  // stack.
   std::array<Fp2, 16> table;
   table[1] = powered;
   for (std::size_t i = 2; i < table.size(); ++i) {
@@ -136,6 +131,30 @@ Fp2 TatePairing::final_exponentiation(const Fp2& f) const {
   }
   if (!started) return Fp2::one(curve_->field());
   return acc;
+}
+
+Fp2 TatePairing::final_exponentiation(const Fp2& f) const {
+  obs::Span span(obs::Stage::kPairingFinalExp);
+  // f^((p^2-1)/q) = (f^(p-1))^((p+1)/q); f^p is the conjugate, so
+  // f^(p-1) = conj(f) / f.
+  Fp2 powered = f.conjugate();
+  powered.mul_inplace(f.inverse());
+  return tail_power(powered);
+}
+
+void TatePairing::final_exponentiation_batch(std::span<Fp2> fs) const {
+  if (fs.empty()) return;
+  obs::Span span(obs::Stage::kPairingFinalExpBatch);
+  // The f^(p-1) = conj(f)/f step is the batch-shareable part: one
+  // Montgomery-trick inversion replaces |fs| Fermat powers. The tail
+  // powers cannot be shared — each element is a distinct output.
+  std::vector<Fp2> invs(fs.begin(), fs.end());
+  field::batch_inverse(invs);
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    Fp2 powered = fs[i].conjugate();
+    powered.mul_inplace(invs[i]);
+    fs[i] = tail_power(powered);
+  }
 }
 
 void PreparedPairing::wipe() {
@@ -200,8 +219,8 @@ PreparedPairing TatePairing::prepare(const Point& p) const {
   return out;
 }
 
-Fp2 TatePairing::pair_with(const PreparedPairing& prepared,
-                           const Point& q) const {
+Fp2 TatePairing::miller_with(const PreparedPairing& prepared,
+                             const Point& q) const {
   if (prepared.empty()) {
     throw InvalidArgument("TatePairing::pair_with: empty prepared argument");
   }
@@ -229,6 +248,153 @@ Fp2 TatePairing::pair_with(const PreparedPairing& prepared,
       Fp im = step.c2;
       im *= yq;
       f.mul_inplace(Fp2(std::move(re), std::move(im)));
+    }
+  }
+  if (f.is_zero()) {
+    throw Error("TatePairing: degenerate Miller value");
+  }
+  return f;
+}
+
+Fp2 TatePairing::pair_with(const PreparedPairing& prepared,
+                           const Point& q) const {
+  return final_exponentiation(miller_with(prepared, q));
+}
+
+std::vector<Fp2> TatePairing::pair_with_many(
+    std::span<const PreparedPairing* const> prepared,
+    std::span<const Point* const> qs) const {
+  if (prepared.size() != qs.size()) {
+    throw InvalidArgument("TatePairing::pair_with_many: size mismatch");
+  }
+  std::vector<Fp2> out;
+  out.reserve(prepared.size());
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    if (prepared[i] == nullptr || qs[i] == nullptr) {
+      throw InvalidArgument("TatePairing::pair_with_many: null entry");
+    }
+    out.push_back(miller_with(*prepared[i], *qs[i]));
+  }
+  final_exponentiation_batch(out);
+  return out;
+}
+
+Fp2 TatePairing::pair_many(std::span<const PairTerm> terms) const {
+  const auto& field = curve_->field();
+
+  // A raw term drives a live Jacobian chain, exactly as miller() does;
+  // a prepared term replays its recorded program. Both kinds contribute
+  // their line evaluations to ONE shared accumulator, so the per-bit
+  // f² squaring is paid once for the whole product: with F = ∏ f_i,
+  // each bit's f_i ← f_i²·L_i collapses to F ← F²·∏L_i.
+  struct RawState {
+    const Point* p;
+    ec::JacPoint t;
+    Fp xq;
+    Fp yq;
+  };
+  struct PrepState {
+    const PreparedPairing::Step* cur;
+    const PreparedPairing::Step* end;
+    Fp xq;
+    Fp yq;
+  };
+  std::vector<RawState> raws;
+  std::vector<PrepState> preps;
+  for (const PairTerm& term : terms) {
+    if (term.q == nullptr || (term.p == nullptr) == (term.prepared == nullptr)) {
+      throw InvalidArgument(
+          "TatePairing::pair_many: each term needs q and exactly one of "
+          "p/prepared");
+    }
+    if (term.q->curve() != curve_) {
+      throw InvalidArgument("TatePairing::pair_many: point from another curve");
+    }
+    if (term.prepared != nullptr) {
+      if (term.prepared->empty()) {
+        throw InvalidArgument("TatePairing::pair_many: empty prepared term");
+      }
+      if (term.prepared->curve_ != curve_) {
+        throw InvalidArgument(
+            "TatePairing::pair_many: prepared term from another curve");
+      }
+      if (term.prepared->infinity_ || term.q->is_infinity()) continue;
+      const auto* steps = term.prepared->steps_.data();
+      preps.push_back(PrepState{steps, steps + term.prepared->steps_.size(),
+                                -term.q->x(), term.q->y()});
+    } else {
+      if (term.p->curve() != curve_) {
+        throw InvalidArgument(
+            "TatePairing::pair_many: point from another curve");
+      }
+      if (term.p->is_infinity() || term.q->is_infinity()) continue;
+      raws.push_back(
+          RawState{term.p, ec::jac_from_affine(*term.p), -term.q->x(),
+                   term.q->y()});
+    }
+  }
+  if (raws.empty() && preps.empty()) return Fp2::one(field);
+
+  obs::Span span(obs::Stage::kPairingMiller);
+  Fp2 f = Fp2::one(field);
+  const BigInt& order = curve_->order();
+  for (std::size_t i = order.bit_length() - 1; i-- > 0;) {
+    f.square_inplace();
+
+    for (RawState& rs : raws) {
+      // Doubling step of this factor (see miller() for the derivation).
+      const bool have_line = !rs.t.inf && !rs.t.y.is_zero();
+      ec::DblTrace dbl_trace;
+      rs.t = ec::jac_dbl(*curve_, rs.t, have_line ? &dbl_trace : nullptr);
+      if (have_line) {
+        Fp re = dbl_trace.z_sq;
+        re *= rs.xq;
+        re.negate_inplace();
+        re += dbl_trace.x;
+        re *= dbl_trace.m;
+        re -= dbl_trace.y_sq;
+        re -= dbl_trace.y_sq;
+        Fp im = dbl_trace.zp_zsq;
+        im *= rs.yq;
+        f.mul_inplace(Fp2(std::move(re), std::move(im)));
+      }
+      if (order.bit(i)) {
+        if (rs.t.inf) {
+          rs.t = ec::jac_from_affine(*rs.p);
+        } else {
+          ec::AddTrace add_trace;
+          rs.t = ec::jac_add_mixed(*curve_, rs.t, *rs.p, &add_trace);
+          if (!add_trace.vertical) {
+            Fp re = rs.p->x();
+            re -= rs.xq;
+            re *= add_trace.r;
+            Fp tmp = add_trace.zh;
+            tmp *= rs.p->y();
+            re -= tmp;
+            Fp im = add_trace.zh;
+            im *= rs.yq;
+            f.mul_inplace(Fp2(std::move(re), std::move(im)));
+          }
+        }
+      }
+    }
+
+    for (PrepState& ps : preps) {
+      // Each prepared program records exactly one kSquare marker per
+      // order bit (the shared squaring above replaces it), followed by
+      // that bit's line steps.
+      ++ps.cur;  // the kSquare marker
+      while (ps.cur != ps.end &&
+             ps.cur->op == PreparedPairing::Op::kMulLine) {
+        Fp re = ps.cur->c1;
+        re *= ps.xq;
+        re.negate_inplace();
+        re += ps.cur->c0;
+        Fp im = ps.cur->c2;
+        im *= ps.yq;
+        f.mul_inplace(Fp2(std::move(re), std::move(im)));
+        ++ps.cur;
+      }
     }
   }
   if (f.is_zero()) {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ec/point.h"
@@ -46,6 +47,11 @@ class PreparedPairing {
 
   /// True until TatePairing::prepare() has bound this object.
   bool empty() const { return curve_ == nullptr; }
+
+  /// The curve the program was prepared on (null when empty). Cache
+  /// layers use this to reject a program cached under a colliding tag
+  /// from another curve.
+  const std::shared_ptr<const Curve>& curve() const { return curve_; }
 
   /// Number of Miller-loop steps in the program (0 for O).
   std::size_t step_count() const { return steps_.size(); }
@@ -96,12 +102,56 @@ class TatePairing {
   /// if `prepared` is empty/wiped or bound to another curve.
   Fp2 pair_with(const PreparedPairing& prepared, const Point& q) const;
 
+  /// One factor of a pair_many() product: the second argument `q` plus
+  /// exactly one of {raw first argument `p`, `prepared` program}.
+  struct PairTerm {
+    const Point* p = nullptr;
+    const PreparedPairing* prepared = nullptr;
+    const Point* q = nullptr;
+  };
+
+  /// Product multi-pairing ∏ ê(P_i, Q_i): all Miller loops run
+  /// interleaved over ONE shared accumulator (one f² squaring chain for
+  /// the whole product instead of one per factor) and a single final
+  /// exponentiation finishes the product — the standard trick for
+  /// verification equations like ê(P, σ)·ê(−R, h) == 1, which this
+  /// makes ~2.6× cheaper than two independent pairings when both first
+  /// arguments are prepared. Terms whose `q` (or first argument) is the
+  /// identity contribute the factor 1. Returns 1 for an empty span.
+  Fp2 pair_many(std::span<const PairTerm> terms) const;
+
+  /// Element-wise batch ê(prepared_i, q_i) (NOT a product): each token
+  /// keeps its own Miller replay and windowed tail power, but the
+  /// f^(p-1) = conj(f)/f step of all final exponentiations shares one
+  /// Montgomery-trick inversion (field::batch_inverse) — the only part
+  /// of distinct pairing outputs that can be legitimately shared.
+  /// Sizes must match; per-element failures throw (see pair_with).
+  std::vector<Fp2> pair_with_many(
+      std::span<const PreparedPairing* const> prepared,
+      std::span<const Point* const> qs) const;
+
+  /// The raw Miller value of a prepared replay, WITHOUT the final
+  /// exponentiation — NOT a pairing output. Batch issuers run this
+  /// inside their per-request key scope and later finish every value at
+  /// once with final_exponentiation_batch; pair_with(p, q) ==
+  /// final_exp(miller_with(p, q)) by construction.
+  Fp2 miller_with(const PreparedPairing& prepared, const Point& q) const;
+
+  /// Applies the final exponentiation to each element in place, sharing
+  /// one batched inversion across the batch (saves a ~90 µs Fermat
+  /// power per element from the second element on).
+  void final_exponentiation_batch(std::span<Fp2> fs) const;
+
  private:
   // Raw reduced Tate pairing e(P, Q') with Q' = φ(Q) given by components
   // x' = -x(Q) ∈ F_p (embedded) and y' = i·y(Q).
   Fp2 miller(const Point& p, const Point& q) const;
 
   Fp2 final_exponentiation(const Fp2& f) const;
+
+  // The windowed powered^((p+1)/q) tail shared by the single and batched
+  // final exponentiations.
+  Fp2 tail_power(const Fp2& powered) const;
 
   std::shared_ptr<const Curve> curve_;
   BigInt exp_tail_;  // (p + 1) / q, the second factor of the final expo

@@ -289,6 +289,48 @@ TEST_F(MediatedGdhTest, SignaturesMatchUnsplitKey) {
   EXPECT_EQ(s1, s2);
 }
 
+TEST_F(MediatedGdhTest, BatchIssueMatchesSinglesAndSkipsFailedSlots) {
+  auto alice = enroll_gdh_user(group_, sem_, "alice", rng_);
+  auto bob = enroll_gdh_user(group_, sem_, "bob", rng_);
+  const Bytes m1 = str_bytes("invoice 1");
+  const Bytes m2 = str_bytes("invoice 2");
+  revocations_->revoke("bob");
+
+  // Duplicate messages deliberately included: the batch hashes each
+  // distinct message once (cache + batched hashing) but every slot must
+  // still get its own correct token.
+  const GdhMediator::SignRequest requests[] = {
+      {"alice", m1},
+      {"bob", m1},      // revoked → nullopt, batch continues
+      {"mallory", m2},  // never enrolled → nullopt
+      {"alice", m2},
+      {"alice", m1},
+  };
+  const auto tokens = sem_.issue_tokens(requests);
+  ASSERT_EQ(tokens.size(), 5u);
+  ASSERT_TRUE(tokens[0].has_value());
+  EXPECT_FALSE(tokens[1].has_value());
+  EXPECT_FALSE(tokens[2].has_value());
+  ASSERT_TRUE(tokens[3].has_value());
+  ASSERT_TRUE(tokens[4].has_value());
+  EXPECT_EQ(*tokens[0], sem_.issue_token("alice", m1));
+  EXPECT_EQ(*tokens[3], sem_.issue_token("alice", m2));
+  EXPECT_EQ(*tokens[4], *tokens[0]);
+}
+
+TEST_F(MediatedGdhTest, BatchTokensAssembleIntoValidSignatures) {
+  auto alice = enroll_gdh_user(group_, sem_, "alice", rng_);
+  const Bytes msg = str_bytes("batch-signed");
+  const GdhMediator::SignRequest requests[] = {{"alice", msg}};
+  const auto tokens = sem_.issue_tokens(requests);
+  ASSERT_TRUE(tokens[0].has_value());
+  // The batch token is the same SEM half the interactive protocol uses,
+  // so the full signature built from it must verify.
+  const ec::Point sig = alice.sign(msg, sem_);
+  EXPECT_TRUE(gdh::verify(group_, alice.public_key(), msg, sig));
+  EXPECT_EQ(*tokens[0], sem_.issue_token("alice", msg));
+}
+
 // ---------------------------------------------------------------------------
 
 class MediatedElGamalTest : public ::testing::Test {

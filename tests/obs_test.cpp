@@ -188,6 +188,61 @@ TEST(ObsRegistry, ScrapeSumsSourcesWithOwnedCounters) {
   EXPECT_EQ(find(reg.scrape(), "test.summed"), 5u);
 }
 
+TEST(ObsRegistry, MultiValueSourceIsInvokedOncePerScrape) {
+  // A multi-value scrape source exists so producers with several related
+  // series (e.g. a mediator's SemStats) can export ONE snapshot per
+  // scrape instead of being sampled once per series — three independent
+  // samples of a moving target are mutually incoherent.
+  auto& reg = obs::registry();
+  reg.counter("test.multi.a").add(2);
+  std::atomic<int> calls{0};
+  const std::uint64_t id = reg.register_scrape_source([&] {
+    calls.fetch_add(1);
+    return obs::MetricsRegistry::ScrapeSeries{{"test.multi.a", 5},
+                                              {"test.multi.b", 7}};
+  });
+  auto find = [](const obs::MetricsSnapshot& s, const std::string& name) {
+    for (const auto& c : s.counters)
+      if (c.name == name) return c.value;
+    return ~std::uint64_t{0};
+  };
+  const auto snap = reg.scrape();
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(find(snap, "test.multi.a"), 7u);  // owned 2 + series 5
+  EXPECT_EQ(find(snap, "test.multi.b"), 7u);
+  reg.unregister_scrape_source(id);
+  const auto after = reg.scrape();
+  EXPECT_EQ(find(after, "test.multi.a"), 2u);
+  EXPECT_EQ(find(after, "test.multi.b"), ~std::uint64_t{0});
+}
+
+TEST(ObsRegistry, MediatorSeriesComeFromOneStatsSnapshot) {
+  // The sem.* series are one register_scrape_source callback (one
+  // stats() call per scrape), so after a known workload a single scrape
+  // reports exactly the coherent triple.
+  auto& reg = obs::registry();
+  hash::HmacDrbg rng(992);
+  auto revocations = std::make_shared<mediated::RevocationList>();
+  mediated::GdhMediator sem(pairing::toy_params(), revocations);
+  (void)enroll_gdh_user(pairing::toy_params(), sem, "carol", rng);
+  const Bytes msg = str_bytes("coherent");
+  (void)sem.issue_token("carol", msg);
+  (void)sem.issue_token("carol", msg);
+  revocations->revoke("carol");
+  EXPECT_THROW((void)sem.issue_token("carol", msg), RevokedError);
+  EXPECT_THROW((void)sem.issue_token("nobody", msg), InvalidArgument);
+
+  auto find = [](const obs::MetricsSnapshot& s, const std::string& name) {
+    for (const auto& c : s.counters)
+      if (c.name == name) return c.value;
+    return ~std::uint64_t{0};
+  };
+  const auto snap = reg.scrape();
+  EXPECT_EQ(find(snap, "sem.tokens_issued"), 2u);
+  EXPECT_EQ(find(snap, "sem.denials"), 1u);
+  EXPECT_EQ(find(snap, "sem.unknown_identities"), 1u);
+}
+
 TEST(ObsRegistry, ScrapeIsSortedAndResetClears) {
   auto& reg = obs::registry();
   reg.counter("test.zz").add(1);

@@ -198,6 +198,120 @@ TEST_F(PairingTest, PreparedRejectsMismatchesAndWipedPrograms) {
   EXPECT_THROW(e.pair_with(prep, params().generator), InvalidArgument);
 }
 
+TEST_F(PairingTest, PairManyMatchesProductOfPairs) {
+  const auto e = engine();
+  HmacDrbg rng(51);
+  const auto& P = params().generator;
+  const BigInt a = BigInt::random_unit(rng, params().order());
+  const BigInt b = BigInt::random_unit(rng, params().order());
+  const BigInt c = BigInt::random_unit(rng, params().order());
+  const ec::Point pa = P.mul(a), pb = P.mul(b), pc = P.mul(c);
+  const ec::Point qa = P.mul(b), qb = P.mul(c), qc = P.mul(a);
+
+  const TatePairing::PairTerm terms[] = {
+      {&pa, nullptr, &qa}, {&pb, nullptr, &qb}, {&pc, nullptr, &qc}};
+  EXPECT_EQ(e.pair_many(terms),
+            e.pair(pa, qa) * e.pair(pb, qb) * e.pair(pc, qc));
+}
+
+TEST_F(PairingTest, PairManyAcceptsPreparedAndRawTermsMixed) {
+  const auto e = engine();
+  HmacDrbg rng(52);
+  const auto& P = params().generator;
+  const BigInt a = BigInt::random_unit(rng, params().order());
+  const ec::Point pa = P.mul(a);
+  const ec::Point q = P.mul(BigInt::random_unit(rng, params().order()));
+  const PreparedPairing prep = e.prepare(pa);
+
+  // The same factor contributed raw and prepared must agree, and mix
+  // freely with identity factors (which contribute 1 to the product).
+  const ec::Point inf = params().curve->infinity();
+  const TatePairing::PairTerm terms[] = {
+      {&pa, nullptr, &q}, {nullptr, &prep, &q}, {&inf, nullptr, &q}};
+  EXPECT_EQ(e.pair_many(terms), e.pair(pa, q).square());
+}
+
+TEST_F(PairingTest, PairManyVerifiesBlsStyleEquation) {
+  // The verification-equation shape pair_many exists for:
+  // ê(P, σ) · ê(−pk, h) == 1 iff σ = x·h for pk = x·P.
+  const auto e = engine();
+  HmacDrbg rng(53);
+  const auto& P = params().generator;
+  const BigInt x = BigInt::random_unit(rng, params().order());
+  const ec::Point pk = P.mul(x);
+  const ec::Point h = P.mul(BigInt::random_unit(rng, params().order()));
+  const ec::Point sig = h.mul(x);
+  const ec::Point neg_pk = -pk;
+
+  const TatePairing::PairTerm good[] = {{&P, nullptr, &sig},
+                                        {&neg_pk, nullptr, &h}};
+  EXPECT_TRUE(e.pair_many(good).is_one());
+
+  const ec::Point bad_sig = sig + P;
+  const TatePairing::PairTerm bad[] = {{&P, nullptr, &bad_sig},
+                                       {&neg_pk, nullptr, &h}};
+  EXPECT_FALSE(e.pair_many(bad).is_one());
+}
+
+TEST_F(PairingTest, PairManyRejectsMalformedTerms) {
+  const auto e = engine();
+  const auto& P = params().generator;
+  const PreparedPairing prep = e.prepare(P);
+
+  // Both p and prepared set, neither set, and a null q all throw.
+  const TatePairing::PairTerm both[] = {{&P, &prep, &P}};
+  EXPECT_THROW(e.pair_many(both), InvalidArgument);
+  const TatePairing::PairTerm neither[] = {{nullptr, nullptr, &P}};
+  EXPECT_THROW(e.pair_many(neither), InvalidArgument);
+  const TatePairing::PairTerm no_q[] = {{&P, nullptr, nullptr}};
+  EXPECT_THROW(e.pair_many(no_q), InvalidArgument);
+  // An empty product is the empty G2 product: one.
+  EXPECT_TRUE(e.pair_many({}).is_one());
+}
+
+TEST_F(PairingTest, PairWithManyMatchesIndividualPairWith) {
+  const auto e = engine();
+  HmacDrbg rng(54);
+  const auto& P = params().generator;
+  std::vector<ec::Point> bases, args;
+  std::vector<PreparedPairing> preps;
+  for (int i = 0; i < 5; ++i) {
+    bases.push_back(P.mul(BigInt::random_unit(rng, params().order())));
+    args.push_back(P.mul(BigInt::random_unit(rng, params().order())));
+    preps.push_back(e.prepare(bases.back()));
+  }
+  std::vector<const PreparedPairing*> pp;
+  std::vector<const ec::Point*> qq;
+  for (int i = 0; i < 5; ++i) {
+    pp.push_back(&preps[static_cast<std::size_t>(i)]);
+    qq.push_back(&args[static_cast<std::size_t>(i)]);
+  }
+
+  // The batch path shares one Fp2 batch inversion across the final
+  // exponentiations; every element must still equal the single path.
+  const std::vector<Fp2> got = e.pair_with_many(pp, qq);
+  ASSERT_EQ(got.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(got[idx], e.pair_with(preps[idx], args[idx])) << "term " << i;
+    EXPECT_EQ(got[idx], e.pair(bases[idx], args[idx])) << "term " << i;
+  }
+}
+
+TEST_F(PairingTest, FinalExponentiationBatchMatchesSingles) {
+  const auto e = engine();
+  HmacDrbg rng(55);
+  const auto& P = params().generator;
+  std::vector<Fp2> millers, expected;
+  for (int i = 0; i < 4; ++i) {
+    const ec::Point q = P.mul(BigInt::random_unit(rng, params().order()));
+    millers.push_back(e.miller_with(e.prepare(P), q));
+    expected.push_back(e.pair(P, q));
+  }
+  e.final_exponentiation_batch(millers);
+  EXPECT_EQ(millers, expected);
+}
+
 // Pairing laws across parameter sets.
 class PairingParamSweep : public ::testing::TestWithParam<const char*> {};
 

@@ -226,7 +226,13 @@ int cmd_stats(const fs::path& dir, std::size_t ops, const std::string& format) {
   std::printf("  %-32s %" PRIu64 "\n", "sem.unknown_identities",
               stats.unknown_identities);
   for (const auto& c : snap.counters) {
-    if (c.name.rfind("sem.", 0) == 0) continue;  // printed above
+    // The three audit series above come from the coherent stats()
+    // snapshot; everything else — including the sem.cache.* families —
+    // prints from the scrape.
+    if (c.name == "sem.tokens_issued" || c.name == "sem.denials" ||
+        c.name == "sem.unknown_identities") {
+      continue;  // printed above
+    }
     std::printf("  %-32s %" PRIu64 "\n", c.name.c_str(), c.value);
   }
   if (!snap.histograms.empty()) {

@@ -271,7 +271,9 @@ std::optional<std::string> FnAnalyzer::find_tainted(std::size_t l,
         for (std::size_t a = 0; a < args.size() && a < s->params.size();
              ++a) {
           if (!s->params[a].escapes_return) continue;
-          if (auto t = find_tainted(args[a].first, args[a].second)) return t;
+          if (auto hit = find_tainted(args[a].first, args[a].second)) {
+            return hit;
+          }
         }
         j = close + 1;
         continue;

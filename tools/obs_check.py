@@ -15,8 +15,15 @@ import json
 import re
 import sys
 
-# Series the SEM throughput bench must always produce.
-REQUIRED_COUNTERS = ["sem.tokens_issued"]
+# Series the SEM throughput bench must always produce. The sem.cache.*
+# pair validates that the identity-point cache is wired into the hot
+# path and exporting: a bench run always probes it (misses on first
+# touch, hits on the repeat traffic).
+REQUIRED_COUNTERS = [
+    "sem.tokens_issued",
+    "sem.cache.h1.hits",
+    "sem.cache.h1.misses",
+]
 REQUIRED_STAGES = ["stage.token_issue_ns"]
 
 PROM_SAMPLE_RE = re.compile(
