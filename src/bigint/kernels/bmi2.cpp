@@ -1,0 +1,359 @@
+// BMI2/ADX kernel tier: hand-scheduled CIOS Montgomery multiply and
+// plain wide multiply for K = 4 and K = 8 limbs using MULX (flag-free
+// 64x64 multiply) with the ADCX/ADOX dual carry chains, so the low and
+// high halves of each row retire on independent CF/OF chains.
+//
+// Everything is inline asm, so no -m flag is needed at compile time —
+// the instructions are emitted literally and only ever executed when
+// runtime dispatch (or a cpu_supports-gated caller) selected this tier
+// on a CPU with BMI2 + ADX.
+//
+// Scheduling notes, shared by all four kernels:
+//  - The accumulator window lives entirely in registers. A CIOS row
+//    needs t[0..K+1]; with K = 8 that is 10 registers, plus one scratch
+//    pair (lo/hi) for MULX, one pointer register reloaded per phase, and
+//    rdx (MULX's implicit multiplier) — exactly the 13 allocatable GPRs
+//    available with rbp as a frame pointer. Sanitizer instrumentation
+//    (ASan's stack relocation, TSan's shadow accesses) needs registers
+//    of its own and makes the constraint set infeasible, so sanitized
+//    builds compile this tier out entirely (the table falls back to
+//    portable and cpu_supports() reports the tier unavailable; the CI
+//    kernel-matrix ASan leg exercises the portable clamp-down path).
+//  - Instead of shifting the window after each row, the rows are
+//    instantiated from a macro with ROTATED operand names: phase 2 of a
+//    row zeroes its t0 (the m*n[0] low limb cancels by construction of
+//    m), and that register re-enters the next row as its t[K+1].
+//  - `xorl lo, lo` clears both CF and OF before each chain; `movl $0`
+//    (flag-neutral) feeds the end-of-chain folds.
+//  - The final conditional subtraction runs in C++, bit-identical to
+//    the portable tier's tail (tests/kernel_diff_test.cpp pins this on
+//    unreduced inputs too).
+#include <cstddef>
+#include <cstdint>
+
+#include "bigint/kernels/kernels.h"
+
+// See the scheduling notes above: the asm is register-exact and does
+// not compile under sanitizer instrumentation.
+#if defined(__x86_64__) && defined(__GNUC__) &&     \
+    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+#if defined(__has_feature)
+#if !__has_feature(address_sanitizer) && !__has_feature(thread_sanitizer) && \
+    !__has_feature(memory_sanitizer)
+#define MEDCRYPT_BMI2_ASM 1
+#endif
+#else
+#define MEDCRYPT_BMI2_ASM 1
+#endif
+#endif
+#ifndef MEDCRYPT_BMI2_ASM
+#define MEDCRYPT_BMI2_ASM 0
+#endif
+
+namespace medcrypt::bigint::kernels {
+
+#if MEDCRYPT_BMI2_ASM
+
+using u128 = unsigned __int128;
+
+namespace {
+
+// --- shared chain: acc[T0..T8] += rdx * p[0..7], carries into T9 ----------
+// Requires T9's incoming value small enough that the two folded carries
+// cannot wrap (true for every call site: T9 is 0 or a <= 2-limb carry).
+#define MC_CHAIN8(T0, T1, T2, T3, T4, T5, T6, T7, T8, T9)            \
+  "xorl %k[lo], %k[lo]\n\t" /* CF = OF = 0 */                        \
+  "mulxq 0(%[p]), %[lo], %[hi]\n\t"                                  \
+  "adcxq %[lo], %[" T0 "]\n\t"                                       \
+  "adoxq %[hi], %[" T1 "]\n\t"                                       \
+  "mulxq 8(%[p]), %[lo], %[hi]\n\t"                                  \
+  "adcxq %[lo], %[" T1 "]\n\t"                                       \
+  "adoxq %[hi], %[" T2 "]\n\t"                                       \
+  "mulxq 16(%[p]), %[lo], %[hi]\n\t"                                 \
+  "adcxq %[lo], %[" T2 "]\n\t"                                       \
+  "adoxq %[hi], %[" T3 "]\n\t"                                       \
+  "mulxq 24(%[p]), %[lo], %[hi]\n\t"                                 \
+  "adcxq %[lo], %[" T3 "]\n\t"                                       \
+  "adoxq %[hi], %[" T4 "]\n\t"                                       \
+  "mulxq 32(%[p]), %[lo], %[hi]\n\t"                                 \
+  "adcxq %[lo], %[" T4 "]\n\t"                                       \
+  "adoxq %[hi], %[" T5 "]\n\t"                                       \
+  "mulxq 40(%[p]), %[lo], %[hi]\n\t"                                 \
+  "adcxq %[lo], %[" T5 "]\n\t"                                       \
+  "adoxq %[hi], %[" T6 "]\n\t"                                       \
+  "mulxq 48(%[p]), %[lo], %[hi]\n\t"                                 \
+  "adcxq %[lo], %[" T6 "]\n\t"                                       \
+  "adoxq %[hi], %[" T7 "]\n\t"                                       \
+  "mulxq 56(%[p]), %[lo], %[hi]\n\t"                                 \
+  "adcxq %[lo], %[" T7 "]\n\t"                                       \
+  "adoxq %[hi], %[" T8 "]\n\t"                                       \
+  "movl $0, %k[lo]\n\t" /* flag-neutral zero */                      \
+  "adcxq %[lo], %[" T8 "]\n\t"                                       \
+  "adoxq %[lo], %[" T9 "]\n\t"                                       \
+  "adcxq %[lo], %[" T9 "]\n\t"
+
+#define MC_CHAIN4(T0, T1, T2, T3, T4, T5)                            \
+  "xorl %k[lo], %k[lo]\n\t"                                          \
+  "mulxq 0(%[p]), %[lo], %[hi]\n\t"                                  \
+  "adcxq %[lo], %[" T0 "]\n\t"                                       \
+  "adoxq %[hi], %[" T1 "]\n\t"                                       \
+  "mulxq 8(%[p]), %[lo], %[hi]\n\t"                                  \
+  "adcxq %[lo], %[" T1 "]\n\t"                                       \
+  "adoxq %[hi], %[" T2 "]\n\t"                                       \
+  "mulxq 16(%[p]), %[lo], %[hi]\n\t"                                 \
+  "adcxq %[lo], %[" T2 "]\n\t"                                       \
+  "adoxq %[hi], %[" T3 "]\n\t"                                       \
+  "mulxq 24(%[p]), %[lo], %[hi]\n\t"                                 \
+  "adcxq %[lo], %[" T3 "]\n\t"                                       \
+  "adoxq %[hi], %[" T4 "]\n\t"                                       \
+  "movl $0, %k[lo]\n\t"                                              \
+  "adcxq %[lo], %[" T4 "]\n\t"                                       \
+  "adoxq %[lo], %[" T5 "]\n\t"                                       \
+  "adcxq %[lo], %[" T5 "]\n\t"
+
+// --- one CIOS row: t += a[i]*b, then t += m*n and drop the zero limb -----
+#define MONT_ROW8(AOFF, T0, T1, T2, T3, T4, T5, T6, T7, T8, T9)      \
+  "movq %[a], %%rdx\n\t"                                             \
+  "movq " AOFF "(%%rdx), %%rdx\n\t"                                  \
+  "movq %[b], %[p]\n\t"                                              \
+  MC_CHAIN8(T0, T1, T2, T3, T4, T5, T6, T7, T8, T9)                  \
+  "movq %[" T0 "], %%rdx\n\t"                                        \
+  "imulq %[n0], %%rdx\n\t" /* m = t[0] * n0inv mod 2^64 */           \
+  "movq %[n], %[p]\n\t"                                              \
+  MC_CHAIN8(T0, T1, T2, T3, T4, T5, T6, T7, T8, T9)
+
+#define MONT_ROW4(AOFF, T0, T1, T2, T3, T4, T5)                      \
+  "movq %[a], %%rdx\n\t"                                             \
+  "movq " AOFF "(%%rdx), %%rdx\n\t"                                  \
+  "movq %[b], %[p]\n\t"                                              \
+  MC_CHAIN4(T0, T1, T2, T3, T4, T5)                                  \
+  "movq %[" T0 "], %%rdx\n\t"                                        \
+  "imulq %[n0], %%rdx\n\t"                                           \
+  "movq %[n], %[p]\n\t"                                              \
+  MC_CHAIN4(T0, T1, T2, T3, T4, T5)
+
+// Conditional subtraction shared by the C++ tails: value in t[0..K]
+// (K+1 limbs), one subtraction of n — same semantics as the portable
+// cios_fixed tail, including the partially-reduced-output quirk.
+template <std::size_t K>
+void cond_sub_tail(u64* t, const u64* n, u64* out) {
+  bool ge = t[K] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = K; i-- > 0;) {
+      if (t[i] != n[i]) {
+        ge = t[i] > n[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < K; ++i) {
+      const u128 diff = static_cast<u128>(t[i]) - n[i] - borrow;
+      out[i] = static_cast<u64>(diff);
+      borrow = (diff >> 64) ? 1 : 0;
+    }
+  } else {
+    for (std::size_t i = 0; i < K; ++i) out[i] = t[i];
+  }
+}
+
+void mul8_bmi2(const u64* a, const u64* b, const u64* n, u64 n0inv,
+               u64* out) {
+  const u64* ap = a;
+  const u64* bp = b;
+  const u64* np = n;
+  const u64 n0 = n0inv;
+  u64 t0 = 0, t1 = 0, t2 = 0, t3 = 0, t4 = 0;
+  u64 t5 = 0, t6 = 0, t7 = 0, t8 = 0, t9 = 0;
+  u64 lo, hi, p;
+  __asm__(
+      // Row r's phase 2 zeroes its t0, which rotates in as row r+1's
+      // t[K+1]; after 8 rows logical t[j] sits in register (8+j) mod 10.
+      MONT_ROW8("0", "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9")
+      MONT_ROW8("8", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t0")
+      MONT_ROW8("16", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t0", "t1")
+      MONT_ROW8("24", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t0", "t1", "t2")
+      MONT_ROW8("32", "t4", "t5", "t6", "t7", "t8", "t9", "t0", "t1", "t2", "t3")
+      MONT_ROW8("40", "t5", "t6", "t7", "t8", "t9", "t0", "t1", "t2", "t3", "t4")
+      MONT_ROW8("48", "t6", "t7", "t8", "t9", "t0", "t1", "t2", "t3", "t4", "t5")
+      MONT_ROW8("56", "t7", "t8", "t9", "t0", "t1", "t2", "t3", "t4", "t5", "t6")
+      : [t0] "+&r"(t0), [t1] "+&r"(t1), [t2] "+&r"(t2), [t3] "+&r"(t3),
+        [t4] "+&r"(t4), [t5] "+&r"(t5), [t6] "+&r"(t6), [t7] "+&r"(t7),
+        [t8] "+&r"(t8), [t9] "+&r"(t9), [lo] "=&r"(lo), [hi] "=&r"(hi),
+        [p] "=&r"(p)
+      // "memory" instead of per-array operands: an "m" operand naming
+      // *a would pin a base register for its address, and every GPR is
+      // already spoken for.
+      : [a] "m"(ap), [b] "m"(bp), [n] "m"(np), [n0] "m"(n0)
+      : "rdx", "cc", "memory");
+  u64 t[9] = {t8, t9, t0, t1, t2, t3, t4, t5, t6};
+  cond_sub_tail<8>(t, n, out);
+  scrub_scratch(t, 9);
+}
+
+void mul4_bmi2(const u64* a, const u64* b, const u64* n, u64 n0inv,
+               u64* out) {
+  const u64* ap = a;
+  const u64* bp = b;
+  const u64* np = n;
+  const u64 n0 = n0inv;
+  u64 t0 = 0, t1 = 0, t2 = 0, t3 = 0, t4 = 0, t5 = 0;
+  u64 lo, hi, p;
+  __asm__(
+      MONT_ROW4("0", "t0", "t1", "t2", "t3", "t4", "t5")
+      MONT_ROW4("8", "t1", "t2", "t3", "t4", "t5", "t0")
+      MONT_ROW4("16", "t2", "t3", "t4", "t5", "t0", "t1")
+      MONT_ROW4("24", "t3", "t4", "t5", "t0", "t1", "t2")
+      : [t0] "+&r"(t0), [t1] "+&r"(t1), [t2] "+&r"(t2), [t3] "+&r"(t3),
+        [t4] "+&r"(t4), [t5] "+&r"(t5), [lo] "=&r"(lo), [hi] "=&r"(hi),
+        [p] "=&r"(p)
+      : [a] "m"(ap), [b] "m"(bp), [n] "m"(np), [n0] "m"(n0)
+      : "rdx", "cc", "memory");
+  u64 t[5] = {t4, t5, t0, t1, t2};
+  cond_sub_tail<4>(t, n, out);
+  scrub_scratch(t, 5);
+}
+
+// --- wide (non-reducing) K x K -> 2K multiply -----------------------------
+// Product scanning with a K+1-register window: each row adds a[i]*b into
+// w[0..K], emits w0 as out[i], zeroes it and rotates it in as the new
+// top limb. The window residual is < b < 2^(64K) at every row start, so
+// w[K] = 0 on entry and the row sum < 2^(64(K+1)) — the single CF fold
+// into w[K] cannot wrap (a carry out would contradict that bound).
+
+#define WIDE_ROW8(AOFF, OOFF, W0, W1, W2, W3, W4, W5, W6, W7, W8)    \
+  "movq %[a], %%rdx\n\t"                                             \
+  "movq " AOFF "(%%rdx), %%rdx\n\t"                                  \
+  "movq %[b], %[p]\n\t"                                              \
+  "xorl %k[lo], %k[lo]\n\t"                                          \
+  "mulxq 0(%[p]), %[lo], %[hi]\n\t"                                  \
+  "adcxq %[lo], %[" W0 "]\n\t"                                       \
+  "adoxq %[hi], %[" W1 "]\n\t"                                       \
+  "mulxq 8(%[p]), %[lo], %[hi]\n\t"                                  \
+  "adcxq %[lo], %[" W1 "]\n\t"                                       \
+  "adoxq %[hi], %[" W2 "]\n\t"                                       \
+  "mulxq 16(%[p]), %[lo], %[hi]\n\t"                                 \
+  "adcxq %[lo], %[" W2 "]\n\t"                                       \
+  "adoxq %[hi], %[" W3 "]\n\t"                                       \
+  "mulxq 24(%[p]), %[lo], %[hi]\n\t"                                 \
+  "adcxq %[lo], %[" W3 "]\n\t"                                       \
+  "adoxq %[hi], %[" W4 "]\n\t"                                       \
+  "mulxq 32(%[p]), %[lo], %[hi]\n\t"                                 \
+  "adcxq %[lo], %[" W4 "]\n\t"                                       \
+  "adoxq %[hi], %[" W5 "]\n\t"                                       \
+  "mulxq 40(%[p]), %[lo], %[hi]\n\t"                                 \
+  "adcxq %[lo], %[" W5 "]\n\t"                                       \
+  "adoxq %[hi], %[" W6 "]\n\t"                                       \
+  "mulxq 48(%[p]), %[lo], %[hi]\n\t"                                 \
+  "adcxq %[lo], %[" W6 "]\n\t"                                       \
+  "adoxq %[hi], %[" W7 "]\n\t"                                       \
+  "mulxq 56(%[p]), %[lo], %[hi]\n\t"                                 \
+  "adcxq %[lo], %[" W7 "]\n\t"                                       \
+  "adoxq %[hi], %[" W8 "]\n\t"                                       \
+  "movl $0, %k[lo]\n\t"                                              \
+  "adcxq %[lo], %[" W8 "]\n\t"                                       \
+  "movq %[o], %[hi]\n\t"                                             \
+  "movq %[" W0 "], " OOFF "(%[hi])\n\t"                              \
+  "xorl %k[" W0 "], %k[" W0 "]\n\t"
+
+#define WIDE_ROW4(AOFF, OOFF, W0, W1, W2, W3, W4)                    \
+  "movq %[a], %%rdx\n\t"                                             \
+  "movq " AOFF "(%%rdx), %%rdx\n\t"                                  \
+  "movq %[b], %[p]\n\t"                                              \
+  "xorl %k[lo], %k[lo]\n\t"                                          \
+  "mulxq 0(%[p]), %[lo], %[hi]\n\t"                                  \
+  "adcxq %[lo], %[" W0 "]\n\t"                                       \
+  "adoxq %[hi], %[" W1 "]\n\t"                                       \
+  "mulxq 8(%[p]), %[lo], %[hi]\n\t"                                  \
+  "adcxq %[lo], %[" W1 "]\n\t"                                       \
+  "adoxq %[hi], %[" W2 "]\n\t"                                       \
+  "mulxq 16(%[p]), %[lo], %[hi]\n\t"                                 \
+  "adcxq %[lo], %[" W2 "]\n\t"                                       \
+  "adoxq %[hi], %[" W3 "]\n\t"                                       \
+  "mulxq 24(%[p]), %[lo], %[hi]\n\t"                                 \
+  "adcxq %[lo], %[" W3 "]\n\t"                                       \
+  "adoxq %[hi], %[" W4 "]\n\t"                                       \
+  "movl $0, %k[lo]\n\t"                                              \
+  "adcxq %[lo], %[" W4 "]\n\t"                                       \
+  "movq %[o], %[hi]\n\t"                                             \
+  "movq %[" W0 "], " OOFF "(%[hi])\n\t"                              \
+  "xorl %k[" W0 "], %k[" W0 "]\n\t"
+
+void mul8_wide_bmi2(const u64* a, const u64* b, u64* out) {
+  const u64* ap = a;
+  const u64* bp = b;
+  u64* op = out;
+  u64 w0 = 0, w1 = 0, w2 = 0, w3 = 0, w4 = 0;
+  u64 w5 = 0, w6 = 0, w7 = 0, w8 = 0;
+  u64 lo, hi, p;
+  __asm__(
+      WIDE_ROW8("0", "0", "w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7", "w8")
+      WIDE_ROW8("8", "8", "w1", "w2", "w3", "w4", "w5", "w6", "w7", "w8", "w0")
+      WIDE_ROW8("16", "16", "w2", "w3", "w4", "w5", "w6", "w7", "w8", "w0", "w1")
+      WIDE_ROW8("24", "24", "w3", "w4", "w5", "w6", "w7", "w8", "w0", "w1", "w2")
+      WIDE_ROW8("32", "32", "w4", "w5", "w6", "w7", "w8", "w0", "w1", "w2", "w3")
+      WIDE_ROW8("40", "40", "w5", "w6", "w7", "w8", "w0", "w1", "w2", "w3", "w4")
+      WIDE_ROW8("48", "48", "w6", "w7", "w8", "w0", "w1", "w2", "w3", "w4", "w5")
+      WIDE_ROW8("56", "56", "w7", "w8", "w0", "w1", "w2", "w3", "w4", "w5", "w6")
+      : [w0] "+&r"(w0), [w1] "+&r"(w1), [w2] "+&r"(w2), [w3] "+&r"(w3),
+        [w4] "+&r"(w4), [w5] "+&r"(w5), [w6] "+&r"(w6), [w7] "+&r"(w7),
+        [w8] "+&r"(w8), [lo] "=&r"(lo), [hi] "=&r"(hi), [p] "=&r"(p)
+      : [a] "m"(ap), [b] "m"(bp), [o] "m"(op)
+      : "rdx", "cc", "memory");
+  // Residual window = out[8..15]; logical w[j] is register (8+j) mod 9.
+  out[8] = w8;
+  out[9] = w0;
+  out[10] = w1;
+  out[11] = w2;
+  out[12] = w3;
+  out[13] = w4;
+  out[14] = w5;
+  out[15] = w6;
+}
+
+void mul4_wide_bmi2(const u64* a, const u64* b, u64* out) {
+  const u64* ap = a;
+  const u64* bp = b;
+  u64* op = out;
+  u64 w0 = 0, w1 = 0, w2 = 0, w3 = 0, w4 = 0;
+  u64 lo, hi, p;
+  __asm__(
+      WIDE_ROW4("0", "0", "w0", "w1", "w2", "w3", "w4")
+      WIDE_ROW4("8", "8", "w1", "w2", "w3", "w4", "w0")
+      WIDE_ROW4("16", "16", "w2", "w3", "w4", "w0", "w1")
+      WIDE_ROW4("24", "24", "w3", "w4", "w0", "w1", "w2")
+      : [w0] "+&r"(w0), [w1] "+&r"(w1), [w2] "+&r"(w2), [w3] "+&r"(w3),
+        [w4] "+&r"(w4), [lo] "=&r"(lo), [hi] "=&r"(hi), [p] "=&r"(p)
+      : [a] "m"(ap), [b] "m"(bp), [o] "m"(op)
+      : "rdx", "cc", "memory");
+  out[4] = w4;
+  out[5] = w0;
+  out[6] = w1;
+  out[7] = w2;
+}
+
+}  // namespace
+
+const Table& bmi2_table() {
+  // Montgomery reduction of the lazy accumulator is carry-sweep bound
+  // rather than multiply bound, so this tier shares the portable redc
+  // (and the portable add/sub/neg — dispatch keeps tiers orthogonal).
+  static const Table kTable = {
+      mul4_bmi2,          mul8_bmi2,      mul4_wide_bmi2,
+      mul8_wide_bmi2,     portable_table().redc4,
+      portable_table().redc8,             portable_table().add,
+      portable_table().sub,               portable_table().neg,
+      Kind::kBmi2,        "bmi2",
+  };
+  return kTable;
+}
+
+#else  // !MEDCRYPT_BMI2_ASM: non-x86-64, non-GNU, or sanitized build
+
+const Table& bmi2_table() { return portable_table(); }
+
+#endif
+
+}  // namespace medcrypt::bigint::kernels

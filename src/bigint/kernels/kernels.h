@@ -1,0 +1,126 @@
+// Accelerated Montgomery limb kernels with runtime CPU dispatch.
+//
+// A Table is a function-pointer bundle covering the limb-level operations
+// the field hot path runs millions of times per second: fixed-width CIOS
+// Montgomery multiply for the limb counts the named parameter sets use
+// (4 limbs = mid128, 8 limbs = the paper's sec80), the matching wide
+// (non-reducing) multiply + standalone Montgomery reduction pair that
+// backs the lazy Fp2 tower, and width-generic modular add/sub/neg.
+//
+// Three tiers exist:
+//   - portable: plain C++ (u128 carries), bit-identical to the historic
+//     cios_fixed<K> code. Always available, the reference for the
+//     differential fuzz suite.
+//   - avx2:     portable multiplies + branch-free AVX2 helpers for the
+//     width-independent add/sub/neg (compute both candidate results,
+//     vector-blend on the carry/borrow verdict).
+//   - bmi2:     hand-scheduled MULX/ADCX/ADOX inline-asm CIOS and wide
+//     multiplies for K = 4 and K = 8 (requires BMI2 + ADX).
+//
+// Selection happens once, at the first active() call: CPUID picks the
+// best supported tier, MEDCRYPT_KERNEL=portable|bmi2|avx2 forces one for
+// testing (clamped down to what the CPU supports, never up), and the
+// result is surfaced through the obs registry as info-style gauges
+// core.kernel.{portable,avx2,bmi2} = 0/1. bigint::Montgomery caches the
+// table pointer at construction, so `-march` never has to leak into the
+// default build: one binary runs correctly on any x86-64.
+//
+// Every entry of every tier is bit-identical to the portable tier on ALL
+// inputs — including unreduced operands up to R-1, where the single
+// conditional subtraction leaves the same not-fully-reduced residue the
+// historic code produced (tests/kernel_diff_test.cpp pins this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace medcrypt::bigint::kernels {
+
+using u64 = std::uint64_t;
+
+enum class Kind : std::uint8_t { kPortable = 0, kAvx2 = 1, kBmi2 = 2 };
+inline constexpr std::size_t kKindCount = 3;
+
+/// Dispatched entry points. All pointers are always non-null; tiers that
+/// do not accelerate an entry alias the portable implementation.
+struct Table {
+  /// CIOS Montgomery product a*b*R^{-1} mod n on K-limb little-endian
+  /// arrays (K fixed per entry). `out` may alias `a` and/or `b`.
+  using MulFixedFn = void (*)(const u64* a, const u64* b, const u64* n,
+                              u64 n0inv, u64* out);
+  /// Plain K×K→2K-limb product, no reduction. `out` must not alias.
+  using MulWideFixedFn = void (*)(const u64* a, const u64* b, u64* out);
+  /// Montgomery reduction of a (2K+2)-limb accumulator T < 8·R·n:
+  /// writes T·R^{-1} mod n (fully reduced to [0, n)) into `out` (K
+  /// limbs). `t` is clobbered.
+  using RedcFixedFn = void (*)(u64* t, const u64* n, u64 n0inv, u64* out);
+  /// (a ± b) mod n / (-a) mod n on reduced k-limb operands; `out` may
+  /// alias any input.
+  using ModBinFn = void (*)(const u64* a, const u64* b, const u64* n,
+                            std::size_t k, u64* out);
+  using ModNegFn = void (*)(const u64* a, const u64* n, std::size_t k,
+                            u64* out);
+
+  MulFixedFn mul4;
+  MulFixedFn mul8;
+  MulWideFixedFn mul4_wide;
+  MulWideFixedFn mul8_wide;
+  RedcFixedFn redc4;
+  RedcFixedFn redc8;
+  ModBinFn add;
+  ModBinFn sub;
+  ModNegFn neg;
+  Kind kind;
+  const char* name;
+};
+
+/// The dispatched table: detected once on first call (CPUID +
+/// MEDCRYPT_KERNEL override), then immutable for the process lifetime.
+const Table& active();
+
+/// A specific tier's table, regardless of dispatch. Calling an
+/// unsupported tier's accelerated entries is undefined (SIGILL) — gate
+/// with cpu_supports(). The differential fuzz suite uses this to run
+/// every available tier against portable.
+const Table& table(Kind kind);
+
+/// Whether this CPU can execute `kind`'s accelerated entries.
+bool cpu_supports(Kind kind);
+
+/// Lowercase tier name as used by MEDCRYPT_KERNEL and the obs gauges.
+const char* kind_name(Kind kind);
+
+// Per-tier tables (portable.cpp / avx2.cpp / bmi2.cpp). Prefer active()
+// or table(); these exist so the dispatcher and tests can name a tier
+// directly.
+const Table& portable_table();
+const Table& avx2_table();
+const Table& bmi2_table();
+
+// --- width-generic portable helpers (non-dispatched) ----------------------
+// Used by Montgomery for limb counts outside the accelerated set
+// (toy64 = 2, sweep384 = 6, RSA-1024 = 16, and arbitrary moduli).
+
+/// Plain k×k→2k-limb product. `out` must not alias `a`/`b`.
+void mul_wide_generic(const u64* a, const u64* b, std::size_t k, u64* out);
+
+/// Montgomery reduction of a (2k+2)-limb accumulator T < 8·R·n into
+/// [0, n). `t` is clobbered.
+void redc_generic(u64* t, const u64* n, u64 n0inv, std::size_t k, u64* out);
+
+// --- scratch hygiene ------------------------------------------------------
+
+/// Volatile-scrubs a kernel scratch buffer. In wiping builds
+/// (-DMEDCRYPT_WIPE_SCRATCH=ON) the kernels call this on their stack
+/// scratch in the epilogue, extending the docs/SECRET_HYGIENE.md wiping
+/// contract to CIOS temporaries; otherwise it compiles to nothing at the
+/// call sites (see MEDCRYPT_WIPE_SCRATCH in the root CMakeLists).
+inline void scrub_scratch([[maybe_unused]] u64* p,
+                          [[maybe_unused]] std::size_t len) {
+#if MEDCRYPT_WIPE_SCRATCH
+  volatile u64* vp = p;
+  for (std::size_t i = 0; i < len; ++i) vp[i] = 0;
+#endif
+}
+
+}  // namespace medcrypt::bigint::kernels

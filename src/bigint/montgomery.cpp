@@ -1,13 +1,16 @@
 #include "bigint/montgomery.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "bigint/kernels/cios_portable.h"
 #include "common/error.h"
 
 namespace medcrypt::bigint {
 
 using u64 = std::uint64_t;
 using u128 = unsigned __int128;
+using kernels::cios_fixed;
 
 namespace {
 // -n^{-1} mod 2^64 by Newton iteration (n odd).
@@ -15,59 +18,6 @@ u64 neg_inv64(u64 n) {
   u64 x = n;  // correct mod 2^3
   for (int i = 0; i < 5; ++i) x *= 2 - n * x;  // doubles precision each step
   return ~x + 1;  // -(n^{-1})
-}
-
-// CIOS with the limb count fixed at compile time: the loops fully
-// unroll and the scratch limbs stay in registers, which is worth ~2x
-// over the runtime-k loop on the widths the named parameter sets use.
-template <std::size_t K>
-void cios_fixed(const u64* a, const u64* b, const u64* n, u64 n0inv,
-                u64* out) {
-  u64 t[K + 2] = {};
-  for (std::size_t i = 0; i < K; ++i) {
-    u64 carry = 0;
-    for (std::size_t j = 0; j < K; ++j) {
-      const u128 cur = static_cast<u128>(a[i]) * b[j] + t[j] + carry;
-      t[j] = static_cast<u64>(cur);
-      carry = static_cast<u64>(cur >> 64);
-    }
-    u128 s = static_cast<u128>(t[K]) + carry;
-    t[K] = static_cast<u64>(s);
-    t[K + 1] = static_cast<u64>(s >> 64);
-
-    const u64 m = t[0] * n0inv;
-    u128 cur = static_cast<u128>(m) * n[0] + t[0];
-    carry = static_cast<u64>(cur >> 64);
-    for (std::size_t j = 1; j < K; ++j) {
-      cur = static_cast<u128>(m) * n[j] + t[j] + carry;
-      t[j - 1] = static_cast<u64>(cur);
-      carry = static_cast<u64>(cur >> 64);
-    }
-    s = static_cast<u128>(t[K]) + carry;
-    t[K - 1] = static_cast<u64>(s);
-    t[K] = t[K + 1] + static_cast<u64>(s >> 64);
-    t[K + 1] = 0;
-  }
-  bool ge = t[K] != 0;
-  if (!ge) {
-    ge = true;
-    for (std::size_t i = K; i-- > 0;) {
-      if (t[i] != n[i]) {
-        ge = t[i] > n[i];
-        break;
-      }
-    }
-  }
-  if (ge) {
-    u64 borrow = 0;
-    for (std::size_t i = 0; i < K; ++i) {
-      const u128 diff = static_cast<u128>(t[i]) - n[i] - borrow;
-      out[i] = static_cast<u64>(diff);
-      borrow = (diff >> 64) ? 1 : 0;
-    }
-  } else {
-    for (std::size_t i = 0; i < K; ++i) out[i] = t[i];
-  }
 }
 }  // namespace
 
@@ -77,6 +27,7 @@ Montgomery::Montgomery(BigInt n) : n_(std::move(n)) {
   }
   k_ = n_.limbs().size();
   n0inv_ = neg_inv64(n_.limbs()[0]);
+  kt_ = &kernels::active();
   // R = 2^(64k); R mod n and R^2 mod n via generic reduction (setup only).
   const BigInt r = BigInt(std::uint64_t{1}) << (64 * k_);
   one_ = r % n_;
@@ -113,15 +64,17 @@ void Montgomery::to_mont_limbs(const BigInt& a, u64* out) const {
 }
 
 void Montgomery::mul_limbs(const u64* a, const u64* b, u64* out) const {
-  // Unrolled kernels for the limb widths the tree actually uses:
-  // toy64 (2), mid128 (4), sweep384 (6), sec80 (8), RSA-1024 (16).
+  // The widths the named parameter sets lean on hardest (mid128 = 4,
+  // sec80 = 8) go through the dispatched kernel table; the remaining
+  // fixed widths (toy64 = 2, sweep384 = 6, RSA-1024 = 16) use the
+  // portable unrolled template directly.
   {
     const u64* n = n_.limbs_.data();
     switch (k_) {
       case 2: return cios_fixed<2>(a, b, n, n0inv_, out);
-      case 4: return cios_fixed<4>(a, b, n, n0inv_, out);
+      case 4: return kt_->mul4(a, b, n, n0inv_, out);
       case 6: return cios_fixed<6>(a, b, n, n0inv_, out);
-      case 8: return cios_fixed<8>(a, b, n, n0inv_, out);
+      case 8: return kt_->mul8(a, b, n, n0inv_, out);
       case 16: return cios_fixed<16>(a, b, n, n0inv_, out);
       default: break;
     }
@@ -187,69 +140,36 @@ void Montgomery::mul_limbs(const u64* a, const u64* b, u64* out) const {
   } else {
     for (std::size_t i = 0; i < k_; ++i) out[i] = t[i];
   }
+  kernels::scrub_scratch(t, k_ + 2);
+}
+
+void Montgomery::mul_wide_limbs(const u64* a, const u64* b, u64* out) const {
+  switch (k_) {
+    case 4: return kt_->mul4_wide(a, b, out);
+    case 8: return kt_->mul8_wide(a, b, out);
+    default: return kernels::mul_wide_generic(a, b, k_, out);
+  }
+}
+
+void Montgomery::redc_limbs(u64* t, u64* out) const {
+  const u64* n = n_.limbs_.data();
+  switch (k_) {
+    case 4: return kt_->redc4(t, n, n0inv_, out);
+    case 8: return kt_->redc8(t, n, n0inv_, out);
+    default: return kernels::redc_generic(t, n, n0inv_, k_, out);
+  }
 }
 
 void Montgomery::add_limbs(const u64* a, const u64* b, u64* out) const {
-  const u64* n = n_.limbs_.data();
-  u64 carry = 0;
-  for (std::size_t i = 0; i < k_; ++i) {
-    const u128 s = static_cast<u128>(a[i]) + b[i] + carry;
-    out[i] = static_cast<u64>(s);
-    carry = static_cast<u64>(s >> 64);
-  }
-  // Reduce: the sum is in [0, 2n), possibly with a carry limb.
-  bool ge = carry != 0;
-  if (!ge) {
-    ge = true;
-    for (std::size_t i = k_; i-- > 0;) {
-      if (out[i] != n[i]) {
-        ge = out[i] > n[i];
-        break;
-      }
-    }
-  }
-  if (ge) {
-    u64 borrow = 0;
-    for (std::size_t i = 0; i < k_; ++i) {
-      const u128 diff = static_cast<u128>(out[i]) - n[i] - borrow;
-      out[i] = static_cast<u64>(diff);
-      borrow = (diff >> 64) ? 1 : 0;
-    }
-  }
+  kt_->add(a, b, n_.limbs_.data(), k_, out);
 }
 
 void Montgomery::sub_limbs(const u64* a, const u64* b, u64* out) const {
-  const u64* n = n_.limbs_.data();
-  u64 borrow = 0;
-  for (std::size_t i = 0; i < k_; ++i) {
-    const u128 diff = static_cast<u128>(a[i]) - b[i] - borrow;
-    out[i] = static_cast<u64>(diff);
-    borrow = (diff >> 64) ? 1 : 0;
-  }
-  if (borrow) {  // a < b: wrap back into range by adding n
-    u64 carry = 0;
-    for (std::size_t i = 0; i < k_; ++i) {
-      const u128 s = static_cast<u128>(out[i]) + n[i] + carry;
-      out[i] = static_cast<u64>(s);
-      carry = static_cast<u64>(s >> 64);
-    }
-  }
+  kt_->sub(a, b, n_.limbs_.data(), k_, out);
 }
 
 void Montgomery::neg_limbs(const u64* a, u64* out) const {
-  u64 nonzero = 0;
-  for (std::size_t i = 0; i < k_; ++i) nonzero |= a[i];
-  if (nonzero == 0) {
-    std::fill_n(out, k_, u64{0});
-    return;
-  }
-  const u64* n = n_.limbs_.data();
-  u64 borrow = 0;
-  for (std::size_t i = 0; i < k_; ++i) {
-    const u128 diff = static_cast<u128>(n[i]) - a[i] - borrow;
-    out[i] = static_cast<u64>(diff);
-    borrow = (diff >> 64) ? 1 : 0;
-  }
+  kt_->neg(a, n_.limbs_.data(), k_, out);
 }
 
 BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {

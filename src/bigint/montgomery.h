@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bigint/bigint.h"
+#include "bigint/kernels/kernels.h"
 
 namespace medcrypt::bigint {
 
@@ -85,6 +86,28 @@ class Montgomery {
   /// R mod n zero-padded to k limbs (the Montgomery form of 1).
   const std::uint64_t* one_limbs() const { return one_padded_.data(); }
 
+  // --- lazy-reduction API (field/lazy.h WideAcc) --------------------------
+
+  /// Plain k x k -> 2k-limb product of Montgomery-form operands, no
+  /// reduction. `out` (2k limbs) must not alias `a`/`b`. With inputs
+  /// a^, b^ < n the product is < n^2 < R*n — one WideAcc budget unit.
+  void mul_wide_limbs(const std::uint64_t* a, const std::uint64_t* b,
+                      std::uint64_t* out) const;
+
+  /// Montgomery reduction of a (2k+2)-limb accumulator T < 8*R*n into a
+  /// fully reduced k-limb result T*R^{-1} mod n. `t` is clobbered.
+  void redc_limbs(std::uint64_t* t, std::uint64_t* out) const;
+
+  /// -n^{-1} mod 2^64 (kernel/test plumbing).
+  std::uint64_t n0inv() const { return n0inv_; }
+
+  /// The modulus as a k-limb little-endian array.
+  const std::uint64_t* modulus_limbs() const { return n_.limbs().data(); }
+
+  /// The kernel table this context dispatches through (the process-wide
+  /// active() table, cached at construction).
+  const kernels::Table& kernel() const { return *kt_; }
+
  private:
   // Pads a BigInt's limbs to exactly k entries.
   std::vector<std::uint64_t> padded(const BigInt& a) const;
@@ -92,6 +115,7 @@ class Montgomery {
   BigInt n_;
   std::size_t k_ = 0;
   std::uint64_t n0inv_ = 0;  // -n^{-1} mod 2^64
+  const kernels::Table* kt_ = nullptr;  // dispatched limb kernels
   BigInt r2_;                // R^2 mod n
   BigInt one_;               // R mod n
   std::vector<std::uint64_t> one_padded_;  // R mod n, k limbs

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "field/lazy.h"
 
 namespace medcrypt::field {
 
@@ -13,7 +14,37 @@ Fp2::Fp2(Fp a) : a_(std::move(a)) {
   b_ = a_.field()->zero();
 }
 
+void Fp2::mul_pair_lazy(const Fp& c, const Fp& d) {
+  // Karatsuba with lazy reduction: the three cross products are
+  // computed once as unreduced double-width values, then each component
+  // pays exactly ONE Montgomery reduction — 3 wide multiplies + 2
+  // reductions instead of the 3 fully reduced multiplies (≈ 5/6 of the
+  // 64x64 multiply count) plus none of the interleaved cond-sub passes.
+  WideProduct ac, bd, cross;
+  ac.assign(a_, c);
+  bd.assign(b_, d);
+  Fp s1 = a_;
+  s1 += b_;
+  Fp s2 = c;
+  s2 += d;
+  cross.assign(s1, s2);
+  WideAcc acc(*a_.field());
+  acc.add(ac);   // real: ac + R·n - bd   (< 2·R·n)
+  acc.sub(bd);
+  acc.reduce_into(a_);
+  acc.add(cross);  // imag: (a+b)(c+d) + 2·R·n - ac - bd   (< 3·R·n)
+  acc.sub(ac);
+  acc.sub(bd);
+  acc.reduce_into(b_);
+}
+
 void Fp2::mul_inplace(const Fp2& o) {
+  if (WideAcc::supports(*a_.field())) {
+    // All reads of `o` land in the wide products before any component
+    // is overwritten, so o == *this is fine.
+    mul_pair_lazy(o.a_, o.b_);
+    return;
+  }
   // Karatsuba-style: (a + bi)(c + di) = (ac - bd) + ((a+b)(c+d) - ac - bd) i
   // All reads of `o` happen before any write, so o == *this is fine.
   Fp ac = a_;
@@ -30,6 +61,14 @@ void Fp2::mul_inplace(const Fp2& o) {
   a_ = std::move(ac);
   a_ -= bd;
   b_ = std::move(cross);
+}
+
+void Fp2::mul_line_inplace(const Fp& c, const Fp& d) {
+  if (WideAcc::supports(*a_.field())) {
+    mul_pair_lazy(c, d);
+    return;
+  }
+  mul_inplace(Fp2(c, d));
 }
 
 void Fp2::square_inplace() {

@@ -1,0 +1,132 @@
+#include "field/lazy.h"
+
+#include <algorithm>
+
+#include "bigint/kernels/kernels.h"
+
+namespace medcrypt::field {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+void WideProduct::assign(const Fp& a, const Fp& b) {
+  assert(a.field_ != nullptr && a.field_ == b.field_);
+  assert(a.field_->limb_count() <= kMaxLimbs);
+  a.field_->mont().mul_wide_limbs(a.store_.data(), b.store_.data(), w_.data());
+}
+
+WideAcc::WideAcc(const PrimeField& field)
+    : mont_(&field.mont()), k_(field.limb_count()) {
+  assert(supports(field));
+}
+
+WideAcc::~WideAcc() {
+  // The accumulator can carry secret-derived intermediates (line
+  // evaluations of secret-dependent Miller chains); same contract as
+  // the kernels' stack scratch.
+  bigint::kernels::scrub_scratch(acc_.data(), acc_.size());
+}
+
+void WideAcc::add_wide(const u64* w) {
+  u64 carry = 0;
+  for (std::size_t i = 0; i < 2 * k_; ++i) {
+    const u128 s = static_cast<u128>(acc_[i]) + w[i] + carry;
+    acc_[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  for (std::size_t i = 2 * k_; carry != 0 && i < 2 * k_ + 2; ++i) {
+    const u128 s = static_cast<u128>(acc_[i]) + carry;
+    acc_[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+}
+
+void WideAcc::sub_wide(const u64* w) {
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < 2 * k_; ++i) {
+    const u128 d = static_cast<u128>(acc_[i]) - w[i] - borrow;
+    acc_[i] = static_cast<u64>(d);
+    borrow = (d >> 64) ? 1 : 0;
+  }
+  for (std::size_t i = 2 * k_; borrow != 0 && i < 2 * k_ + 2; ++i) {
+    const u128 d = static_cast<u128>(acc_[i]) - borrow;
+    acc_[i] = static_cast<u64>(d);
+    borrow = (d >> 64) ? 1 : 0;
+  }
+  // T >= 0 by the R*n bias, so the borrow dies inside the top limbs.
+  assert(borrow == 0 && "WideAcc: accumulator went negative");
+}
+
+void WideAcc::add_hi(const u64* a) {
+  u64 carry = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    const u128 s = static_cast<u128>(acc_[k_ + i]) + a[i] + carry;
+    acc_[k_ + i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  for (std::size_t i = 2 * k_; carry != 0 && i < 2 * k_ + 2; ++i) {
+    const u128 s = static_cast<u128>(acc_[i]) + carry;
+    acc_[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+}
+
+void WideAcc::add_product(const Fp& a, const Fp& b) {
+  u64 w[2 * kMaxLimbs];
+  mont_->mul_wide_limbs(a.store_.data(), b.store_.data(), w);
+  bump();
+  add_wide(w);
+  bigint::kernels::scrub_scratch(w, 2 * k_);
+}
+
+void WideAcc::sub_product(const Fp& a, const Fp& b) {
+  u64 w[2 * kMaxLimbs];
+  mont_->mul_wide_limbs(a.store_.data(), b.store_.data(), w);
+  bump();
+  add_hi(mont_->modulus_limbs());  // + R*n keeps T non-negative
+  sub_wide(w);
+  bigint::kernels::scrub_scratch(w, 2 * k_);
+}
+
+void WideAcc::add(const WideProduct& w) {
+  bump();
+  add_wide(w.w_.data());
+}
+
+void WideAcc::sub(const WideProduct& w) {
+  bump();
+  add_hi(mont_->modulus_limbs());
+  sub_wide(w.w_.data());
+}
+
+void WideAcc::add_shifted(const Fp& a) {
+  bump();
+  add_hi(a.store_.data());
+}
+
+void WideAcc::sub_shifted(const Fp& a) {
+  // (n - a) is non-negative for a reduced element, so the bias and the
+  // subtraction collapse into one k-limb pass.
+  const u64* n = mont_->modulus_limbs();
+  const u64* av = a.store_.data();
+  u64 d[kMaxLimbs];
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    const u128 diff = static_cast<u128>(n[i]) - av[i] - borrow;
+    d[i] = static_cast<u64>(diff);
+    borrow = (diff >> 64) ? 1 : 0;
+  }
+  assert(borrow == 0 && "WideAcc::sub_shifted: element out of range");
+  bump();
+  add_hi(d);
+  bigint::kernels::scrub_scratch(d, k_);
+}
+
+void WideAcc::reduce_into(Fp& out) {
+  assert(out.field_ != nullptr && &out.field_->mont() == mont_);
+  mont_->redc_limbs(acc_.data(), out.store_.data());
+  std::fill(acc_.begin(), acc_.end(), u64{0});
+  used_ = 0;
+}
+
+}  // namespace medcrypt::field

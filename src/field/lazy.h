@@ -1,0 +1,111 @@
+// Lazy-reduction accumulator for Fp chains.
+//
+// A WideAcc holds an UNREDUCED double-width integer T (2k+2 limbs) to
+// which Montgomery-form products and elements are added or subtracted;
+// one Montgomery reduction at the end replaces the per-operation
+// reductions a chain of Fp ops would pay. This is what the Fp2 tower
+// and the Miller-loop line evaluations thread their cross terms
+// through: an Fp2 multiply drops from 3 interleaved CIOS reductions to
+// 3 wide multiplies + 2 reductions, and a line evaluation folds its
+// add/sub tail into the accumulator for free.
+//
+// Negative avoidance with a full-width modulus: the named parameter
+// sets generate p with the top bit of the top limb set (sec80 is
+// exactly 512 bits), so there are NO spare bits for the classic
+// slack-bit lazy reduction. Instead, every subtraction first adds R·n —
+// which the final reduction erases, since (R·n)·R^{-1} = n ≡ 0 (mod n)
+// — keeping T non-negative throughout.
+//
+// Magnitude invariant (documented in docs/PERF.md §5): every operation
+// grows T by less than R·n (a product of reduced elements is < n^2 <
+// R·n; a shifted element is < R·n; the R·n bias of a subtraction minus
+// its subtrahend is < R·n), so after `kBudget` = 8 operations T <
+// 8·R·n, which is the redc kernel contract (bigint/kernels/kernels.h):
+// the (2k+2)-limb accumulator cannot overflow and the post-reduction
+// value is < 9n, finished by at most eight conditional subtractions.
+// Exceeding the budget is a programming error, enforced with assert().
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "field/fp.h"
+
+namespace medcrypt::field {
+
+/// A 2k-limb plain (non-reduced) product of two Montgomery-form
+/// elements, computed once and addable to several WideAccs — the Fp2
+/// Karatsuba path adds ac and bd to both the real and imaginary
+/// accumulators without recomputing them.
+class WideProduct {
+ public:
+  static constexpr std::size_t kMaxLimbs = 8;
+
+  /// w = a*b (both reduced, same field; field limb count <= kMaxLimbs).
+  void assign(const Fp& a, const Fp& b);
+
+ private:
+  friend class WideAcc;
+  std::array<std::uint64_t, 2 * kMaxLimbs> w_{};
+};
+
+/// Unreduced accumulator; see the file comment for the magnitude
+/// contract. reduce_into() resets it for reuse.
+class WideAcc {
+ public:
+  static constexpr std::size_t kMaxLimbs = WideProduct::kMaxLimbs;
+  static constexpr unsigned kBudget = 8;
+
+  /// Whether the lazy path serves this field (limb count <= kMaxLimbs).
+  /// Callers fall back to plain Fp chains when it does not.
+  static bool supports(const PrimeField& field) {
+    return field.limb_count() <= kMaxLimbs;
+  }
+
+  /// Starts at T = 0. Requires supports(field). The field must outlive
+  /// the accumulator.
+  explicit WideAcc(const PrimeField& field);
+
+  ~WideAcc();
+
+  WideAcc(const WideAcc&) = delete;
+  WideAcc& operator=(const WideAcc&) = delete;
+
+  /// T += a*b (one budget unit).
+  void add_product(const Fp& a, const Fp& b);
+
+  /// T += R*n - a*b, i.e. contributes -(a*b) to the reduced value.
+  void sub_product(const Fp& a, const Fp& b);
+
+  /// T += w / T += R*n - w for a precomputed product.
+  void add(const WideProduct& w);
+  void sub(const WideProduct& w);
+
+  /// T += a*R: contributes +a (the element itself, not a product).
+  void add_shifted(const Fp& a);
+
+  /// T += (n - a)*R: contributes -a.
+  void sub_shifted(const Fp& a);
+
+  /// out = T * R^{-1} mod n, fully reduced; T resets to 0. `out` must
+  /// already be an element of the accumulator's field.
+  void reduce_into(Fp& out);
+
+ private:
+  void add_wide(const std::uint64_t* w);  // T += w (2k limbs)
+  void sub_wide(const std::uint64_t* w);  // T -= w (requires T >= w)
+  void add_hi(const std::uint64_t* a);    // T += a << 64k (k limbs)
+  void bump() {
+    ++used_;
+    assert(used_ <= kBudget && "WideAcc: magnitude budget exceeded");
+  }
+
+  const bigint::Montgomery* mont_;
+  std::size_t k_;
+  std::array<std::uint64_t, 2 * kMaxLimbs + 2> acc_{};
+  unsigned used_ = 0;
+};
+
+}  // namespace medcrypt::field

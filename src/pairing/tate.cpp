@@ -5,11 +5,99 @@
 
 #include "common/error.h"
 #include "ec/jacobian.h"
+#include "field/lazy.h"
 #include "obs/span.h"
 
 namespace medcrypt::pairing {
 
 using field::Fp;
+using field::WideAcc;
+
+namespace {
+
+// The three line-evaluation shapes of the Miller loop, each multiplied
+// straight into the accumulator f. On fields the lazy accumulator
+// serves (field/lazy.h), the real part threads through one WideAcc so
+// every product lands unreduced and each intermediate pays exactly one
+// Montgomery reduction; otherwise the historic reduced Fp chain runs.
+
+// Doubling step: L = M(X - Z²x') - 2Y² + i·(2YZ³)·y'.
+void mul_dbl_line(Fp2& f, const ec::DblTrace& tr, const Fp& xq,
+                  const Fp& yq) {
+  Fp im = tr.zp_zsq;
+  im *= yq;
+  const auto& field = *xq.field();
+  if (WideAcc::supports(field)) {
+    WideAcc acc(field);
+    Fp u = tr.x;
+    acc.add_shifted(tr.x);       // u = X - Z²·x'   (one reduction)
+    acc.sub_product(tr.z_sq, xq);
+    acc.reduce_into(u);
+    acc.add_product(tr.m, u);    // re = M·u - 2Y²  (one reduction)
+    acc.sub_shifted(tr.y_sq);
+    acc.sub_shifted(tr.y_sq);
+    acc.reduce_into(u);
+    f.mul_line_inplace(u, im);
+    return;
+  }
+  Fp re = tr.z_sq;
+  re *= xq;
+  re.negate_inplace();
+  re += tr.x;
+  re *= tr.m;
+  re -= tr.y_sq;
+  re -= tr.y_sq;
+  f.mul_line_inplace(re, im);
+}
+
+// Addition step: L = r(x_P - x') - ZH·y_P + i·(ZH)·y'.
+void mul_add_line(Fp2& f, const ec::AddTrace& tr, const Point& p,
+                  const Fp& xq, const Fp& yq) {
+  Fp im = tr.zh;
+  im *= yq;
+  const auto& field = *xq.field();
+  if (WideAcc::supports(field)) {
+    Fp u = p.x();
+    u -= xq;
+    WideAcc acc(field);
+    acc.add_product(u, tr.r);    // re = u·r - ZH·y_P (one reduction)
+    acc.sub_product(tr.zh, p.y());
+    acc.reduce_into(u);
+    f.mul_line_inplace(u, im);
+    return;
+  }
+  Fp re = p.x();
+  re -= xq;
+  re *= tr.r;
+  Fp tmp = tr.zh;
+  tmp *= p.y();
+  re -= tmp;
+  f.mul_line_inplace(re, im);
+}
+
+// Prepared-step replay: L = (c0 - c1·x') + i·(c2·y').
+void mul_replay_line(Fp2& f, const Fp& c0, const Fp& c1, const Fp& c2,
+                     const Fp& xq, const Fp& yq) {
+  Fp im = c2;
+  im *= yq;
+  const auto& field = *xq.field();
+  if (WideAcc::supports(field)) {
+    WideAcc acc(field);
+    Fp re = c0;
+    acc.add_shifted(c0);         // re = c0 - c1·x' (one reduction)
+    acc.sub_product(c1, xq);
+    acc.reduce_into(re);
+    f.mul_line_inplace(re, im);
+    return;
+  }
+  Fp re = c1;
+  re *= xq;
+  re.negate_inplace();
+  re += c0;
+  f.mul_line_inplace(re, im);
+}
+
+}  // namespace
 
 TatePairing::TatePairing(std::shared_ptr<const Curve> curve)
     : curve_(std::move(curve)) {
@@ -64,17 +152,7 @@ Fp2 TatePairing::miller(const Point& p, const Point& q) const {
     ec::DblTrace dbl_trace;
     t = ec::jac_dbl(*curve_, t, have_line ? &dbl_trace : nullptr);
     if (have_line) {
-      // L = M(X - Z^2 x') - 2Y^2 + i * (2YZ^3) y(Q)
-      Fp re = dbl_trace.z_sq;
-      re *= xq;
-      re.negate_inplace();
-      re += dbl_trace.x;
-      re *= dbl_trace.m;
-      re -= dbl_trace.y_sq;
-      re -= dbl_trace.y_sq;
-      Fp im = dbl_trace.zp_zsq;
-      im *= yq;
-      f.mul_inplace(Fp2(std::move(re), std::move(im)));
+      mul_dbl_line(f, dbl_trace, xq, yq);
     }
 
     if (order.bit(i)) {
@@ -85,16 +163,7 @@ Fp2 TatePairing::miller(const Point& p, const Point& q) const {
         ec::AddTrace add_trace;
         t = ec::jac_add_mixed(*curve_, t, p, &add_trace);
         if (!add_trace.vertical) {
-          // L = r (x_P - x') - ZH y_P + i * (ZH) y(Q)
-          Fp re = p.x();
-          re -= xq;
-          re *= add_trace.r;
-          Fp tmp = add_trace.zh;
-          tmp *= p.y();
-          re -= tmp;
-          Fp im = add_trace.zh;
-          im *= yq;
-          f.mul_inplace(Fp2(std::move(re), std::move(im)));
+          mul_add_line(f, add_trace, p, xq, yq);
         }
         // Vertical line (T = -P): lives in F_p, erased by the final
         // exponentiation — skip.
@@ -240,14 +309,7 @@ Fp2 TatePairing::miller_with(const PreparedPairing& prepared,
     if (step.op == PreparedPairing::Op::kSquare) {
       f.square_inplace();
     } else {
-      // L = (c0 - c1·x') + i·(c2·y')
-      Fp re = step.c1;
-      re *= xq;
-      re.negate_inplace();
-      re += step.c0;
-      Fp im = step.c2;
-      im *= yq;
-      f.mul_inplace(Fp2(std::move(re), std::move(im)));
+      mul_replay_line(f, step.c0, step.c1, step.c2, xq, yq);
     }
   }
   if (f.is_zero()) {
@@ -347,16 +409,7 @@ Fp2 TatePairing::pair_many(std::span<const PairTerm> terms) const {
       ec::DblTrace dbl_trace;
       rs.t = ec::jac_dbl(*curve_, rs.t, have_line ? &dbl_trace : nullptr);
       if (have_line) {
-        Fp re = dbl_trace.z_sq;
-        re *= rs.xq;
-        re.negate_inplace();
-        re += dbl_trace.x;
-        re *= dbl_trace.m;
-        re -= dbl_trace.y_sq;
-        re -= dbl_trace.y_sq;
-        Fp im = dbl_trace.zp_zsq;
-        im *= rs.yq;
-        f.mul_inplace(Fp2(std::move(re), std::move(im)));
+        mul_dbl_line(f, dbl_trace, rs.xq, rs.yq);
       }
       if (order.bit(i)) {
         if (rs.t.inf) {
@@ -365,15 +418,7 @@ Fp2 TatePairing::pair_many(std::span<const PairTerm> terms) const {
           ec::AddTrace add_trace;
           rs.t = ec::jac_add_mixed(*curve_, rs.t, *rs.p, &add_trace);
           if (!add_trace.vertical) {
-            Fp re = rs.p->x();
-            re -= rs.xq;
-            re *= add_trace.r;
-            Fp tmp = add_trace.zh;
-            tmp *= rs.p->y();
-            re -= tmp;
-            Fp im = add_trace.zh;
-            im *= rs.yq;
-            f.mul_inplace(Fp2(std::move(re), std::move(im)));
+            mul_add_line(f, add_trace, *rs.p, rs.xq, rs.yq);
           }
         }
       }
@@ -386,13 +431,8 @@ Fp2 TatePairing::pair_many(std::span<const PairTerm> terms) const {
       ++ps.cur;  // the kSquare marker
       while (ps.cur != ps.end &&
              ps.cur->op == PreparedPairing::Op::kMulLine) {
-        Fp re = ps.cur->c1;
-        re *= ps.xq;
-        re.negate_inplace();
-        re += ps.cur->c0;
-        Fp im = ps.cur->c2;
-        im *= ps.yq;
-        f.mul_inplace(Fp2(std::move(re), std::move(im)));
+        mul_replay_line(f, ps.cur->c0, ps.cur->c1, ps.cur->c2, ps.xq,
+                        ps.yq);
         ++ps.cur;
       }
     }

@@ -50,11 +50,12 @@ def load_report(path):
     return data.get("bench", os.path.basename(path)), out
 
 
-def compare_one(tag, base, cur, threshold_pct):
-    """Returns (lines, regression_count, compared_count)."""
+def compare_one(tag, base, cur, threshold_pct, fail_threshold_pct=None):
+    """Returns (lines, regression_count, compared_count, failures)."""
     lines = []
     regressions = 0
     compared = 0
+    failures = []
     for name in sorted(base):
         if name not in cur:
             lines.append(f"  {name:<44} MISSING from current run")
@@ -78,14 +79,18 @@ def compare_one(tag, base, cur, threshold_pct):
         # Normalize so positive regress_pct always means "got worse".
         regress_pct = -delta_pct if bunit in HIGHER_IS_BETTER else delta_pct
         bad = regress_pct > threshold_pct
-        marker = "REGRESSION" if bad else "ok"
+        hard = (fail_threshold_pct is not None
+                and regress_pct > fail_threshold_pct)
+        marker = "FAIL" if hard else ("REGRESSION" if bad else "ok")
         if bad:
             regressions += 1
+        if hard:
+            failures.append((name, regress_pct))
         lines.append(f"  {name:<44} {bval:>12.1f} -> {cval:>12.1f} "
                      f"{bunit:<12} ({delta_pct:+6.1f}%) {marker}")
     for name in sorted(set(cur) - set(base)):
         lines.append(f"  {name:<44} new (no baseline)")
-    return lines, regressions, compared
+    return lines, regressions, compared, failures
 
 
 def main():
@@ -96,6 +101,12 @@ def main():
                     help="regression threshold in percent (default 25)")
     ap.add_argument("--strict", action="store_true",
                     help="exit 1 when any metric regresses past threshold")
+    ap.add_argument("--fail-threshold", type=float, default=None,
+                    metavar="PCT",
+                    help="hard gate: exit 1 when any metric regresses more "
+                         "than PCT percent, independent of --strict. CI's "
+                         "bench-smoke leg uses a deliberately generous value "
+                         "since it runs with MEDCRYPT_BENCH_ITERS=1")
     ap.add_argument("--update", action="store_true",
                     help="copy current BENCH_*.json into the baseline dir")
     args = ap.parse_args()
@@ -122,6 +133,7 @@ def main():
 
     total_regressions = 0
     total_compared = 0
+    total_failures = []
     for bpath in baselines:
         fname = os.path.basename(bpath)
         cpath = os.path.join(args.current_dir, fname)
@@ -135,15 +147,23 @@ def main():
             print(f"bench_compare: malformed report {fname}: {e}",
                   file=sys.stderr)
             return 2
-        lines, regressions, compared = compare_one(tag, base, cur,
-                                                   args.threshold)
+        lines, regressions, compared, failures = compare_one(
+            tag, base, cur, args.threshold, args.fail_threshold)
         print(f"{tag} (threshold {args.threshold:.0f}%):")
         print("\n".join(lines) if lines else "  (empty)")
         total_regressions += regressions
         total_compared += compared
+        total_failures += failures
 
     print(f"\n{total_compared} metric(s) compared, "
           f"{total_regressions} regression(s)")
+    if total_failures:
+        print(f"bench_compare: FAIL: {len(total_failures)} metric(s) past "
+              f"the hard gate (--fail-threshold "
+              f"{args.fail_threshold:.0f}%):", file=sys.stderr)
+        for name, pct in total_failures:
+            print(f"  {name}: {pct:+.1f}%", file=sys.stderr)
+        return 1
     if total_regressions and args.strict:
         return 1
     return 0

@@ -22,6 +22,7 @@
 #include <sstream>
 #include <vector>
 
+#include "bigint/kernels/kernels.h"
 #include "hash/drbg.h"
 #include "mediated/mediated_ibe.h"
 #include "obs/export.h"
@@ -235,6 +236,15 @@ int cmd_stats(const fs::path& dir, std::size_t ops, const std::string& format) {
     }
     std::printf("  %-32s %" PRIu64 "\n", c.name.c_str(), c.value);
   }
+  if (!snap.gauges.empty()) {
+    // Includes the core.kernel.{portable,avx2,bmi2} selection flags: the
+    // dispatched limb kernel publishes 1 on its own gauge, 0 on the rest.
+    std::cout << "\ngauges:\n";
+    for (const auto& g : snap.gauges) {
+      std::printf("  %-32s %" PRId64 "\n", g.name.c_str(), g.value);
+    }
+  }
+  std::cout << "\nkernel: " << bigint::kernels::active().name << "\n";
   if (!snap.histograms.empty()) {
     std::cout << "\nlatency (us):\n";
     std::printf("  %-32s %10s %10s %10s %10s %10s\n", "stage", "count",

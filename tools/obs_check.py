@@ -26,6 +26,11 @@ REQUIRED_COUNTERS = [
 ]
 REQUIRED_STAGES = ["stage.token_issue_ns"]
 
+# The limb-kernel dispatcher (src/bigint/kernels/dispatch.cpp) publishes
+# one selection flag per kernel tier; exactly one must read 1.
+KERNEL_GAUGES = ["core.kernel.portable", "core.kernel.avx2",
+                 "core.kernel.bmi2"]
+
 PROM_SAMPLE_RE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+]+(\s+[0-9]+)?$")
 
@@ -98,6 +103,19 @@ def check_json(path):
             return fail(f"{path}: {name} recorded no samples")
         if not (hist["p50"] <= hist["p99"] <= hist["max"]):
             return fail(f"{path}: {name} percentiles not ordered: {hist}")
+    selected = []
+    for name in KERNEL_GAUGES:
+        if name not in data["gauges"]:
+            return fail(f"{path}: required kernel gauge {name!r} missing")
+        value = data["gauges"][name]
+        if value not in (0, 1):
+            return fail(f"{path}: kernel gauge {name} has non-flag "
+                        f"value {value}")
+        if value == 1:
+            selected.append(name)
+    if len(selected) != 1:
+        return fail(f"{path}: expected exactly one selected kernel gauge, "
+                    f"got {selected or 'none'}")
     print(f"obs_check: {path}: {len(data['counters'])} counters, "
           f"{len(data['histograms'])} histograms, "
           f"{len(data['traces'])} traces — ok")
