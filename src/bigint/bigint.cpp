@@ -549,6 +549,9 @@ BigInt BigInt::random_bits(RandomSource& rng, std::size_t bits) {
 BigInt BigInt::random_below(RandomSource& rng, const BigInt& bound) {
   if (bound <= BigInt{}) throw InvalidArgument("BigInt::random_below: bound must be positive");
   const std::size_t bits = bound.bit_length();
+  // Rejection sampling: the trip count depends only on candidates that
+  // are *discarded*, never on the returned value.
+  // medlint: allow(ct-variable-time)
   for (;;) {
     BigInt candidate = random_bits(rng, bits);
     if (candidate < bound) return candidate;
@@ -559,6 +562,8 @@ BigInt BigInt::random_unit(RandomSource& rng, const BigInt& bound) {
   if (bound <= BigInt(std::uint64_t{1})) {
     throw InvalidArgument("BigInt::random_unit: bound must exceed 1");
   }
+  // Rejection sampling over discarded candidates (see random_below).
+  // medlint: allow(ct-variable-time)
   for (;;) {
     BigInt candidate = random_below(rng, bound);
     if (!candidate.is_zero()) return candidate;

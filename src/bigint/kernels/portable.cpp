@@ -68,8 +68,10 @@ void redc_fixed(u64* t, const u64* n, u64 n0inv, u64* out) {
     }
   }
   // Value is now t[K .. 2K+1]; t[2K+1] is zero and t[2K] < 8 by the
-  // magnitude contract. Subtract n until reduced (≤ 8 iterations).
+  // magnitude contract. Subtract n until reduced (≤ 8 iterations) —
+  // bounded by that contract, not by the operand values.
   u64 high = t[2 * K];
+  // medlint: allow(ct-variable-time)
   for (;;) {
     bool ge = high != 0;
     if (!ge) {
@@ -194,6 +196,8 @@ void redc_generic(u64* t, const u64* n, u64 n0inv, std::size_t k, u64* out) {
     }
   }
   u64 high = t[2 * k];
+  // Conditional-subtract sweep, ≤ 8 iterations by the same magnitude
+  // contract as the fixed-width path.  medlint: allow(ct-variable-time)
   for (;;) {
     bool ge = high != 0;
     if (!ge) {

@@ -122,12 +122,12 @@ Bytes Fp2::to_bytes() const {
 
 Fp2 Fp2::from_bytes(const std::shared_ptr<const PrimeField>& field,
                     BytesView bytes) {
-  const std::size_t half = field->byte_size();
-  if (bytes.size() != 2 * half) {
+  const std::size_t half_len = field->byte_size();
+  if (bytes.size() != 2 * half_len) {
     throw InvalidArgument("Fp2::from_bytes: wrong length");
   }
-  return Fp2(field->from_bytes(bytes.subspan(0, half)),
-             field->from_bytes(bytes.subspan(half)));
+  return Fp2(field->from_bytes(bytes.subspan(0, half_len)),
+             field->from_bytes(bytes.subspan(half_len)));
 }
 
 Fp2 Fp2::random(const std::shared_ptr<const PrimeField>& field,

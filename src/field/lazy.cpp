@@ -1,6 +1,8 @@
 #include "field/lazy.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "bigint/kernels/kernels.h"
 
@@ -8,6 +10,18 @@ namespace medcrypt::field {
 
 using u64 = std::uint64_t;
 using u128 = unsigned __int128;
+
+void WideAcc::budget_overflow(unsigned used) {
+  // No exception: an overflowing accumulator means an arithmetic
+  // invariant is broken tree-wide, and unwinding would let a wrong
+  // pairing escape a catch block. Print where we are and die.
+  std::fprintf(stderr,
+               "medcrypt: WideAcc budget overflow: %u accumulation units "
+               "(kBudget is %u); the lazy-reduction magnitude contract is "
+               "violated\n",
+               used, WideAcc::kBudget);
+  std::abort();
+}
 
 void WideProduct::assign(const Fp& a, const Fp& b) {
   assert(a.field_ != nullptr && a.field_ == b.field_);

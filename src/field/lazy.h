@@ -97,9 +97,18 @@ class WideAcc {
   void add_wide(const std::uint64_t* w);  // T += w (2k limbs)
   void sub_wide(const std::uint64_t* w);  // T -= w (requires T >= w)
   void add_hi(const std::uint64_t* a);    // T += a << 64k (k limbs)
+  // Diagnose-and-abort for a budget overflow that survives into a
+  // build where assert() is compiled out (MEDCRYPT_CHECKED_LAZY).
+  [[noreturn]] static void budget_overflow(unsigned used);
+
   void bump() {
     ++used_;
     assert(used_ <= kBudget && "WideAcc: magnitude budget exceeded");
+#if defined(MEDCRYPT_CHECKED_LAZY)
+    // Always-on backstop: under NDEBUG the assert above vanishes, and a
+    // wrapped accumulator would silently produce a wrong reduction.
+    if (used_ > kBudget) budget_overflow(used_);
+#endif
   }
 
   const bigint::Montgomery* mont_;

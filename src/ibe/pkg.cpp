@@ -11,7 +11,7 @@ Pkg::Pkg(pairing::ParamSet group, std::size_t message_len, BigInt master_key)
     : master_key_(std::move(master_key)) {
   // Range sanity check at construction: rejects only out-of-range inputs,
   // which honestly generated keys never are, so the branch outcome is the
-  // public fact "this Pkg exists".  medlint: allow(secret-branch)
+  // public fact "this Pkg exists".  medlint: allow(secret-branch, ct-variable-time)
   if (master_key_ <= BigInt(0) || master_key_ >= group.order()) {
     throw InvalidArgument("Pkg: master key out of range");
   }

@@ -10,6 +10,10 @@ MRsaKeygenResult mrsa_keygen(std::size_t modulus_bits, RandomSource& rng) {
   rsa::KeyGenOptions opts;
   opts.modulus_bits = modulus_bits;
   const rsa::PrivateKey key = rsa::generate_key(opts, rng);
+  // The paper's additive split d = d_user + d_sem (mod φ(n)) runs once
+  // at keygen on a freshly generated key; BigInt's variable-time mod is
+  // accepted here (see ROADMAP: constant-time RSA exponentiation).
+  // medlint: allow(ct-variable-time)
   auto [d_user, d_sem] = rsa::split_exponent(key.d, key.phi, rng);
   return MRsaKeygenResult{key.pub, std::move(d_user), std::move(d_sem)};
 }

@@ -16,6 +16,8 @@ ParamSet generate_params(std::size_t p_bits, std::size_t q_bits,
   // exactly p_bits bits. Then p ≡ 3 (mod 4) because h q ≡ 0 (mod 4).
   const std::size_t h_bits = p_bits - q_bits;
   BigInt p, h;
+  // Prime search over public system parameters — (p, q, h) are all
+  // published with the ParamSet.  medlint: allow(ct-variable-time)
   for (;;) {
     h = BigInt::random_bits(rng, h_bits - 2) + (BigInt(1) << (h_bits - 2));
     h = h << 2;  // multiple of 4 with top bit in place
@@ -27,7 +29,8 @@ ParamSet generate_params(std::size_t p_bits, std::size_t q_bits,
   auto field = field::PrimeField::make(p);
   auto curve = Curve::make(field, field->one(), field->zero(), q, h);
 
-  // Generator: random point cleared by the cofactor.
+  // Generator: random point cleared by the cofactor. The generator is a
+  // public parameter.  medlint: allow(ct-variable-time)
   for (;;) {
     const field::Fp x = field->random(rng);
     const field::Fp rhs = curve->rhs(x);

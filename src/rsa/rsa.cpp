@@ -9,16 +9,16 @@ PrivateKey generate_key(const KeyGenOptions& options, RandomSource& rng) {
   if (options.modulus_bits < 64) {
     throw InvalidArgument("rsa::generate_key: modulus too small");
   }
-  const std::size_t half = options.modulus_bits / 2;
+  const std::size_t half_bits = options.modulus_bits / 2;
   const BigInt one(std::uint64_t{1});
 
   for (;;) {
     const BigInt p = options.safe_primes
-                         ? bigint::generate_safe_prime(half, rng)
-                         : bigint::generate_prime(half, rng);
+                         ? bigint::generate_safe_prime(half_bits, rng)
+                         : bigint::generate_prime(half_bits, rng);
     const BigInt q = options.safe_primes
-                         ? bigint::generate_safe_prime(options.modulus_bits - half, rng)
-                         : bigint::generate_prime(options.modulus_bits - half, rng);
+                         ? bigint::generate_safe_prime(options.modulus_bits - half_bits, rng)
+                         : bigint::generate_prime(options.modulus_bits - half_bits, rng);
     if (p == q) continue;
     const BigInt n = p * q;
     if (n.bit_length() != options.modulus_bits) continue;

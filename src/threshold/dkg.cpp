@@ -71,7 +71,7 @@ bool DkgParticipant::receive_share(std::uint32_t from, const BigInt& share) {
     throw InvalidArgument("DkgParticipant: share before commitment");
   }
   // Feldman verification: s_ij·P == Σ_k j^k·A_ik. The verdict is public
-  // by protocol design — complaints are broadcast.  medlint: allow(secret-branch)
+  // by protocol design — complaints are broadcast.  medlint: allow(secret-branch, ct-variable-time)
   if (!(group_.mul_g(share) ==
         evaluate_commitment(it->second, index_))) {
     complaints_.push_back(from);

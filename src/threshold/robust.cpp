@@ -52,9 +52,9 @@ bool verify_share_proof(const pairing::TatePairing& pairing,
       challenge(share_value, vk_pairing, proof.w1, proof.w2, u, order);
   // The Fiat–Shamir challenge is a published proof component; branching
   // on it reveals only the (public) accept/reject verdict.
-  // medlint: allow(secret-branch)
+  // medlint: allow(secret-branch, ct-variable-time)
   if (e != proof.e) return false;
-  // ê(P, V) = w1 · ê(P_pub^(i), Q_ID)^e  medlint: allow(secret-branch)
+  // ê(P, V) = w1 · ê(P_pub^(i), Q_ID)^e  medlint: allow(secret-branch, ct-variable-time)
   if (!(pairing.pair(generator, proof.v) == proof.w1 * vk_pairing.pow(e))) {
     return false;
   }

@@ -366,6 +366,25 @@ TEST(KernelDiff, WideAccMatchesFpChains) {
   }
 }
 
+#if defined(MEDCRYPT_CHECKED_LAZY) || !defined(NDEBUG)
+// The budget check must fire on the (kBudget+1)-th accumulation: via
+// assert() in debug builds, via the MEDCRYPT_CHECKED_LAZY abort path
+// when assert compiles out. Either way the process dies before
+// reduce_into can hand back a wrapped value.
+TEST(KernelDiffDeathTest, WideAccBudgetOverflowAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  HmacDrbg rng(7109);
+  const auto field = pairing::named_params(kNamedSets[0]).curve->field();
+  const Fp a = field->random(rng), b = field->random(rng);
+  EXPECT_DEATH(
+      {
+        WideAcc acc(*field);
+        for (unsigned j = 0; j <= WideAcc::kBudget; ++j) acc.sub_product(a, b);
+      },
+      "budget");
+}
+#endif
+
 TEST(KernelDiff, LazyFp2MulMatchesSchoolbook) {
   HmacDrbg rng(7108);
   for (const char* name : kNamedSets) {

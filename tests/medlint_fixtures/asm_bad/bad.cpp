@@ -1,0 +1,59 @@
+// asm-audit positives: one defect per statement. Findings attach to the
+// asm statement's opening line.
+#include <cstdint>
+
+// The real kernels build their templates from macros; expansion has to
+// happen before the audit can see the instruction stream. This row
+// loads rdx (mulx's implicit source) but the "rdx" clobber has been
+// deleted — the classic silent miscompile.
+#define LOADB(B) "movq %[" B "], %%rdx\n\t"
+
+void missing_rdx_clobber(std::uint64_t* t, const std::uint64_t* b) {
+  std::uint64_t lo, hi;
+  __asm__ volatile(  // line 13
+      LOADB("b0")
+      "mulxq %[a0], %[lo], %[hi]\n\t"
+      : [lo] "=&r"(lo), [hi] "=&r"(hi)
+      : [b0] "m"(b[0]), [a0] "r"(t[0])
+      : "cc");
+  t[1] = lo + hi;
+}
+
+void missing_cc_clobber(std::uint64_t* t) {
+  __asm__("addq $1, %[v]\n\t" : [v] "+r"(t[0]));  // line 23
+}
+
+void flag_dependent_branch(std::uint64_t* t) {
+  __asm__ volatile(  // line 27
+      "addq $1, %[v]\n\t"
+      "jc 1f\n\t"
+      "1:\n\t"
+      : [v] "+r"(t[0])
+      :
+      : "cc");
+}
+
+void banned_division(std::uint64_t a, std::uint64_t d, std::uint64_t* q) {
+  __asm__("divq %[d]\n\t"  // line 37
+          : "+a"(a)
+          : [d] "r"(d)
+          : "rdx", "cc");
+  *q = a;
+}
+
+void rmw_needs_plus(std::uint64_t a, std::uint64_t* s) {
+  std::uint64_t sum;
+  __asm__("adcxq %[a], %[s]\n\t"  // line 46
+          : [s] "=&r"(sum)
+          : [a] "r"(a)
+          : "cc");
+  *s = sum;
+}
+
+void writes_input_only(std::uint64_t v, std::uint64_t* out) {
+  __asm__("movq $0, %[x]\n\t"  // line 54
+          :
+          : [x] "r"(v)
+          :);
+  *out = v;
+}

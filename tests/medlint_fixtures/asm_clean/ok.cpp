@@ -1,0 +1,44 @@
+// asm-audit negatives: correct kernels in the real tree's idiom — all
+// of these must pass the audit with zero findings.
+#include <cstdint>
+
+// Macro-built MAC chain exactly like the Montgomery rows: xor-self
+// zeroing (the sanctioned write-only idiom), mulx into fresh
+// registers, adcx/adox with '+' constraints, and the full clobber
+// list ("rdx" because the B-load writes it, "cc" for the carry
+// chains, "memory" for the stores through %[t]).
+#define CLEAR(R) "xorl %k[" R "], %k[" R "]\n\t"
+#define ROW(A, B)                             \
+  "movq %[" B "], %%rdx\n\t"                  \
+  "mulxq %[" A "], %%r8, %%r9\n\t"            \
+  "adcxq %%r8, %[acc0]\n\t"                   \
+  "adoxq %%r9, %[acc1]\n\t"
+
+void mac_row(const std::uint64_t* a, const std::uint64_t* b,
+             std::uint64_t* t) {
+  std::uint64_t acc0 = 0, acc1 = 0;
+  __asm__ volatile(
+      CLEAR("zero")
+      ROW("a0", "b0")
+      "movq %[acc0], (%[t])\n\t"
+      "movq %[acc1], 8(%[t])\n\t"
+      : [acc0] "+&r"(acc0), [acc1] "+&r"(acc1), [zero] "=&r"(t[2])
+      : [a0] "m"(a[0]), [b0] "m"(b[0]), [t] "r"(t)
+      : "rdx", "r8", "r9", "cc", "memory");
+}
+
+// Counter-driven loop: dec feeding jnz is the one sanctioned branch.
+void counted_copy(const std::uint64_t* src, std::uint64_t* dst,
+                  std::uint64_t n) {
+  __asm__ volatile(
+      "1:\n\t"
+      "movq (%[s]), %%r8\n\t"
+      "movq %%r8, (%[d])\n\t"
+      "leaq 8(%[s]), %[s]\n\t"
+      "leaq 8(%[d]), %[d]\n\t"
+      "decq %[n]\n\t"
+      "jnz 1b\n\t"
+      : [s] "+&r"(src), [d] "+&r"(dst), [n] "+&r"(n)
+      :
+      : "r8", "cc", "memory");
+}

@@ -1,0 +1,18 @@
+// Interprocedural ct-variable-time: a secret reaching a modulus two
+// hops down the call chain is flagged at the entry call site with the
+// chain named — "(via inner_mod()) through 'middle()'".
+struct BigInt {
+  BigInt operator%(const BigInt&) const;
+};
+
+BigInt inner_mod(const BigInt& x, const BigInt& m) {
+  return x % m;  // line 9: the sink (flagged per-param as a fact)
+}
+
+BigInt middle(const BigInt& v, const BigInt& m) {
+  return inner_mod(v, m);
+}
+
+BigInt entry(const BigInt& secret_key, const BigInt& m) {
+  return middle(secret_key, m);  // line 17: flagged with the chain
+}

@@ -1,0 +1,23 @@
+// Structural rule: an unbounded loop whose only way out is a
+// data-dependent exit has an input-dependent trip count, no taint
+// tracking needed (the try-and-increment shape).
+struct Point {
+  bool valid() const;
+};
+
+Point derive(unsigned ctr);
+
+Point find_point(unsigned seed) {
+  for (;;) {  // line 11: unbounded, exits on data
+    Point p = derive(seed++);
+    if (p.valid()) return p;
+  }
+}
+
+int drain(const int* q) {
+  while (true) {  // line 17: same shape through while(true)
+    if (*q == 0) break;
+    ++q;
+  }
+  return 0;
+}

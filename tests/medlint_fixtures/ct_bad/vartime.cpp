@@ -1,0 +1,41 @@
+// ct-variable-time positives: each marked line must be flagged.
+#include <cstddef>
+
+struct BigInt {
+  BigInt operator/(const BigInt&) const;
+  BigInt operator%(const BigInt&) const;
+  bool is_zero() const;
+};
+
+// Secret operand of a variable-latency division.
+BigInt quotient(const BigInt& secret_d, const BigInt& m) {
+  return secret_d / m;  // line 12: division operand
+}
+
+// Secret operand of a modulus.
+BigInt residue(const BigInt& priv_key, const BigInt& m) {
+  return priv_key % m;  // line 17: modulus operand
+}
+
+// Secret shift amount.
+unsigned shifted(unsigned long secret_scalar) {
+  return 1u << secret_scalar;  // line 22: shift amount
+}
+
+// Secret loop trip count.
+int window(unsigned long secret_exponent) {
+  int n = 0;
+  while (secret_exponent != 0) {  // line 28: loop trip count
+    secret_exponent /= 2;
+    ++n;
+  }
+  return n;
+}
+
+// Secret-controlled early exit.
+int bail(unsigned long master_key) {
+  if (master_key & 1) {  // line 37: early exit
+    return -1;
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// ct-variable-time negatives: sanctioned idioms that must stay clean.
+#include <cstddef>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+struct BigInt {
+  BigInt operator%(const BigInt&) const;
+  std::size_t bit_length() const;
+};
+
+struct PublicKey {
+  BigInt n;
+  BigInt e;
+};
+
+bool ct_equal(const Bytes&, const Bytes&);
+bool verify_tag(const Bytes&);
+
+// A public-prefixed parameter type declassifies a secret-looking name:
+// PublicKey's components are public by definition.
+BigInt public_op(const PublicKey& key, const BigInt& x) {
+  return x % key.n;
+}
+
+// Public lengths may feed divisions and shifts.
+std::size_t split_point(std::size_t total_len) {
+  const std::size_t half_len = total_len / 2;
+  return half_len << 1;
+}
+
+// Public metadata and vetted predicates may gate early exits.
+int gates(const Bytes& master_key, const Bytes& tag_key) {
+  if (master_key.size() < 16) return -1;
+  if (ct_equal(master_key, tag_key)) return 1;
+  if (verify_tag(master_key)) return 2;
+  return 0;
+}
+
+// Counted loops with public bounds are fine, exits or not.
+unsigned sum_words(const unsigned* w, std::size_t count) {
+  unsigned acc = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (w[i] == 0) continue;
+    acc += w[i];
+  }
+  return acc;
+}

@@ -1,0 +1,69 @@
+// lazy-budget positives. The driver discovers the budget from this
+// declaration (kBudget = 4 here, so fixtures stay compact).
+struct Fp {};
+struct WideProduct {};
+
+struct WideAcc {
+  static constexpr unsigned kBudget = 4;
+  void add_product(const Fp&, const Fp&);
+  void sub_product(const Fp&, const Fp&);
+  void add(const WideProduct&);
+  void reduce_into(Fp&);
+};
+
+void take_ref(WideAcc&);
+
+// Straight-line overflow: the fifth unit exceeds the budget of 4.
+void too_many_units(const Fp& a, const Fp& b, Fp& out) {
+  WideAcc acc;
+  acc.add_product(a, b);
+  acc.sub_product(a, b);
+  acc.add_product(a, b);
+  acc.sub_product(a, b);
+  acc.add_product(a, b);  // line 23: 5 units on this path
+  acc.reduce_into(out);
+}
+
+// Join-point merge: 3 down each branch plus 2 after joins to 5.
+void branch_overflow(const Fp& a, const Fp& b, Fp& out, bool swap) {
+  WideAcc acc;
+  if (swap) {
+    acc.add_product(a, b);
+    acc.add_product(a, b);
+    acc.add_product(a, b);
+  } else {
+    acc.sub_product(a, b);
+    acc.sub_product(a, b);
+    acc.sub_product(a, b);
+  }
+  acc.add_product(a, b);
+  acc.add_product(a, b);  // line 40: max(3,3)+2 = 5 units
+  acc.reduce_into(out);
+}
+
+// A loop accumulating into an outer WideAcc needs a trip-count bound.
+void unannotated_loop(const Fp& a, const Fp& b, Fp& out, int n) {
+  WideAcc acc;
+  for (int i = 0; i < n; ++i) {  // line 47: no lazy_bound(N)
+    acc.add_product(a, b);
+  }
+  acc.reduce_into(out);
+}
+
+// An annotated bound that exceeds the budget overflows in simulation.
+void annotated_overflow(const Fp& a, const Fp& b, Fp& out) {
+  WideAcc acc;
+  // medlint: lazy_bound(6)
+  for (int i = 0; i < 6; ++i) {
+    acc.add_product(a, b);  // line 58: 5th iteration exceeds 4
+  }
+  acc.reduce_into(out);
+}
+
+// Aliasing defeats the path walk: the budget is no longer provable.
+void escapes(const Fp& a, const Fp& b, Fp& out) {
+  WideAcc acc;
+  acc.add_product(a, b);
+  take_ref(acc);  // line 67: escapes local analysis
+  acc.reduce_into(out);
+}

@@ -1,0 +1,64 @@
+// lazy-budget negatives: in-budget paths that must stay clean.
+// kBudget = 4 (driver discovers it from this declaration).
+struct Fp {};
+struct WideProduct {};
+
+struct WideAcc {
+  static constexpr unsigned kBudget = 4;
+  void add_product(const Fp&, const Fp&);
+  void sub_product(const Fp&, const Fp&);
+  void add(const WideProduct&);
+  void reduce_into(Fp&);
+};
+
+// Exactly at the budget, twice: reduce_into resets the count.
+void reuse(const Fp& a, const Fp& b, Fp& out) {
+  WideAcc acc;
+  acc.add_product(a, b);
+  acc.sub_product(a, b);
+  acc.add_product(a, b);
+  acc.sub_product(a, b);
+  acc.reduce_into(out);
+  acc.add_product(a, b);
+  acc.sub_product(a, b);
+  acc.add_product(a, b);
+  acc.sub_product(a, b);
+  acc.reduce_into(out);
+}
+
+// Join points take the max over branches, not the sum.
+void branches_merge(const Fp& a, const Fp& b, Fp& out, bool swap) {
+  WideAcc acc;
+  if (swap) {
+    acc.add_product(a, b);
+    acc.add_product(a, b);
+  } else {
+    acc.sub_product(a, b);
+    acc.sub_product(a, b);
+  }
+  acc.add_product(a, b);
+  acc.add_product(a, b);
+  acc.reduce_into(out);
+}
+
+// An annotated loop within budget: 2 iterations x 2 units = 4.
+void annotated_loop(const Fp& a, const Fp& b, Fp& out) {
+  WideAcc acc;
+  // medlint: lazy_bound(2)
+  for (int i = 0; i < 2; ++i) {
+    acc.add_product(a, b);
+    acc.sub_product(a, b);
+  }
+  acc.reduce_into(out);
+}
+
+// A WideAcc declared inside the loop body resets every iteration and
+// needs no bound annotation.
+void per_iteration(const Fp& a, const Fp& b, Fp& out, int n) {
+  for (int i = 0; i < n; ++i) {
+    WideAcc acc;
+    acc.add_product(a, b);
+    acc.sub_product(a, b);
+    acc.reduce_into(out);
+  }
+}

@@ -77,7 +77,7 @@ TEST(Medlint, AllowlistSuppressesVettedFindings) {
       << r.output;
 }
 
-TEST(Medlint, ListChecksEnumeratesAllFifteen) {
+TEST(Medlint, ListChecksEnumeratesAllEighteen) {
   const RunResult r = run_medlint("--list-checks");
   EXPECT_EQ(r.exit_code, 0);
   for (const char* id :
@@ -85,7 +85,8 @@ TEST(Medlint, ListChecksEnumeratesAllFifteen) {
         "banned-randomness", "missing-wipe-dtor", "secret-return-by-value",
         "secret-taint-escape", "secret-branch", "leaky-early-return",
         "secret-param-by-value", "obs-secret-arg", "secret-extern-call",
-        "lock-discipline", "epoch-publish", "atomic-ordering"}) {
+        "lock-discipline", "epoch-publish", "atomic-ordering",
+        "ct-variable-time", "lazy-budget", "asm-audit"}) {
     EXPECT_NE(r.output.find(id), std::string::npos) << id;
   }
 }
@@ -164,7 +165,9 @@ TEST(MedlintDataflow, FlagsSecretParamsTakenByValue) {
             std::string::npos)
       << r.output;
   // The whole bad tree: exactly the planted findings, nothing more.
-  EXPECT_NE(r.output.find("12 violation(s)"), std::string::npos) << r.output;
+  // (12 v2 dataflow findings + the 2 ct-variable-time findings the v4
+  // engine adds on branch.cpp's secret early exit and loop condition.)
+  EXPECT_NE(r.output.find("14 violation(s)"), std::string::npos) << r.output;
 }
 
 TEST(MedlintDataflow, SanctionedIdiomsStayClean) {
@@ -430,6 +433,251 @@ TEST(MedlintSuppress, StaleBaselineEntriesFailTheRun) {
             std::string::npos)
       << r.output;
   EXPECT_NE(r.output.find("may only shrink"), std::string::npos) << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// v4: ct-variable-time — secrets reaching variable-latency operations
+// ---------------------------------------------------------------------------
+
+TEST(MedlintCt, FlagsEveryVariableTimeShape) {
+  const RunResult r = run_medlint("--src " + fixtures("ct_bad") +
+                                  " --check ct-variable-time");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // Direct shapes: division/modulus operand, shift amount, loop trip
+  // count, and a secret-controlled early exit.
+  EXPECT_NE(r.output.find("vartime.cpp:12: [ct-variable-time] secret "
+                          "'secret_d' reaches a variable-latency "
+                          "division/modulus operand"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("vartime.cpp:17: [ct-variable-time] secret "
+                          "'priv_key' reaches a variable-latency "
+                          "division/modulus operand"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("vartime.cpp:22: [ct-variable-time] secret "
+                          "'secret_scalar' reaches a variable-latency shift "
+                          "amount"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("vartime.cpp:28: [ct-variable-time] secret "
+                          "'secret_exponent' reaches a loop trip count"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find(
+                "vartime.cpp:37: [ct-variable-time] secret 'master_key' "
+                "controls an early exit (branch timing leaks it)"),
+            std::string::npos)
+      << r.output;
+  // Structural findings: unbounded loops whose exit depends on data.
+  EXPECT_NE(r.output.find("unbounded.cpp:11: [ct-variable-time] unbounded "
+                          "loop with a data-dependent exit"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("unbounded.cpp:18"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("9 violation(s)"), std::string::npos) << r.output;
+}
+
+TEST(MedlintCt, NamesTheCallChainAtTheEntrySite) {
+  // entry() -> middle() -> inner_mod(): the division is two calls deep,
+  // but the finding lands at entry's call site and names the chain.
+  const RunResult r = run_medlint("--src " + fixtures("ct_bad") +
+                                  " --check ct-variable-time");
+  EXPECT_NE(r.output.find("chain.cpp:17: [ct-variable-time] secret "
+                          "'secret_key' reaches a variable-latency "
+                          "division/modulus operand (via inner_mod()) "
+                          "through 'middle()'"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(MedlintCt, SanctionedPublicIdiomsStayClean) {
+  // PublicKey-typed params, _len/_bits metadata, size() accessors,
+  // ct_equal/verify_tag gates, and counted loops: zero findings.
+  const RunResult r = run_medlint("--src " + fixtures("ct_clean") +
+                                  " --check ct-variable-time");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 violation(s)"), std::string::npos) << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// v4: lazy-budget — WideAcc accumulation units proven <= kBudget
+// ---------------------------------------------------------------------------
+
+TEST(MedlintLazy, FlagsOverflowMergeLoopAndEscape) {
+  // The fixture declares kBudget = 4; the driver discovers it from the
+  // token stream, so these stay compact.
+  const RunResult r =
+      run_medlint("--src " + fixtures("lazy_bad") + " --check lazy-budget");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // Straight-line fifth unit.
+  EXPECT_NE(r.output.find("overflow.cpp:23: [lazy-budget] WideAcc 'acc' "
+                          "reaches 5 accumulation units on this path; "
+                          "kBudget is 4"),
+            std::string::npos)
+      << r.output;
+  // Join points take the max over branches: max(3,3)+2 = 5.
+  EXPECT_NE(r.output.find("overflow.cpp:40: [lazy-budget] WideAcc 'acc' "
+                          "reaches 5 accumulation units"),
+            std::string::npos)
+      << r.output;
+  // A loop bumping an outer WideAcc needs a lazy_bound(N) annotation.
+  EXPECT_NE(r.output.find(
+                "overflow.cpp:47: [lazy-budget] loop accumulates into a "
+                "WideAcc declared outside it without a "
+                "'// medlint: lazy_bound(N)' trip-count annotation"),
+            std::string::npos)
+      << r.output;
+  // An annotated bound that overflows in simulation — the shape a
+  // tate.cpp line evaluation grows into if someone adds a sixth term.
+  EXPECT_NE(r.output.find("overflow.cpp:58: [lazy-budget] WideAcc 'acc' "
+                          "reaches 5 accumulation units"),
+            std::string::npos)
+      << r.output;
+  // Aliasing defeats the path walk.
+  EXPECT_NE(r.output.find("overflow.cpp:67: [lazy-budget] WideAcc 'acc' "
+                          "escapes local analysis (aliased or passed by "
+                          "reference); its budget cannot be proven"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("5 violation(s)"), std::string::npos) << r.output;
+}
+
+TEST(MedlintLazy, InBudgetPathsStayClean) {
+  // reduce_into resets the count, joins take max not sum, an annotated
+  // 2x2 loop lands exactly at budget, and a WideAcc declared inside the
+  // loop body needs no annotation.
+  const RunResult r =
+      run_medlint("--src " + fixtures("lazy_clean") + " --check lazy-budget");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 violation(s)"), std::string::npos) << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// v4: asm-audit — extended-asm clobbers, constraints, and control flow
+// ---------------------------------------------------------------------------
+
+TEST(MedlintAsm, FlagsClobberConstraintAndControlFlowDefects) {
+  const RunResult r =
+      run_medlint("--src " + fixtures("asm_bad") + " --check asm-audit");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // The acceptance shape: a macro-expanded row loads %rdx (mulx's
+  // implicit source) but the "rdx" clobber was deleted.
+  EXPECT_NE(r.output.find("bad.cpp:13: [asm-audit] asm writes %rdx but the "
+                          "clobber list lacks \"rdx\""),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("bad.cpp:23: [asm-audit] 'addq' writes EFLAGS but "
+                          "the clobber list lacks \"cc\""),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find(
+                "bad.cpp:27: [asm-audit] conditional branch 'jc' is not a "
+                "counter-driven dec/jnz pattern"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(
+      r.output.find("bad.cpp:37: [asm-audit] 'divq' has data-dependent "
+                    "latency"),
+      std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("bad.cpp:46: [asm-audit] 'adcxq' read-modify-"
+                          "writes [s] but its constraint \"=&r\" lacks '+'"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("bad.cpp:54: [asm-audit] asm writes operand [x] "
+                          "which is declared input-only"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("6 violation(s)"), std::string::npos) << r.output;
+}
+
+TEST(MedlintAsm, CorrectKernelIdiomsStayClean) {
+  // Macro-built mulx/adcx/adox row with full clobbers, xor-self zeroing,
+  // and the sanctioned dec/jnz counter loop: zero findings.
+  const RunResult r =
+      run_medlint("--src " + fixtures("asm_clean") + " --check asm-audit");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 violation(s)"), std::string::npos) << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// v4: golden SARIF — byte-exact output over all three new engines
+// ---------------------------------------------------------------------------
+
+TEST(MedlintSarif, GoldenV4MatchesByteForByte) {
+  const std::string sarif = "medlint_test_v4.sarif";
+  const RunResult r = run_medlint(
+      "--src " + fixtures("ct_bad") + " --src " + fixtures("lazy_bad") +
+      " --src " + fixtures("asm_bad") +
+      " --check ct-variable-time,lazy-budget,asm-audit --sarif " + sarif);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  const auto slurp = [](const std::string& path) {
+    std::string contents;
+    FILE* f = std::fopen(path.c_str(), "r");
+    EXPECT_NE(f, nullptr) << "cannot open " << path;
+    if (!f) return contents;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+      contents.append(buf, n);
+    std::fclose(f);
+    return contents;
+  };
+  const std::string actual = slurp(sarif);
+  std::remove(sarif.c_str());
+  // The golden file abstracts the fixtures prefix as @FIXTURES@; SARIF
+  // URIs mirror the --src arguments, so substituting the prefix used
+  // above reproduces the expected bytes exactly.
+  std::string expected = slurp(fixtures("golden_v4.sarif"));
+  const std::string placeholder = "@FIXTURES@";
+  std::size_t pos = 0;
+  while ((pos = expected.find(placeholder, pos)) != std::string::npos) {
+    expected.replace(pos, placeholder.size(), MEDLINT_FIXTURES);
+    pos += std::string(MEDLINT_FIXTURES).size();
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Medlint, CheckFlagRestrictsEnginesAndRejectsUnknownIds) {
+  // Scoping to an unrelated engine silences the lazy_bad findings.
+  const RunResult scoped = run_medlint("--src " + fixtures("lazy_bad") +
+                                       " --check ct-variable-time");
+  EXPECT_EQ(scoped.exit_code, 0) << scoped.output;
+  EXPECT_NE(scoped.output.find("0 violation(s)"), std::string::npos)
+      << scoped.output;
+  // Unknown check ids are a usage error, not a silent no-op.
+  EXPECT_EQ(run_medlint("--src " + fixtures("lazy_bad") +
+                        " --check no-such-check")
+                .exit_code,
+            2);
+}
+
+TEST(MedlintIncremental, WarmRunSkipsUnchangedFiles) {
+  // --incremental is the fast pre-commit mode: only files whose content
+  // hash missed the summary cache are re-checked. A warm run over an
+  // unchanged tree therefore analyzes nothing and reports nothing; the
+  // full run (CI) remains the authoritative gate.
+  const std::string cache = "medlint_test_incr.cache";
+  std::remove(cache.c_str());
+  const std::string args = "--src " + fixtures("ct_bad") +
+                           " --check ct-variable-time --summary-cache " +
+                           cache + " --incremental --stats";
+  const RunResult cold = run_medlint(args);
+  EXPECT_EQ(cold.exit_code, 1) << cold.output;
+  EXPECT_NE(cold.output.find("incremental: re-analyzed 3 of 3 file(s)"),
+            std::string::npos)
+      << cold.output;
+  EXPECT_NE(cold.output.find("9 violation(s)"), std::string::npos)
+      << cold.output;
+  const RunResult warm = run_medlint(args);
+  std::remove(cache.c_str());
+  EXPECT_EQ(warm.exit_code, 0) << warm.output;
+  EXPECT_NE(warm.output.find("incremental: re-analyzed 0 of 3 file(s)"),
+            std::string::npos)
+      << warm.output;
+  EXPECT_NE(warm.output.find("0 violation(s)"), std::string::npos)
+      << warm.output;
 }
 
 }  // namespace

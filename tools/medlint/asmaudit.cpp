@@ -1,0 +1,836 @@
+// asm-audit engine. See asmaudit.h for the model.
+
+#include "asmaudit.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace medlint {
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// ---------------------------------------------------------------------------
+// Raw-text preprocessing: comment stripping (string-aware) and
+// function-like macro collection. The lexer cannot serve here because it
+// replaces string literals — the asm templates — with placeholders.
+// ---------------------------------------------------------------------------
+
+// Replaces comments with spaces, preserving newlines, strings and
+// backslash-newline splices (a line comment ending in '\' continues).
+std::string strip_comments(const std::vector<std::string>& lines) {
+  std::string text;
+  for (const std::string& l : lines) {
+    text += l;
+    text += '\n';
+  }
+  std::string out;
+  out.reserve(text.size());
+  enum { kCode, kLine, kBlock, kStr, kChar } st = kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char n = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (st) {
+      case kCode:
+        if (c == '/' && n == '/') {
+          st = kLine;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = kBlock;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          st = kStr;
+          out += c;
+        } else if (c == '\'') {
+          st = kChar;
+          out += c;
+        } else {
+          out += c;
+        }
+        break;
+      case kLine:
+        if (c == '\\' && n == '\n') {
+          out += " \n";  // spliced comment line: stay in the comment
+          ++i;
+        } else if (c == '\n') {
+          st = kCode;
+          out += c;
+        } else {
+          out += ' ';
+        }
+        break;
+      case kBlock:
+        if (c == '*' && n == '/') {
+          st = kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case kStr:
+      case kChar:
+        out += c;
+        if (c == '\\' && n != '\0') {
+          out += n;
+          ++i;
+        } else if ((st == kStr && c == '"') || (st == kChar && c == '\'')) {
+          st = kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+struct Macro {
+  std::vector<std::string> params;
+  std::string body;  // continuations joined, backslashes removed
+};
+
+std::map<std::string, Macro> collect_macros(const std::string& text) {
+  std::map<std::string, Macro> macros;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    // Join backslash continuations into one logical line.
+    while (!line.empty() && eol < text.size()) {
+      std::size_t last = line.find_last_not_of(" \t");
+      if (last == std::string::npos || line[last] != '\\') break;
+      line.resize(last);
+      line += ' ';
+      const std::size_t next = text.find('\n', eol + 1);
+      const std::size_t stop = next == std::string::npos ? text.size() : next;
+      line += text.substr(eol + 1, stop - eol - 1);
+      eol = stop;
+    }
+    pos = eol + 1;
+    std::size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos || line[i] != '#') continue;
+    i = line.find_first_not_of(" \t", i + 1);
+    if (i == std::string::npos || line.compare(i, 6, "define") != 0) continue;
+    i = line.find_first_not_of(" \t", i + 6);
+    if (i == std::string::npos) continue;
+    std::size_t j = i;
+    while (j < line.size() && ident_char(line[j])) ++j;
+    const std::string name = line.substr(i, j - i);
+    if (j >= line.size() || line[j] != '(') continue;  // object-like: skip
+    Macro m;
+    std::size_t k = j + 1;
+    std::string cur;
+    for (; k < line.size() && line[k] != ')'; ++k) {
+      if (line[k] == ',') {
+        m.params.push_back(cur);
+        cur.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(line[k]))) {
+        cur += line[k];
+      }
+    }
+    if (!cur.empty()) m.params.push_back(cur);
+    if (k < line.size()) m.body = line.substr(k + 1);
+    macros[name] = m;
+  }
+  return macros;
+}
+
+// Substitutes macro parameters (identifier-boundary, outside string
+// literals) with their arguments.
+std::string substitute(const std::string& body,
+                       const std::vector<std::string>& params,
+                       const std::vector<std::string>& args) {
+  std::string out;
+  bool in_str = false;
+  for (std::size_t i = 0; i < body.size();) {
+    const char c = body[i];
+    if (c == '"') {
+      in_str = !in_str;
+      out += c;
+      ++i;
+      continue;
+    }
+    if (in_str && c == '\\' && i + 1 < body.size()) {
+      out += c;
+      out += body[i + 1];
+      i += 2;
+      continue;
+    }
+    if (!in_str && ident_char(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < body.size() && ident_char(body[j])) ++j;
+      const std::string id = body.substr(i, j - i);
+      bool replaced = false;
+      for (std::size_t p = 0; p < params.size() && p < args.size(); ++p) {
+        if (params[p] == id) {
+          out += args[p];
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) out += id;
+      i = j;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+// Splits `text` on top-level commas (outside strings/parens/brackets).
+std::vector<std::string> split_top_commas(const std::string& text) {
+  std::vector<std::string> parts;
+  std::string cur;
+  int depth = 0;
+  bool in_str = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_str) {
+      cur += c;
+      if (c == '\\' && i + 1 < text.size()) {
+        cur += text[++i];
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_str = true;
+      cur += c;
+    } else if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+      cur += c;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      cur += c;
+    } else if (c == ',' && depth == 0) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+// Expands known function-like macros in `text` until none remain (or
+// the iteration cap trips on recursion).
+std::string expand_macros(const std::string& text,
+                          const std::map<std::string, Macro>& macros) {
+  std::string cur = text;
+  for (int round = 0; round < 64; ++round) {
+    bool changed = false;
+    std::string out;
+    bool in_str = false;
+    for (std::size_t i = 0; i < cur.size();) {
+      const char c = cur[i];
+      if (c == '"') {
+        in_str = !in_str;
+        out += c;
+        ++i;
+        continue;
+      }
+      if (in_str) {
+        out += c;
+        if (c == '\\' && i + 1 < cur.size()) out += cur[++i];
+        ++i;
+        continue;
+      }
+      if (ident_char(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+        std::size_t j = i;
+        while (j < cur.size() && ident_char(cur[j])) ++j;
+        const std::string id = cur.substr(i, j - i);
+        const auto it = macros.find(id);
+        std::size_t k = j;
+        while (k < cur.size() &&
+               std::isspace(static_cast<unsigned char>(cur[k])))
+          ++k;
+        if (it != macros.end() && k < cur.size() && cur[k] == '(') {
+          // Find the matching ')' (string-aware).
+          int depth = 0;
+          bool s = false;
+          std::size_t close = k;
+          for (; close < cur.size(); ++close) {
+            const char d = cur[close];
+            if (s) {
+              if (d == '\\') ++close;
+              else if (d == '"') s = false;
+            } else if (d == '"') {
+              s = true;
+            } else if (d == '(') {
+              ++depth;
+            } else if (d == ')' && --depth == 0) {
+              break;
+            }
+          }
+          if (close < cur.size()) {
+            const std::string argtext = cur.substr(k + 1, close - k - 1);
+            std::vector<std::string> args = split_top_commas(argtext);
+            for (std::string& a : args) {
+              const std::size_t b = a.find_first_not_of(" \t\n");
+              const std::size_t e = a.find_last_not_of(" \t\n");
+              a = b == std::string::npos ? "" : a.substr(b, e - b + 1);
+            }
+            out += substitute(it->second.body, it->second.params, args);
+            i = close + 1;
+            changed = true;
+            continue;
+          }
+        }
+        out += id;
+        i = j;
+        continue;
+      }
+      out += c;
+      ++i;
+    }
+    cur = out;
+    if (!changed) break;
+  }
+  return cur;
+}
+
+// Concatenates adjacent string literals, unescaping \n \t \" \\ — the
+// reconstructed asm template. Non-whitespace residue outside literals
+// (an unexpanded macro) is reported through `residue`.
+std::string fuse_strings(const std::string& text, std::string* residue) {
+  std::string out;
+  bool in_str = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (!in_str) {
+      if (c == '"')
+        in_str = true;
+      else if (!std::isspace(static_cast<unsigned char>(c)))
+        *residue += c;
+      continue;
+    }
+    if (c == '"') {
+      in_str = false;
+      continue;
+    }
+    if (c == '\\' && i + 1 < text.size()) {
+      const char e = text[++i];
+      out += e == 'n' ? '\n' : e == 't' ? '\t' : e;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Extended-asm statement model.
+// ---------------------------------------------------------------------------
+
+struct AsmOperand {
+  std::string name;        // symbolic [name]; "" for positional
+  std::string constraint;  // "+&r", "=&r", "m", "r", ...
+  bool is_output = false;
+};
+
+struct AsmStatement {
+  std::size_t line = 0;    // 1-based line of the asm keyword
+  std::string template_text;
+  std::string residue;     // unexpandable template fragments
+  std::vector<AsmOperand> operands;  // outputs then inputs (%0, %1, ...)
+  std::set<std::string> clobbers;
+};
+
+// Splits the parenthesized asm body on top-level ':' (outside strings,
+// parens and brackets; "::" yields an empty section).
+std::vector<std::string> split_sections(const std::string& body) {
+  std::vector<std::string> sections;
+  std::string cur;
+  int depth = 0;
+  bool in_str = false;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (in_str) {
+      cur += c;
+      if (c == '\\' && i + 1 < body.size()) cur += body[++i];
+      else if (c == '"') in_str = false;
+      continue;
+    }
+    if (c == '"') {
+      in_str = true;
+      cur += c;
+    } else if (c == '(' || c == '[') {
+      ++depth;
+      cur += c;
+    } else if (c == ')' || c == ']') {
+      --depth;
+      cur += c;
+    } else if (c == ':' && depth == 0) {
+      sections.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  sections.push_back(cur);
+  return sections;
+}
+
+// Parses one constraint section entry list: `[name] "constraint" (expr)`.
+void parse_operands(const std::string& section, bool is_output,
+                    std::vector<AsmOperand>* out) {
+  const std::size_t any = section.find_first_not_of(" \t\n");
+  if (any == std::string::npos) return;
+  for (const std::string& entry : split_top_commas(section)) {
+    AsmOperand op;
+    op.is_output = is_output;
+    std::size_t i = 0;
+    while (i < entry.size()) {
+      const char c = entry[i];
+      if (c == '[') {
+        const std::size_t close = entry.find(']', i);
+        if (close == std::string::npos) break;
+        op.name = entry.substr(i + 1, close - i - 1);
+        i = close + 1;
+      } else if (c == '"') {
+        const std::size_t close = entry.find('"', i + 1);
+        if (close == std::string::npos) break;
+        op.constraint += entry.substr(i + 1, close - i - 1);
+        i = close + 1;
+      } else if (c == '(') {
+        break;  // the lvalue expression; not audited
+      } else {
+        ++i;
+      }
+    }
+    out->push_back(op);
+  }
+}
+
+void parse_clobbers(const std::string& section, std::set<std::string>* out) {
+  std::size_t i = 0;
+  while ((i = section.find('"', i)) != std::string::npos) {
+    const std::size_t close = section.find('"', i + 1);
+    if (close == std::string::npos) break;
+    out->insert(section.substr(i + 1, close - i - 1));
+    i = close + 1;
+  }
+}
+
+// Finds every asm/__asm__ statement in the comment-stripped text.
+std::vector<AsmStatement> find_asm_statements(
+    const std::string& text, const std::map<std::string, Macro>& macros) {
+  std::vector<AsmStatement> stmts;
+  std::size_t line = 1;
+  bool in_str = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') ++line;
+    if (in_str) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_str = false;
+      continue;
+    }
+    if (c == '"') {
+      in_str = true;
+      continue;
+    }
+    if (!ident_char(c) || std::isdigit(static_cast<unsigned char>(c)))
+      continue;
+    if (i > 0 && ident_char(text[i - 1])) continue;
+    std::size_t j = i;
+    while (j < text.size() && ident_char(text[j])) ++j;
+    const std::string id = text.substr(i, j - i);
+    if (id != "asm" && id != "__asm__" && id != "__asm") {
+      i = j - 1;
+      continue;
+    }
+    // Skip qualifiers up to '('.
+    std::size_t k = j;
+    while (k < text.size()) {
+      while (k < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[k])))
+        ++k;
+      if (k < text.size() && ident_char(text[k])) {
+        while (k < text.size() && ident_char(text[k])) ++k;
+        continue;
+      }
+      break;
+    }
+    if (k >= text.size() || text[k] != '(') {
+      i = j - 1;
+      continue;
+    }
+    // Match the closing ')' (string-aware).
+    int depth = 0;
+    bool s = false;
+    std::size_t close = k;
+    std::size_t body_lines = 0;
+    for (; close < text.size(); ++close) {
+      const char d = text[close];
+      if (d == '\n') ++body_lines;
+      if (s) {
+        if (d == '\\') ++close;
+        else if (d == '"') s = false;
+      } else if (d == '"') {
+        s = true;
+      } else if (d == '(') {
+        ++depth;
+      } else if (d == ')' && --depth == 0) {
+        break;
+      }
+    }
+    if (close >= text.size()) break;
+    const std::string body = text.substr(k + 1, close - k - 1);
+    const std::vector<std::string> sections = split_sections(body);
+    AsmStatement st;
+    st.line = line;
+    st.template_text =
+        fuse_strings(expand_macros(sections[0], macros), &st.residue);
+    if (sections.size() > 1) parse_operands(sections[1], true, &st.operands);
+    if (sections.size() > 2) parse_operands(sections[2], false, &st.operands);
+    if (sections.size() > 3) parse_clobbers(sections[3], &st.clobbers);
+    stmts.push_back(std::move(st));
+    line += body_lines;
+    i = close;
+  }
+  return stmts;
+}
+
+// ---------------------------------------------------------------------------
+// Instruction-stream audit.
+// ---------------------------------------------------------------------------
+
+// Collapses a sub-register to its 64-bit family name (edx -> rdx,
+// r8d -> r8) so clobber matching is width-insensitive.
+std::string norm_reg(std::string r) {
+  static const std::map<std::string, std::string> kSub = {
+      {"eax", "rax"}, {"ax", "rax"}, {"al", "rax"}, {"ah", "rax"},
+      {"ebx", "rbx"}, {"bx", "rbx"}, {"bl", "rbx"}, {"bh", "rbx"},
+      {"ecx", "rcx"}, {"cx", "rcx"}, {"cl", "rcx"}, {"ch", "rcx"},
+      {"edx", "rdx"}, {"dx", "rdx"}, {"dl", "rdx"}, {"dh", "rdx"},
+      {"esi", "rsi"}, {"si", "rsi"}, {"sil", "rsi"},
+      {"edi", "rdi"}, {"di", "rdi"}, {"dil", "rdi"},
+      {"ebp", "rbp"}, {"bp", "rbp"}, {"bpl", "rbp"},
+      {"esp", "rsp"}, {"sp", "rsp"}, {"spl", "rsp"},
+  };
+  const auto it = kSub.find(r);
+  if (it != kSub.end()) return it->second;
+  if (r.size() >= 2 && r[0] == 'r' &&
+      std::isdigit(static_cast<unsigned char>(r[1]))) {
+    std::size_t i = 1;
+    while (i < r.size() && std::isdigit(static_cast<unsigned char>(r[i])))
+      ++i;
+    return r.substr(0, i);  // r8d/r8w/r8b -> r8
+  }
+  return r;
+}
+
+struct Operand {
+  enum Kind { kImm, kReg, kNamed, kPositional, kMem, kOther } kind = kOther;
+  std::string name;                   // register or symbolic name
+  std::vector<std::string> mem_regs;  // %%regs read for addressing
+  std::vector<std::string> mem_named; // %[names] read for addressing
+  std::string text;
+};
+
+Operand parse_operand(const std::string& raw) {
+  Operand op;
+  std::string t;
+  for (char c : raw)
+    if (!std::isspace(static_cast<unsigned char>(c))) t += c;
+  op.text = t;
+  if (t.empty()) return op;
+  const bool mem = t.find('(') != std::string::npos;
+  // Collect every %-reference in the operand text.
+  std::vector<std::pair<bool, std::string>> refs;  // (is_reg, name)
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i] != '%') continue;
+    if (t[i + 1] == '%') {
+      std::size_t j = i + 2;
+      while (j < t.size() && ident_char(t[j])) ++j;
+      refs.push_back({true, norm_reg(t.substr(i + 2, j - i - 2))});
+      i = j - 1;
+    } else {
+      std::size_t j = i + 1;
+      if (j < t.size() && std::isalpha(static_cast<unsigned char>(t[j])) &&
+          j + 1 < t.size() && t[j + 1] == '[')
+        ++j;  // width modifier: %k[name]
+      if (j < t.size() && t[j] == '[') {
+        const std::size_t close = t.find(']', j);
+        if (close == std::string::npos) continue;
+        refs.push_back({false, t.substr(j + 1, close - j - 1)});
+        i = close;
+      } else if (j < t.size() &&
+                 std::isdigit(static_cast<unsigned char>(t[j]))) {
+        std::size_t e = j;
+        while (e < t.size() && std::isdigit(static_cast<unsigned char>(t[e])))
+          ++e;
+        refs.push_back({false, "%" + t.substr(j, e - j)});
+        i = e - 1;
+      }
+    }
+  }
+  if (mem) {
+    op.kind = Operand::kMem;
+    for (const auto& r : refs)
+      (r.first ? op.mem_regs : op.mem_named).push_back(r.second);
+    return op;
+  }
+  if (t[0] == '$') {
+    op.kind = Operand::kImm;
+    return op;
+  }
+  if (!refs.empty()) {
+    op.kind = refs[0].first ? Operand::kReg
+              : refs[0].second[0] == '%' ? Operand::kPositional
+                                         : Operand::kNamed;
+    op.name = refs[0].second;
+    return op;
+  }
+  op.kind = Operand::kOther;  // label target, bare symbol
+  return op;
+}
+
+struct InsnSem {
+  int writes = 1;       // trailing operands written (mulx: 2; test: 0)
+  bool rmw = false;     // destination is read-modify-write
+  bool wflags = false;  // writes EFLAGS (needs "cc")
+};
+
+// Audited vocabulary. Anything absent is reported, so additions to the
+// kernels force a deliberate entry here.
+const std::map<std::string, InsnSem>& insn_table() {
+  static const std::map<std::string, InsnSem> kTable = {
+      {"mov", {1, false, false}},   {"movabs", {1, false, false}},
+      {"movzx", {1, false, false}}, {"movsx", {1, false, false}},
+      {"lea", {1, false, false}},   {"mulx", {2, false, false}},
+      {"add", {1, true, true}},     {"sub", {1, true, true}},
+      {"adc", {1, true, true}},     {"sbb", {1, true, true}},
+      {"adcx", {1, true, true}},    {"adox", {1, true, true}},
+      {"xor", {1, true, true}},     {"or", {1, true, true}},
+      {"and", {1, true, true}},     {"not", {1, true, false}},
+      {"neg", {1, true, true}},     {"inc", {1, true, true}},
+      {"dec", {1, true, true}},     {"imul", {1, true, true}},
+      {"shl", {1, true, true}},     {"shr", {1, true, true}},
+      {"sal", {1, true, true}},     {"sar", {1, true, true}},
+      {"rol", {1, true, true}},     {"ror", {1, true, true}},
+      {"test", {0, false, true}},   {"cmp", {0, false, true}},
+      {"xchg", {2, true, false}},   {"nop", {0, false, false}},
+      {"pause", {0, false, false}},
+  };
+  return kTable;
+}
+
+bool cond_jump(const std::string& m) {
+  return m.size() >= 2 && m[0] == 'j' && m != "jmp";
+}
+
+void audit_statement(const std::string& file, const AsmStatement& st,
+                     std::vector<Violation>& out) {
+  const auto emit = [&](const std::string& msg) {
+    out.push_back({file, st.line, "asm-audit", msg});
+  };
+  if (!st.residue.empty())
+    emit("asm template contains an unexpandable fragment '" +
+         st.residue.substr(0, 40) + "' — audit cannot reconstruct it");
+
+  std::map<std::string, const AsmOperand*> by_name;
+  for (const AsmOperand& op : st.operands)
+    if (!op.name.empty() && by_name.count(op.name) == 0)
+      by_name[op.name] = &op;
+  const auto lookup = [&](const std::string& ref) -> const AsmOperand* {
+    if (!ref.empty() && ref[0] == '%') {  // positional %N
+      const std::size_t idx = std::stoul(ref.substr(1));
+      return idx < st.operands.size() ? &st.operands[idx] : nullptr;
+    }
+    const auto it = by_name.find(ref);
+    return it == by_name.end() ? nullptr : it->second;
+  };
+  bool has_mem_output = false;
+  for (const AsmOperand& op : st.operands)
+    if (op.is_output && op.constraint.find('m') != std::string::npos)
+      has_mem_output = true;
+
+  std::set<std::string> clobbered;
+  for (const std::string& c : st.clobbers) clobbered.insert(norm_reg(c));
+  const bool has_cc = clobbered.count("cc") != 0;
+  const bool has_memory = clobbered.count("memory") != 0;
+
+  std::set<std::string> written_named;
+  std::set<std::string> flag_findings;  // dedupe per mnemonic
+  std::set<std::string> reg_findings;
+  std::string prev_mnemonic;
+
+  // Split the reconstructed template into instructions.
+  std::vector<std::string> insns;
+  std::string cur;
+  for (char c : st.template_text + "\n") {
+    if (c == '\n' || c == ';') {
+      std::size_t b = cur.find_first_not_of(" \t");
+      if (b != std::string::npos) insns.push_back(cur.substr(b));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+
+  const auto check_read_refs = [&](const Operand& op) {
+    for (const std::string& nm : op.mem_named)
+      if (lookup(nm) == nullptr)
+        emit("asm references undeclared operand [" + nm + "]");
+    if (op.kind == Operand::kNamed && lookup(op.name) == nullptr)
+      emit("asm references undeclared operand [" + op.name + "]");
+  };
+
+  for (const std::string& insn : insns) {
+    if (insn.empty()) continue;
+    if (insn[0] == '.') continue;  // assembler directive
+    std::size_t sp = 0;
+    while (sp < insn.size() &&
+           !std::isspace(static_cast<unsigned char>(insn[sp])))
+      ++sp;
+    std::string mnemonic = insn.substr(0, sp);
+    if (!mnemonic.empty() && mnemonic.back() == ':') continue;  // label
+    const std::string rest = sp < insn.size() ? insn.substr(sp + 1) : "";
+    std::vector<Operand> ops;
+    if (!rest.empty() && rest.find_first_not_of(" \t") != std::string::npos)
+      for (const std::string& part : split_top_commas(rest))
+        ops.push_back(parse_operand(part));
+
+    // Control flow and banned instructions first.
+    std::string root = mnemonic;
+    const auto& table = insn_table();
+    if (table.count(root) == 0 && root.size() > 1 &&
+        std::string("bwlq").find(root.back()) != std::string::npos)
+      root.resize(root.size() - 1);
+    if (root == "div" || root == "idiv") {
+      emit("'" + mnemonic + "' has data-dependent latency — banned in "
+           "constant-time kernels");
+      prev_mnemonic = root;
+      continue;
+    }
+    if (root == "jmp") {
+      prev_mnemonic = root;
+      continue;
+    }
+    if (cond_jump(root)) {
+      const bool counter = (root == "jnz" || root == "jne") &&
+                           (prev_mnemonic == "dec" || prev_mnemonic == "sub");
+      if (!counter)
+        emit("conditional branch '" + mnemonic +
+             "' is not a counter-driven dec/jnz pattern (flag- or "
+             "data-dependent control flow)");
+      prev_mnemonic = root;
+      continue;
+    }
+    const auto it = table.find(root);
+    if (it == table.end()) {
+      emit("instruction '" + mnemonic +
+           "' is outside the audited vocabulary");
+      prev_mnemonic = root;
+      continue;
+    }
+    const InsnSem& sem = it->second;
+    prev_mnemonic = root;
+
+    // 1-operand mul/imul write rdx:rax implicitly.
+    const bool implicit_ax =
+        (root == "imul" || root == "mul") && ops.size() == 1;
+    if (implicit_ax) {
+      for (const char* r : {"rax", "rdx"})
+        if (clobbered.count(r) == 0 && reg_findings.insert(r).second)
+          emit(std::string("asm writes %") + r +
+               " (implicit one-operand multiply) but the clobber list "
+               "lacks \"" + r + "\"");
+    }
+
+    if (sem.wflags && !has_cc && flag_findings.insert(root).second)
+      emit("'" + mnemonic +
+           "' writes EFLAGS but the clobber list lacks \"cc\"");
+
+    const int nw = std::min<int>(sem.writes, static_cast<int>(ops.size()));
+    const std::size_t first_write =
+        ops.empty() ? 0 : ops.size() - static_cast<std::size_t>(nw);
+    // xor/sub self is the zeroing idiom: write-only, no read.
+    const bool zero_idiom =
+        (root == "xor" || root == "sub") && ops.size() == 2 &&
+        ops[0].text == ops[1].text;
+    for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+      const Operand& op = ops[oi];
+      check_read_refs(op);
+      const bool is_write = static_cast<int>(oi) >= static_cast<int>(first_write) && nw > 0;
+      if (!is_write) continue;
+      switch (op.kind) {
+        case Operand::kReg:
+          if (clobbered.count(op.name) == 0 &&
+              reg_findings.insert(op.name).second)
+            emit("asm writes %" + op.name +
+                 " but the clobber list lacks \"" + op.name + "\"");
+          break;
+        case Operand::kNamed:
+        case Operand::kPositional: {
+          const AsmOperand* decl = lookup(op.name);
+          if (decl == nullptr) break;  // undeclared already reported
+          if (!decl->is_output) {
+            emit("asm writes operand [" + op.name +
+                 "] which is declared input-only");
+            break;
+          }
+          written_named.insert(decl->name);
+          const bool plus =
+              decl->constraint.find('+') != std::string::npos;
+          if (!plus && sem.rmw && !zero_idiom)
+            emit("'" + mnemonic + "' read-modify-writes [" + op.name +
+                 "] but its constraint \"" + decl->constraint +
+                 "\" lacks '+'");
+          break;
+        }
+        case Operand::kMem:
+          if (!has_memory && !has_mem_output)
+            emit("asm stores to memory ('" + insn +
+                 "') without a \"memory\" clobber or an \"=m\" output");
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Write-only register outputs that no instruction wrote.
+  for (const AsmOperand& op : st.operands) {
+    if (!op.is_output || op.name.empty()) continue;
+    if (op.constraint.find('+') != std::string::npos) continue;
+    if (op.constraint.find('m') != std::string::npos) continue;
+    if (written_named.count(op.name) == 0)
+      emit("output operand [" + op.name + "] (\"" + op.constraint +
+           "\") is never written by the asm template");
+  }
+}
+
+}  // namespace
+
+void run_asmaudit_checks(const std::string& file,
+                         const std::vector<std::string>& raw_lines,
+                         std::vector<Violation>& out) {
+  bool any = false;
+  for (const std::string& l : raw_lines) {
+    if (l.find("asm") != std::string::npos) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+  const std::string text = strip_comments(raw_lines);
+  const std::map<std::string, Macro> macros = collect_macros(text);
+  for (const AsmStatement& st : find_asm_statements(text, macros))
+    audit_statement(file, st, out);
+}
+
+}  // namespace medlint

@@ -1,0 +1,44 @@
+// asm-audit: a GCC-extended-asm auditor for the hand-written kernels.
+//
+// The BMI2/ADX Montgomery kernels (src/bigint/kernels/bmi2.cpp) are the
+// one place the constant-time argument rests on hand-written machine
+// code, and a wrong clobber list is the classic silent miscompile: the
+// code is correct today and breaks when a compiler upgrade starts
+// allocating the clobbered register across the statement. This engine
+// re-parses each translation unit from its RAW lines (the medlint lexer
+// deliberately drops string-literal contents, and asm templates are
+// string literals), strips comments, collects function-like #define
+// macros, expands them inside each `asm`/`__asm__` statement, splits
+// the extended-asm sections, and audits the reconstructed instruction
+// stream:
+//
+//   - every register written (named operand, %%reg, or an implicit
+//     destination like 1-operand mul's rdx:rax) must be a declared
+//     output or listed in the clobbers;
+//   - flag-writing instructions require the "cc" clobber; memory stores
+//     require "memory" (or an "=m" output);
+//   - read-modify-write destinations (adcx/adox/add/...) must be "+"
+//     constrained, write-only "=" outputs must actually be written, and
+//     every %[name] must be declared;
+//   - control flow must be counter-driven: the only conditional
+//     branches allowed are jnz/jne immediately after dec/sub — never a
+//     data- or flag-dependent pattern — and div/idiv (data-dependent
+//     latency) are banned outright;
+//   - any instruction outside the audited vocabulary is itself a
+//     finding, so the table cannot silently rot.
+//
+// Findings are attributed to the asm statement's opening line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common.h"
+
+namespace medlint {
+
+void run_asmaudit_checks(const std::string& file,
+                         const std::vector<std::string>& raw_lines,
+                         std::vector<Violation>& out);
+
+}  // namespace medlint

@@ -1,0 +1,254 @@
+// lazy-budget engine. See lazybudget.h for the model.
+
+#include "lazybudget.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace medlint {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+// Methods that consume one accumulation unit (each grows the unreduced
+// value by < R·n — the lazy.h magnitude contract).
+const std::set<std::string> kBumpMethods = {
+    "add_product", "sub_product", "add",
+    "sub",         "add_shifted", "sub_shifted",
+};
+
+// Methods that fully reduce and reset the accumulator.
+const std::set<std::string> kResetMethods = {"reduce_into"};
+
+// Per-path unit count for each live WideAcc local.
+using Env = std::map<std::string, unsigned>;
+
+void merge_max(Env& into, const Env& other) {
+  for (const auto& kv : other) {
+    unsigned& u = into[kv.first];
+    u = std::max(u, kv.second);
+  }
+}
+
+struct Ctx {
+  const Tokens& toks;
+  const std::vector<std::string>& comments;  // per physical line
+  const std::string& file;
+  unsigned budget;
+  std::vector<Violation>* out;
+  std::set<std::pair<std::size_t, std::string>> seen;
+
+  void emit(std::size_t line, const std::string& msg) {
+    if (seen.insert({line, msg}).second)
+      out->push_back({file, line, "lazy-budget", msg});
+  }
+};
+
+// One past the end of the statement/compound/if-chain starting at i.
+std::size_t stmt_extent(const Tokens& toks, std::size_t i, std::size_t hi) {
+  if (i >= hi) return hi;
+  if (is_punct(toks[i], "{")) {
+    const std::size_t close = match_group(toks, i);
+    return close >= hi ? hi : close + 1;
+  }
+  if ((is_ident(toks[i], "if") || is_ident(toks[i], "while") ||
+       is_ident(toks[i], "for") || is_ident(toks[i], "switch")) &&
+      i + 1 < hi && is_punct(toks[i + 1], "(")) {
+    const std::size_t close = match_group(toks, i + 1);
+    if (close >= hi) return hi;
+    std::size_t end = stmt_extent(toks, close + 1, hi);
+    if (is_ident(toks[i], "if") && end < hi && is_ident(toks[end], "else"))
+      end = stmt_extent(toks, end + 1, hi);
+    return end;
+  }
+  if (is_ident(toks[i], "else") || is_ident(toks[i], "do"))
+    return stmt_extent(toks, i + 1, hi);
+  const std::size_t end = stmt_end(toks, i, hi);
+  return end >= hi ? hi : end + 1;
+}
+
+// Does [lo, hi) bump any accumulator already live in `env`? (A WideAcc
+// declared *inside* a loop body resets every iteration and needs no
+// bound annotation; only outer accumulators do.)
+bool bumps_outer(const Tokens& toks, std::size_t lo, std::size_t hi,
+                 const Env& env) {
+  for (std::size_t i = lo; i + 3 < hi; ++i) {
+    if (!is_ident(toks[i]) || env.count(toks[i].text) == 0) continue;
+    if ((is_punct(toks[i + 1], ".") || is_punct(toks[i + 1], "->")) &&
+        is_ident(toks[i + 2]) && kBumpMethods.count(toks[i + 2].text) != 0 &&
+        is_punct(toks[i + 3], "("))
+      return true;
+  }
+  return false;
+}
+
+// Parses `medlint: lazy_bound(N)` from the comments on `line` or the
+// line above (1-based); 0 when absent.
+unsigned lazy_bound_annotation(const std::vector<std::string>& comments,
+                               std::size_t line) {
+  for (std::size_t l : {line, line - 1}) {
+    if (l == 0 || l > comments.size()) continue;
+    const std::string& c = comments[l - 1];
+    const std::size_t pos = c.find("lazy_bound(");
+    if (pos == std::string::npos) continue;
+    unsigned n = 0;
+    for (std::size_t p = pos + 11; p < c.size() && std::isdigit(
+             static_cast<unsigned char>(c[p])); ++p)
+      n = n * 10 + static_cast<unsigned>(c[p] - '0');
+    if (n > 0) return n;
+  }
+  return 0;
+}
+
+void walk_range(Ctx& cx, std::size_t lo, std::size_t hi, Env& env);
+
+// Handles a loop whose body is [blo, bhi): annotation lookup, bounded
+// simulation, and the zero-iteration join.
+void walk_loop(Ctx& cx, std::size_t kw, std::size_t blo, std::size_t bhi,
+               Env& env, bool at_least_once) {
+  const Tokens& toks = cx.toks;
+  if (!bumps_outer(toks, blo, bhi, env)) {
+    // No outer accumulation: one linear pass covers declarations and
+    // per-iteration accumulators (which reset each time anyway).
+    walk_range(cx, blo, bhi, env);
+    return;
+  }
+  const unsigned bound = lazy_bound_annotation(cx.comments, toks[kw].line);
+  if (bound == 0) {
+    cx.emit(toks[kw].line,
+            "loop accumulates into a WideAcc declared outside it without a "
+            "'// medlint: lazy_bound(N)' trip-count annotation");
+    walk_range(cx, blo, bhi, env);
+    return;
+  }
+  const Env pre = env;
+  const unsigned iters = std::min(bound, 64u);
+  for (unsigned it = 0; it < iters; ++it) walk_range(cx, blo, bhi, env);
+  if (!at_least_once) merge_max(env, pre);
+}
+
+void walk_range(Ctx& cx, std::size_t lo, std::size_t hi, Env& env) {
+  const Tokens& toks = cx.toks;
+  hi = std::min(hi, toks.size());
+  std::size_t i = lo;
+  while (i < hi) {
+    const Token& t = toks[i];
+    if (is_punct(t, "{")) {
+      const std::size_t close = match_group(toks, i);
+      if (close >= hi) return;
+      walk_range(cx, i + 1, close, env);
+      i = close + 1;
+      continue;
+    }
+    if (is_ident(t, "if") && i + 1 < hi && is_punct(toks[i + 1], "(")) {
+      const std::size_t close = match_group(toks, i + 1);
+      if (close >= hi) return;
+      walk_range(cx, i + 2, close, env);  // condition, linear
+      const std::size_t then_end = stmt_extent(toks, close + 1, hi);
+      Env then_env = env;
+      walk_range(cx, close + 1, then_end, then_env);
+      if (then_end < hi && is_ident(toks[then_end], "else")) {
+        const std::size_t else_end = stmt_extent(toks, then_end + 1, hi);
+        walk_range(cx, then_end + 1, else_end, env);
+        merge_max(env, then_env);
+        i = else_end;
+      } else {
+        merge_max(env, then_env);
+        i = then_end;
+      }
+      continue;
+    }
+    if ((is_ident(t, "for") || is_ident(t, "while")) && i + 1 < hi &&
+        is_punct(toks[i + 1], "(")) {
+      const std::size_t close = match_group(toks, i + 1);
+      if (close >= hi) return;
+      walk_range(cx, i + 2, close, env);  // header, linear
+      const std::size_t body_end = stmt_extent(toks, close + 1, hi);
+      walk_loop(cx, i, close + 1, body_end, env, /*at_least_once=*/false);
+      i = body_end;
+      continue;
+    }
+    if (is_ident(t, "do")) {
+      const std::size_t body_end = stmt_extent(toks, i + 1, hi);
+      walk_loop(cx, i, i + 1, body_end, env, /*at_least_once=*/true);
+      // Skip the trailing `while (cond);`.
+      std::size_t j = body_end;
+      if (j < hi && is_ident(toks[j], "while") && j + 1 < hi &&
+          is_punct(toks[j + 1], "(")) {
+        const std::size_t c = match_group(toks, j + 1);
+        j = c >= hi ? hi : c + 1;
+        if (j < hi && is_punct(toks[j], ";")) ++j;
+      }
+      i = j;
+      continue;
+    }
+    if (is_ident(t, "WideAcc") && i + 1 < hi && is_ident(toks[i + 1]) &&
+        !(i > lo && (is_ident(toks[i - 1], "class") ||
+                     is_ident(toks[i - 1], "struct") ||
+                     is_ident(toks[i - 1], "friend")))) {
+      env[toks[i + 1].text] = 0;
+      i += 2;
+      continue;
+    }
+    if (is_ident(t) && env.count(t.text) != 0) {
+      const bool member = i > lo && (is_punct(toks[i - 1], ".") ||
+                                     is_punct(toks[i - 1], "->") ||
+                                     is_punct(toks[i - 1], "::"));
+      if (!member && i + 3 < hi &&
+          (is_punct(toks[i + 1], ".") || is_punct(toks[i + 1], "->")) &&
+          is_ident(toks[i + 2]) && is_punct(toks[i + 3], "(")) {
+        const std::string& method = toks[i + 2].text;
+        const std::size_t close = match_group(toks, i + 3);
+        if (kBumpMethods.count(method) != 0) {
+          unsigned& units = env[t.text];
+          ++units;
+          if (units == cx.budget + 1)
+            cx.emit(t.line, "WideAcc '" + t.text + "' reaches " +
+                                std::to_string(units) +
+                                " accumulation units on this path; kBudget "
+                                "is " +
+                                std::to_string(cx.budget));
+        } else if (kResetMethods.count(method) != 0) {
+          env[t.text] = 0;
+        }
+        i = close >= hi ? hi : close + 1;
+        continue;
+      }
+      if (!member) {
+        // Bare mention: the accumulator is aliased or handed to another
+        // function — its units can grow where this walk cannot see.
+        cx.emit(t.line, "WideAcc '" + t.text +
+                            "' escapes local analysis (aliased or passed "
+                            "by reference); its budget cannot be proven");
+        env.erase(t.text);
+      }
+      ++i;
+      continue;
+    }
+    ++i;
+  }
+}
+
+}  // namespace
+
+void run_lazybudget_checks(const std::string& file, const LexedFile& lf,
+                           const FileModel& model, unsigned budget,
+                           std::vector<Violation>& out) {
+  Ctx cx{lf.tokens, lf.comments, file, budget, &out, {}};
+  for (const FnInfo& fn : model.fns) {
+    if (!fn.is_definition) continue;
+    if (fn.body_open >= lf.tokens.size()) continue;
+    const std::size_t lo = fn.body_open + 1;
+    const std::size_t hi = std::min(fn.body_close, lf.tokens.size());
+    if (lo >= hi) continue;
+    Env env;
+    walk_range(cx, lo, hi, env);
+  }
+}
+
+}  // namespace medlint

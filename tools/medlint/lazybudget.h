@@ -1,0 +1,35 @@
+// lazy-budget: a small abstract interpreter proving the WideAcc
+// magnitude invariant statically.
+//
+// field/lazy.h gives every accumulator a budget of kBudget accumulation
+// units (each add_product/sub_product/add/sub/add_shifted/sub_shifted
+// grows the unreduced value by < R·n; reduce_into resets it). The
+// runtime assert in bump() vanishes under NDEBUG, so release builds had
+// no guard at all until this engine: it walks each function's token
+// range as a CFG — straight-line code accumulates, if/else joins take
+// the elementwise max, loops that accumulate into an *outer* WideAcc
+// require a `// medlint: lazy_bound(N)` annotation giving the static
+// trip count (simulated up to 64 iterations) — and reports any path on
+// which an accumulator exceeds the budget, any loop missing its bound
+// annotation, and any accumulator that escapes the local analysis
+// (aliased or passed to another function by reference).
+//
+// The budget itself is discovered by the driver (it scans the tree for
+// the `kBudget = N` initializer in lazy.h) so the analyzer cannot drift
+// from the code it checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "callgraph.h"
+#include "common.h"
+#include "lexer.h"
+
+namespace medlint {
+
+void run_lazybudget_checks(const std::string& file, const LexedFile& lf,
+                           const FileModel& model, unsigned budget,
+                           std::vector<Violation>& out);
+
+}  // namespace medlint

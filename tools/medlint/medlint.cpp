@@ -56,6 +56,21 @@
 //   atomic-ordering        memory_order_relaxed outside src/obs/ without
 //                          a relaxed_ok-annotated cell
 //
+// v4 adds execution-time verification on the same two-pass machinery:
+//   ct-variable-time       secret operand reaches a variable-latency
+//                          operation (division/modulus, shift amount,
+//                          loop trip count, early exit) directly or
+//                          through a call chain; unbounded loops with
+//                          data-dependent exits (cttime.cpp)
+//   lazy-budget            abstract interpretation of WideAcc
+//                          accumulation units against the kBudget
+//                          magnitude contract of field/lazy.h
+//                          (lazybudget.cpp)
+//   asm-audit              GCC-extended-asm parser: clobber-list
+//                          completeness, output-constraint consistency,
+//                          counter-driven-branches-only discipline for
+//                          the BMI2/AVX2 kernels (asmaudit.cpp)
+//
 // Suppression, most specific first:
 //   * `// medlint: allow(<check-id>)` on the finding's line or the line
 //     directly above — for single vetted sites (preferred: the
@@ -70,8 +85,14 @@
 //   medlint --src <dir> [--src <dir> ...] [--allowlist <file>]
 //           [--baseline <file>] [--extern-allowlist <file>]
 //           [--summary-cache <file>] [--sarif <file>] [--stats]
-//           [--verbose]
+//           [--check <id,id,...>] [--incremental] [--verbose]
 //   medlint --list-checks
+//
+// --check restricts reporting (and stale-baseline enforcement) to the
+// named check ids. --incremental re-analyzes only files whose content
+// hash missed the summary cache — the fast pre-commit mode; the full
+// run in CI remains authoritative (a changed callee can surface new
+// findings in an unchanged caller, which incremental mode won't see).
 //
 // Exit status: 0 clean, 1 violations found, 2 usage/IO error (including
 // a stale --baseline entry that matches no current finding).
@@ -80,6 +101,7 @@
 #include <cctype>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -90,9 +112,12 @@
 #include <string>
 #include <vector>
 
+#include "asmaudit.h"
 #include "callgraph.h"
 #include "common.h"
 #include "concurrency.h"
+#include "cttime.h"
+#include "lazybudget.h"
 #include "lexer.h"
 #include "summary.h"
 #include "taint.h"
@@ -155,6 +180,21 @@ constexpr CheckInfo kChecks[] = {
     {"atomic-ordering",
      "memory_order_relaxed outside src/obs/ on a cell not annotated "
      "`// medlint: relaxed_ok`"},
+    {"ct-variable-time",
+     "secret operand reaches a variable-latency operation "
+     "(division/modulus, shift amount, loop trip count, early exit) "
+     "directly or through a call chain; or an unbounded loop with a "
+     "data-dependent exit"},
+    {"lazy-budget",
+     "a path accumulates more WideAcc units than the field/lazy.h "
+     "kBudget magnitude contract allows, a loop accumulates without a "
+     "`// medlint: lazy_bound(N)` annotation, or an accumulator escapes "
+     "the analysis"},
+    {"asm-audit",
+     "extended-asm defect: register written without a clobber, EFLAGS "
+     "written without \"cc\", memory store without \"memory\", "
+     "input-only or '='-constrained operand misused, non-counter-driven "
+     "branch, or data-dependent-latency instruction"},
 };
 
 bool known_check(const std::string& id) {
@@ -687,6 +727,8 @@ int main(int argc, char** argv) {
   std::string sarif_path;
   bool verbose = false;
   bool stats = false;
+  bool incremental = false;
+  std::set<std::string> enabled;  // empty = every check
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--src" && i + 1 < argc) {
@@ -705,6 +747,23 @@ int main(int argc, char** argv) {
       verbose = true;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--incremental") {
+      incremental = true;
+    } else if (arg == "--check" && i + 1 < argc) {
+      std::stringstream ids(argv[++i]);
+      std::string id;
+      while (std::getline(ids, id, ',')) {
+        const std::size_t b = id.find_first_not_of(" \t");
+        const std::size_t e = id.find_last_not_of(" \t");
+        if (b == std::string::npos) continue;
+        const std::string trimmed = id.substr(b, e - b + 1);
+        if (!known_check(trimmed) || trimmed == "*") {
+          std::cerr << "medlint: unknown check id in --check: " << trimmed
+                    << "\n";
+          return 2;
+        }
+        enabled.insert(trimmed);
+      }
     } else if (arg == "--list-checks") {
       for (const CheckInfo& c : kChecks)
         std::cout << c.id << "\t" << c.summary << "\n";
@@ -713,7 +772,8 @@ int main(int argc, char** argv) {
       std::cerr << "usage: medlint --src <dir> [--src <dir>...] "
                    "[--allowlist <file>] [--baseline <file>] "
                    "[--extern-allowlist <file>] [--summary-cache <file>] "
-                   "[--sarif <file>] [--stats] [--verbose] [--list-checks]\n";
+                   "[--sarif <file>] [--stats] [--check <id,...>] "
+                   "[--incremental] [--verbose] [--list-checks]\n";
       return 2;
     }
   }
@@ -753,8 +813,10 @@ int main(int argc, char** argv) {
   // pass 2 sees every callee's summary regardless of file order.
   struct Unit {
     fs::path path;
+    std::vector<std::string> lines;  // raw text (asm-audit needs literals)
     medlint::LexedFile lf;
     medlint::FileModel model;
+    bool cached = false;  // facts served by the content-hash cache
   };
   medlint::SummaryCache cache(cache_path);
   std::vector<Unit> units;
@@ -762,19 +824,21 @@ int main(int argc, char** argv) {
   units.reserve(files.size());
   all_facts.reserve(files.size());
   for (const fs::path& file : files) {
-    const std::vector<std::string> lines = read_lines(file);
+    Unit u;
+    u.path = file;
+    u.lines = read_lines(file);
     std::string joined;
-    for (const std::string& l : lines) {
+    for (const std::string& l : u.lines) {
       joined += l;
       joined += '\n';
     }
-    Unit u;
-    u.path = file;
-    u.lf = medlint::lex_file(lines);
+    u.lf = medlint::lex_file(u.lines);
     u.model = medlint::build_file_model(u.lf);
     const std::uint64_t h = medlint::fnv1a_hash(joined);
     medlint::FileFacts facts;
-    if (!cache.lookup(file.string(), h, &facts)) {
+    if (cache.lookup(file.string(), h, &facts)) {
+      u.cached = true;
+    } else {
       facts = medlint::compute_file_facts(u.lf, u.model);
       cache.store(file.string(), h, facts);
     }
@@ -785,14 +849,39 @@ int main(int argc, char** argv) {
   medlint::Program prog = medlint::link_program(all_facts);
   prog.extern_allow = std::move(extern_allow);
 
-  // Pass 2: per-file checks, with the linked program in scope.
+  // The lazy-budget engine audits against the budget the code actually
+  // declares: find the `kBudget = N` initializer (field/lazy.h) in the
+  // scanned tree so the analyzer cannot drift from the contract.
+  unsigned lazy_budget = 8;
+  for (const Unit& u : units) {
+    const auto& toks = u.lf.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!medlint::is_ident(toks[i], "kBudget") ||
+          !medlint::is_punct(toks[i + 1], "=") ||
+          toks[i + 2].kind != medlint::TokKind::kNumber)
+        continue;
+      lazy_budget = static_cast<unsigned>(
+          std::strtoul(toks[i + 2].text.c_str(), nullptr, 0));
+      break;
+    }
+  }
+
+  const auto check_on = [&enabled](const char* id) {
+    return enabled.empty() || enabled.count(id) != 0;
+  };
+
+  // Pass 2: per-file checks, with the linked program in scope. In
+  // --incremental mode only cache-miss (changed) files are re-analyzed.
   std::vector<Violation> violations;
   std::size_t allowlisted = 0;
   std::size_t baselined = 0;
   std::size_t inline_suppressed = 0;
+  std::size_t analyzed = 0;
   std::vector<std::size_t> baseline_hits(baseline.size(), 0);
   std::map<std::string, std::size_t> per_check;
   for (const Unit& u : units) {
+    if (incremental && u.cached) continue;
+    ++analyzed;
     const std::string file = u.path.string();
     std::vector<Violation> found;
     for (std::size_t i = 0; i < u.lf.stripped.size(); ++i) {
@@ -802,6 +891,19 @@ int main(int argc, char** argv) {
     check_secret_types(file, u.lf.stripped, found);
     medlint::run_dataflow_checks(file, u.lf, u.model, prog, found);
     medlint::run_concurrency_checks(file, u.lf, u.model, prog, found);
+    if (check_on("ct-variable-time"))
+      medlint::run_cttime_checks(file, u.lf, u.model, prog, found);
+    if (check_on("lazy-budget"))
+      medlint::run_lazybudget_checks(file, u.lf, u.model, lazy_budget, found);
+    if (check_on("asm-audit"))
+      medlint::run_asmaudit_checks(file, u.lines, found);
+    if (!enabled.empty()) {
+      found.erase(std::remove_if(found.begin(), found.end(),
+                                 [&](const Violation& v) {
+                                   return enabled.count(v.check) == 0;
+                                 }),
+                  found.end());
+    }
     const auto inline_allow = inline_suppressions(u.lf.comments);
     for (Violation& v : found) {
       ++per_check[v.check];
@@ -835,8 +937,15 @@ int main(int argc, char** argv) {
   // A baseline entry that no longer matches anything is debt already
   // paid: keeping it would let a *new* finding of the same shape slip
   // through unreviewed. Hard error so the file only ever shrinks.
+  // --check runs see only a slice of the findings and --incremental runs
+  // only a slice of the files, so enforcement is scoped accordingly (the
+  // full CI run remains the authority on staleness).
   bool stale = false;
   for (std::size_t i = 0; i < baseline.size(); ++i) {
+    if (incremental) break;
+    if (!enabled.empty() && baseline[i].check != "*" &&
+        enabled.count(baseline[i].check) == 0)
+      continue;
     if (baseline_hits[i] == 0) {
       std::cerr << "medlint: stale baseline entry (matches no current "
                    "finding): " << baseline[i].path_suffix << ":"
@@ -866,8 +975,11 @@ int main(int argc, char** argv) {
     const std::size_t lookups = cache.hits() + cache.misses();
     std::cout << "medlint stats:\n"
               << "  analysis time: " << ms << " ms over " << files.size()
-              << " file(s)\n"
-              << "  summary cache: " << cache.hits() << " hit(s), "
+              << " file(s)\n";
+    if (incremental)
+      std::cout << "  incremental: re-analyzed " << analyzed << " of "
+                << files.size() << " file(s)\n";
+    std::cout << "  summary cache: " << cache.hits() << " hit(s), "
               << cache.misses() << " miss(es)";
     if (lookups > 0)
       std::cout << " (" << (100 * cache.hits() / lookups) << "% hit rate)";

@@ -16,6 +16,7 @@
 #include <sstream>
 
 #include "common.h"
+#include "cttime.h"
 
 namespace medlint {
 
@@ -33,10 +34,13 @@ const std::set<std::string> kStoreCalls = {
     "emplace_front", "store",      "set",
 };
 
+}  // namespace
+
 // Does [lo, hi) read `name`'s *value*? (Not its public metadata, and not
-// through a transforming call.)
-bool mentions_param(const Tokens& toks, std::size_t lo, std::size_t hi,
-                    const std::string& name) {
+// through a transforming call.) Exported (summary.h) so cttime.cpp walks
+// expressions identically.
+bool reads_value(const Tokens& toks, std::size_t lo, std::size_t hi,
+                 const std::string& name) {
   std::size_t j = lo;
   hi = std::min(hi, toks.size());
   while (j < hi) {
@@ -93,6 +97,8 @@ bool mentions_param(const Tokens& toks, std::size_t lo, std::size_t hi,
   return false;
 }
 
+namespace {
+
 // Exactly `p`, `std::move(p)`, `move(p)` or `std::forward<T>(p)`.
 bool is_direct_arg(const Tokens& toks, std::size_t lo, std::size_t hi,
                    const std::string& name) {
@@ -113,6 +119,21 @@ bool is_direct_arg(const Tokens& toks, std::size_t lo, std::size_t hi,
   if (j >= hi || !is_punct(toks[j], "(")) return false;
   return j + 2 < hi && is_ident(toks[j + 1], name.c_str()) &&
          is_punct(toks[j + 2], ")");
+}
+
+// `IbeSemKey record(args...)` is a declaration, not a call to record():
+// true when the token before the would-be callee spells a type, so the
+// call-fact builder does not link such names to unrelated functions.
+bool type_like_ident(const Token& t) {
+  static const std::set<std::string> kBuiltins = {
+      "auto",  "bool",   "char",     "short", "int",
+      "long",  "signed", "unsigned", "float", "double",
+  };
+  if (!is_ident(t)) return false;
+  const std::string& s = t.text;
+  if (std::isupper(static_cast<unsigned char>(s[0]))) return true;
+  if (kBuiltins.count(s) != 0) return true;
+  return s.size() > 2 && s.compare(s.size() - 2, 2, "_t") == 0;
 }
 
 // Names declared as locals in the body: a store into one of these is not
@@ -236,7 +257,7 @@ FileFacts compute_file_facts(const LexedFile& lf, const FileModel& model) {
     // linker skips a StoreFact whose member is not in the owner class).
     for (const MemberInit& mi : fn.inits) {
       for (const auto& [pname, pi] : pidx) {
-        if (mentions_param(toks, mi.args_lo, mi.args_hi, pname))
+        if (reads_value(toks, mi.args_lo, mi.args_hi, pname))
           f.params[pi].stores.push_back({f.cls, mi.member, mi.line});
       }
       if (mi.args_lo > 0) {
@@ -246,7 +267,7 @@ FileFacts compute_file_facts(const LexedFile& lf, const FileModel& model) {
         const auto args = split_args(toks, mi.args_lo - 1, mi.args_hi);
         for (std::size_t a = 0; a < args.size(); ++a) {
           for (const auto& [pname, pi] : pidx) {
-            if (mentions_param(toks, args[a].first, args[a].second, pname))
+            if (reads_value(toks, args[a].first, args[a].second, pname))
               c.flows.push_back(
                   {static_cast<unsigned>(a), pi,
                    is_direct_arg(toks, args[a].first, args[a].second, pname)});
@@ -278,7 +299,7 @@ FileFacts compute_file_facts(const LexedFile& lf, const FileModel& model) {
       if (w == "return") {
         const std::size_t rend = stmt_end(toks, i + 1, hi);
         for (const auto& [pname, pi] : pidx) {
-          if (mentions_param(toks, i + 1, rend, pname))
+          if (reads_value(toks, i + 1, rend, pname))
             f.params[pi].escapes_return = true;
         }
         ret_ranges.push_back({i + 1, rend});
@@ -339,7 +360,7 @@ FileFacts compute_file_facts(const LexedFile& lf, const FileModel& model) {
             if (tgt < fn.params.size() && !fn.params[tgt].by_value) {
               for (const auto& [pname, pi] : pidx) {
                 if (pi == tgt) continue;
-                if (!mentions_param(toks, j + 1, end, pname)) continue;
+                if (!reads_value(toks, j + 1, end, pname)) continue;
                 auto& of = f.params[pi].out_flows;
                 if (std::find(of.begin(), of.end(), tgt) == of.end())
                   of.push_back(tgt);
@@ -347,7 +368,7 @@ FileFacts compute_file_facts(const LexedFile& lf, const FileModel& model) {
             }
           } else if (candidate) {
             for (const auto& [pname, pi] : pidx) {
-              if (mentions_param(toks, j + 1, end, pname))
+              if (reads_value(toks, j + 1, end, pname))
                 f.params[pi].stores.push_back({f.cls, member, t.line});
             }
           }
@@ -378,7 +399,7 @@ FileFacts compute_file_facts(const LexedFile& lf, const FileModel& model) {
               for (const auto& [pname, pi] : pidx) {
                 bool hit = false;
                 for (const auto& [alo, ahi] : args)
-                  if (mentions_param(toks, alo, ahi, pname)) hit = true;
+                  if (reads_value(toks, alo, ahi, pname)) hit = true;
                 if (!hit) continue;
                 if (candidate) {
                   f.params[pi].stores.push_back({f.cls, member, t.line});
@@ -394,7 +415,8 @@ FileFacts compute_file_facts(const LexedFile& lf, const FileModel& model) {
                        !kPropagatorCalls.count(callee) &&
                        !verification_call(callee) &&
                        !(!callee.empty() &&
-                         std::isupper(static_cast<unsigned char>(callee[0])))) {
+                         std::isupper(static_cast<unsigned char>(callee[0]))) &&
+                       !(i > lo && type_like_ident(toks[i - 1]))) {
               CallFact c;
               c.callee = callee;
               c.line = t.line;
@@ -403,7 +425,7 @@ FileFacts compute_file_facts(const LexedFile& lf, const FileModel& model) {
               }
               for (std::size_t a = 0; a < args.size(); ++a) {
                 for (const auto& [pname, pi] : pidx) {
-                  if (mentions_param(toks, args[a].first, args[a].second,
+                  if (reads_value(toks, args[a].first, args[a].second,
                                      pname))
                     c.flows.push_back({static_cast<unsigned>(a), pi,
                                        is_direct_arg(toks, args[a].first,
@@ -417,6 +439,10 @@ FileFacts compute_file_facts(const LexedFile& lf, const FileModel& model) {
       }
       ++i;
     }
+    // v4: direct variable-latency uses of each parameter (division,
+    // shift amounts, loop bounds) — the per-TU seed the ct-variable-time
+    // fixpoint chains across call edges (cttime.cpp).
+    add_vartime_param_facts(toks, lo, hi, f);
     ff.fns.push_back(std::move(f));
   }
   return ff;
@@ -471,6 +497,11 @@ Program link_program(const std::vector<FileFacts>& files) {
         const ParamFacts& pf = f.params[p];
         fx.escapes_return |= pf.escapes_return;
         fx.wiped |= pf.wiped;
+        if (pf.vartime && !fx.vartime) {
+          fx.vartime = true;
+          fx.vartime_desc = pf.vartime_desc;
+          fx.vartime_line = pf.vartime_line;
+        }
         for (unsigned o : pf.out_flows) {
           if (std::find(fx.out_flows.begin(), fx.out_flows.end(), o) ==
               fx.out_flows.end())
@@ -543,6 +574,15 @@ Program link_program(const std::vector<FileFacts>& files) {
             fx.store_line = c.line;
             changed = true;
           }
+          // A secret reaching a division three calls deep is flagged at
+          // the entry site with the chain named, exactly like stores.
+          if (callee_fx.vartime && !fx.vartime) {
+            fx.vartime = true;
+            fx.vartime_desc =
+                callee_fx.vartime_desc + " (via " + c.callee + "())";
+            fx.vartime_line = c.line;
+            changed = true;
+          }
         }
       }
     }
@@ -571,7 +611,9 @@ SummaryCache::SummaryCache(std::string path) : path_(std::move(path)) {
   std::ifstream in(path_);
   if (!in) return;
   std::string line;
-  if (!std::getline(in, line) || line != "medlint-facts-v1") return;
+  // v2 added the per-param vartime record ("v"); a v1 cache predates the
+  // ct-variable-time facts and must be recomputed wholesale.
+  if (!std::getline(in, line) || line != "medlint-facts-v2") return;
   Entry* cur = nullptr;
   FnFacts* fn = nullptr;
   ParamFacts* par = nullptr;
@@ -630,6 +672,13 @@ SummaryCache::SummaryCache(std::string path) : path_(std::move(path)) {
       unsigned idx = 0;
       ls >> idx;
       par->out_flows.push_back(idx);
+    } else if (tag == "v" && par != nullptr) {
+      par->vartime = true;
+      ls >> par->vartime_line;
+      std::string desc;
+      std::getline(ls, desc);
+      if (!desc.empty() && desc[0] == ' ') desc.erase(0, 1);
+      par->vartime_desc = desc;
     } else if (tag == "c" && fn != nullptr) {
       fn->calls.emplace_back();
       call = &fn->calls.back();
@@ -712,7 +761,7 @@ void SummaryCache::save() const {
   if (path_.empty()) return;
   std::ofstream out(path_, std::ios::trunc);
   if (!out) return;
-  out << "medlint-facts-v1\n";
+  out << "medlint-facts-v2\n";
   for (const auto& [file, e] : entries_) {
     out << "file " << e.hash << ' ' << file << '\n';
     for (const auto& [name, ci] : e.facts.classes) {
@@ -753,6 +802,8 @@ void SummaryCache::save() const {
           out << "s " << dash_if_empty(st.owner) << ' ' << st.member << ' '
               << st.line << '\n';
         for (unsigned o : pf.out_flows) out << "o " << o << '\n';
+        if (pf.vartime)
+          out << "v " << pf.vartime_line << ' ' << pf.vartime_desc << '\n';
       }
       for (const CallFact& c : f.calls) {
         out << "c " << c.callee << ' ' << c.line << ' '

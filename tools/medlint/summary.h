@@ -42,6 +42,12 @@ struct ParamFacts {
   bool wiped = false;
   std::vector<StoreFact> stores;
   std::vector<unsigned> out_flows;  // by-ref param indices this value reaches
+  // v4 constant-time facts: the parameter's value reaches a
+  // variable-latency operation (division/modulus, a shift amount, a loop
+  // trip count) somewhere in this function's body.
+  bool vartime = false;
+  std::size_t vartime_line = 0;
+  std::string vartime_desc;  // "division operand" / "loop bound" / ...
 };
 
 // A call inside a function that forwards one of the function's own
@@ -84,6 +90,11 @@ struct ParamFx {
   std::string store_desc;  // "member 'x_' of C" / "global 'g'" / via-chain
   std::size_t store_line = 0;
   std::vector<unsigned> out_flows;
+  // ct-variable-time: this parameter's value reaches a variable-latency
+  // operation, directly or through a callee chain (the desc names it).
+  bool vartime = false;
+  std::size_t vartime_line = 0;
+  std::string vartime_desc;
 };
 
 struct FnSummary {
@@ -118,6 +129,14 @@ struct Program {
 // wipe-disciplined: SecureBuffer / a self-wiping secret holder type / a
 // member the destructor wipes.
 bool member_wiping(const ClassInfo& cls, const std::string& member);
+
+// Does [lo, hi) read `name`'s *value*? Not its public metadata
+// (size()/bit_length()/_len tails declassify) and not through a
+// transforming call. This is the expression traversal every pass must
+// share — exported so the ct-variable-time engine (cttime.cpp) asks the
+// same question the summary pass does.
+bool reads_value(const std::vector<Token>& toks, std::size_t lo,
+                 std::size_t hi, const std::string& name);
 
 FileFacts compute_file_facts(const LexedFile& lf, const FileModel& model);
 
