@@ -85,19 +85,33 @@ int main() {
 
   struct Row {
     const char* name;
+    // Global trace-sampling shift during this row's ON phase: 4 is the
+    // process default (1 trace in 16); 0 arms a full TraceScope — trace
+    // allocation, span appends, ring push, exemplar capture — on EVERY
+    // issuance, so the guard bounds the worst-case tracing tax, not
+    // just the sampled-out common case. The OFF phase disarms tracing
+    // along with everything else, so the delta isolates it.
+    unsigned sample_shift;
     std::function<void(int)> fn;
   };
   const std::vector<Row> rows{
-      {"ibe_issue_token",
+      {"ibe_issue_token", 4,
        [&](int i) { (void)ibe_sem.issue_token(ids[i % kUsers],
                                               cts[i % kUsers].u); }},
-      {"gdh_issue_token",
+      {"gdh_issue_token", 4,
+       [&](int i) { (void)gdh_sem.issue_token(ids[i % kUsers], msg); }},
+      {"ibe_issue_token_traced", 0,
+       [&](int i) { (void)ibe_sem.issue_token(ids[i % kUsers],
+                                              cts[i % kUsers].u); }},
+      {"gdh_issue_token_traced", 0,
        [&](int i) { (void)gdh_sem.issue_token(ids[i % kUsers], msg); }},
   };
 
   benchutil::Table t({"workload", "on ns/op", "off ns/op", "delta"});
   double worst_delta_pct = 0.0;
+  const unsigned default_shift = obs::trace_sample_shift();
   for (const Row& row : rows) {
+    obs::set_trace_sample_shift(row.sample_shift);
     // Warm every lazy path (registry init, map nodes, page faults) and
     // let the CPU ramp out of its idle frequency state in both modes
     // before timing, then *interleave* ON and OFF rounds so remaining
@@ -130,6 +144,7 @@ int main() {
     std::snprintf(delta_s, sizeof(delta_s), "%+.2f%%", delta_pct);
     t.add_row({row.name, on_s, off_s, delta_s});
   }
+  obs::set_trace_sample_shift(default_shift);
   t.print();
 
   constexpr double kBudgetPct = 2.0;

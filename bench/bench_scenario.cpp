@@ -1,0 +1,56 @@
+// Scenario capacity bench — per-scenario SEM throughput at the paper's
+// parameters, driven by the sim scenario harness (src/sim/scenario.h).
+//
+// Each row runs one full scenario (steady / diurnal / revocation_storm /
+// failover) through a fresh phase plan on one ScenarioRunner deployment
+// and reports tokens/s, tokens/s per core, and latency percentiles.
+// These are the capacity-report numbers tracked in bench/baselines/
+// (BENCH_scenario.json) and gated by tools/bench_compare.py in the CI
+// bench-smoke job, so a regression in the mediator hot path, the
+// identity caches, or the batch fan-in shows up as a throughput drop on
+// the scenario that exercises it.
+//
+// MEDCRYPT_BENCH_ITERS=1 (CI) shrinks the run to the harness's minimum
+// op count; every scenario still executes end to end.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "obs/registry.h"
+#include "sim/scenario.h"
+
+using namespace medcrypt;
+
+int main() {
+  benchutil::JsonReport jr("scenario");
+
+  sim::ScenarioConfig cfg;
+  cfg.users = 12;
+  cfg.ops = benchutil::bench_iters(160);
+  std::printf("== scenario capacity bench: %d users, %d ops/scenario, "
+              "paper parameters ==\n\n",
+              cfg.users, cfg.ops);
+
+  sim::ScenarioRunner runner(cfg);
+  benchutil::Table t({"scenario", "tokens/s", "tok/s/core", "p50", "p99",
+                      "avail", "denied"});
+  for (const std::string& name : sim::ScenarioRunner::scenario_names()) {
+    const sim::ScenarioResult r = runner.run(name);
+    jr.add("tokens_per_s/" + r.name, r.tokens_per_s,
+           static_cast<long>(r.requests), "tokens_per_s");
+    jr.add("p99_us/" + r.name, r.p99_us, static_cast<long>(r.requests),
+           "us");
+    char tps[32], tpc[32], avail[32];
+    std::snprintf(tps, sizeof(tps), "%.0f", r.tokens_per_s);
+    std::snprintf(tpc, sizeof(tpc), "%.0f", r.tokens_per_s_per_core);
+    std::snprintf(avail, sizeof(avail), "%.4f", r.availability);
+    t.add_row({r.name, tps, tpc, benchutil::fmt_us(r.p50_us),
+               benchutil::fmt_us(r.p99_us), avail,
+               benchutil::fmt_count(r.denied)});
+  }
+  // Leave the last scenario's SLO gauges in the registry so a scrape
+  // after the bench (metrics-smoke) sees the sem.slo.* family.
+  runner.slo_engine().publish(obs::registry());
+  t.print();
+  return 0;
+}

@@ -23,6 +23,7 @@
 #include "mediated/mediated_gdh.h"
 #include "mediated/mediated_ibe.h"
 #include "obs/export.h"
+#include "obs/slo.h"
 #include "pairing/params.h"
 
 namespace {
@@ -242,9 +243,33 @@ int main() {
               static_cast<unsigned long long>(h1.invalidations),
               ec::identity_point_cache().capacity());
 
-  // Live obs scrape of everything the run above recorded: the same
-  // numbers a deployment would pull from the service, and the snapshot
-  // CI's metrics-smoke job validates and archives.
+  // SLO pass over the run just recorded: a latency objective on the
+  // token-issue stage plus an availability objective on issued-vs-denied,
+  // published as the sem.slo.* gauge family the metrics-smoke job
+  // requires in the archived snapshot.
+  obs::SloEngine slo;
+  {
+    obs::SloSpec lat;
+    lat.name = "token_issue_latency";
+    lat.objective = 0.99;
+    lat.source_histogram = "stage.token_issue_ns";
+    lat.threshold_ns = 5'000'000;
+    slo.add(std::move(lat));
+    obs::SloSpec avail;
+    avail.name = "token_issue_availability";
+    avail.objective = 0.999;
+    avail.good_counter = "sem.tokens_issued";
+    avail.bad_counter = "sem.denials";
+    slo.add(std::move(avail));
+  }
+  slo.tick(0, obs::MetricsSnapshot{});
+  slo.tick(obs::now_ns(), obs::registry().scrape());
+  slo.publish(obs::registry());
+
+  // Live obs scrape of everything the run above recorded (including the
+  // SLO gauges just published): the same numbers a deployment would
+  // pull from the service, and the snapshot CI's metrics-smoke job
+  // validates and archives.
   const obs::MetricsSnapshot snap = obs::registry().scrape();
 #if MEDCRYPT_OBS_ENABLED
   std::printf("\n== obs scrape (per-stage latency, us) ==\n");

@@ -43,6 +43,7 @@
 
 #include "common/bytes.h"
 #include "obs/registry.h"
+#include "obs/span.h"
 
 namespace medcrypt::ec {
 
@@ -125,6 +126,7 @@ class ShardedLruCache {
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     shard.hits.fetch_add(1, std::memory_order_relaxed);
     obs_hits_->add();
+    obs::trace_annotate("cache.hit");
     return it->second->value;
   }
 
@@ -263,6 +265,7 @@ class ShardedLruCache {
   void record_miss(Shard& shard) const {
     shard.misses.fetch_add(1, std::memory_order_relaxed);
     obs_misses_->add();
+    obs::trace_annotate("cache.miss");
   }
 
   std::size_t per_shard_capacity_;

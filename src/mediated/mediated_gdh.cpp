@@ -18,6 +18,8 @@ GdhMediator::GdhMediator(pairing::ParamSet group,
 
 Point GdhMediator::issue_token(std::string_view identity,
                                BytesView message) const {
+  // Mediator entry point: allocate (or inherit) the request's trace.
+  obs::TraceScope trace("gdh.issue_token");
   // Hash outside the lock scope — only the scalar multiplication needs
   // the lent key half. The cache is consulted at this SEM's current
   // revocation epoch (see the header contract).
@@ -33,6 +35,10 @@ Point GdhMediator::issue_token(std::string_view identity,
 
 std::vector<std::optional<Point>> GdhMediator::issue_tokens(
     std::span<const SignRequest> requests) const {
+  // Batch entry point: one trace brackets the whole fan-in, so every
+  // per-request kScalarMul/kTokenIssue span lands in the same trace.
+  obs::TraceScope trace("gdh.issue_tokens");
+  obs::trace_annotate("batch.requests", requests.size());
   const auto snapshot = revocations()->snapshot();
   const auto& cache = ec::identity_point_cache();
   const auto same_curve = [&](const Point& p) {

@@ -57,6 +57,14 @@ std::string to_prometheus(const MetricsSnapshot& snap) {
     appendf(out, "%s_sum %" PRIu64 "\n", n.c_str(), h.hist.sum);
     appendf(out, "%s_count %" PRIu64 "\n", n.c_str(), h.hist.count);
     appendf(out, "%s_max %" PRIu64 "\n", n.c_str(), h.hist.max);
+    // Exemplars ride along as comment lines (OpenMetrics-flavoured):
+    // classic Prometheus parsers and tools/obs_check.py skip '#' lines,
+    // while trace-aware consumers can still recover the ids.
+    for (const auto& ex : h.hist.exemplars) {
+      if (ex.trace_id == 0) continue;
+      appendf(out, "# EXEMPLAR %s{trace_id=\"%016" PRIx64 "\"} %" PRIu64 "\n",
+              n.c_str(), ex.trace_id, ex.value);
+    }
   }
   return out;
 }
@@ -66,9 +74,18 @@ namespace {
 void json_hist(std::string& out, const Histogram::Snapshot& h) {
   appendf(out,
           "{\"count\": %" PRIu64 ", \"sum\": %" PRIu64 ", \"max\": %" PRIu64
-          ", \"mean\": %.1f, \"p50\": %.1f, \"p90\": %.1f, \"p99\": %.1f}",
+          ", \"mean\": %.1f, \"p50\": %.1f, \"p90\": %.1f, \"p99\": %.1f"
+          ", \"exemplars\": [",
           h.count, h.sum, h.max, h.mean(), h.percentile(0.50),
           h.percentile(0.90), h.percentile(0.99));
+  bool first = true;
+  for (const auto& ex : h.exemplars) {
+    if (ex.trace_id == 0) continue;
+    appendf(out, "%s{\"trace_id\": \"%016" PRIx64 "\", \"value\": %" PRIu64 "}",
+            first ? "" : ", ", ex.trace_id, ex.value);
+    first = false;
+  }
+  out += "]}";
 }
 
 }  // namespace
@@ -99,9 +116,11 @@ std::string to_json(const MetricsSnapshot& snap,
   out += "  \"traces\": [";
   for (std::size_t i = 0; i < traces.size(); ++i) {
     const TraceData& t = traces[i];
-    appendf(out, "%s\n    {\"pipeline\": \"%s\", \"total_ns\": %" PRIu64
+    appendf(out, "%s\n    {\"pipeline\": \"%s\", \"trace_id\": \"%016" PRIx64
+                 "\", \"parent_id\": \"%016" PRIx64 "\", \"total_ns\": %" PRIu64
                  ", \"dropped\": %u, \"stages\": [",
-            i ? "," : "", t.pipeline, t.total_ns, t.dropped);
+            i ? "," : "", t.pipeline, t.trace_id, t.parent_id, t.total_ns,
+            t.dropped);
     for (std::uint32_t s = 0; s < t.stage_count; ++s) {
       const auto& rec = t.stages[s];
       appendf(out, "%s{\"stage\": \"%s\", \"offset_ns\": %" PRIu64
@@ -109,7 +128,12 @@ std::string to_json(const MetricsSnapshot& snap,
               s ? ", " : "", stage_name(rec.stage), rec.offset_ns,
               rec.dur_ns);
     }
-    out += "]}";
+    out += "], \"baggage\": {";
+    for (std::uint32_t b = 0; b < t.baggage_count; ++b) {
+      appendf(out, "%s\"%s\": %" PRIu64, b ? ", " : "", t.baggage[b].name,
+              t.baggage[b].value);
+    }
+    out += "}}";
   }
   out += traces.empty() ? "]\n" : "\n  ]\n";
   out += "}\n";

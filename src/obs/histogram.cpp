@@ -4,12 +4,67 @@
 
 namespace medcrypt::obs {
 
+namespace {
+
+// Ordering for exemplar lists: populated slots first, then value
+// descending, trace id as the deterministic tie-break.
+bool exemplar_before(const Histogram::Exemplar& a,
+                     const Histogram::Exemplar& b) {
+  if ((a.trace_id != 0) != (b.trace_id != 0)) return a.trace_id != 0;
+  if (a.value != b.value) return a.value > b.value;
+  return a.trace_id > b.trace_id;
+}
+
+// Insertion sort over a tiny exemplar span (n <= 2 * kExemplarSlots).
+// std::sort's introsort path trips a GCC 12 -Warray-bounds false
+// positive on small fixed arrays, and at this size insertion sort is
+// the faster algorithm anyway.
+void sort_exemplars(Histogram::Exemplar* first, std::size_t n) {
+  for (std::size_t i = 1; i < n; ++i) {
+    const Histogram::Exemplar item = first[i];
+    std::size_t j = i;
+    while (j > 0 && exemplar_before(item, first[j - 1])) {
+      first[j] = first[j - 1];
+      --j;
+    }
+    first[j] = item;
+  }
+}
+
+}  // namespace
+
 void Histogram::Snapshot::merge(const Snapshot& other) {
   count += other.count;
   sum += other.sum;
   max = std::max(max, other.max);
   for (std::size_t i = 0; i < kBucketCount; ++i) {
     buckets[i] += other.buckets[i];
+  }
+  // Exemplars: keep the top kExemplarSlots of the union, deduplicated by
+  // trace id (two snapshots of one histogram may both retain the same
+  // exemplar; keep its larger value). Like the buckets, this merge is
+  // associative and commutative over any partition of the samples.
+  std::array<Exemplar, 2 * kExemplarSlots> all{};
+  std::size_t n = 0;
+  for (const Exemplar& e : exemplars) {
+    if (e.trace_id != 0) all[n++] = e;
+  }
+  for (const Exemplar& e : other.exemplars) {
+    if (e.trace_id == 0) continue;
+    bool dup = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (all[i].trace_id == e.trace_id) {
+        all[i].value = std::max(all[i].value, e.value);
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) all[n++] = e;
+  }
+  sort_exemplars(all.data(), n);
+  exemplars.fill(Exemplar{});
+  for (std::size_t i = 0; i < std::min(n, kExemplarSlots); ++i) {
+    exemplars[i] = all[i];
   }
 }
 
@@ -40,6 +95,20 @@ double Histogram::Snapshot::percentile(double q) const {
   return static_cast<double>(max);
 }
 
+void Histogram::note_exemplar(std::uint64_t v, std::uint64_t trace_id) {
+  // Try-lock only: a concurrent writer or an in-progress snapshot makes
+  // us drop this exemplar rather than stall the recording hot path.
+  if (ex_lock_.test_and_set(std::memory_order_acquire)) return;
+  std::size_t min_i = 0;
+  for (std::size_t i = 1; i < kExemplarSlots; ++i) {
+    if (ex_slots_[i].value < ex_slots_[min_i].value) min_i = i;
+  }
+  if (v >= ex_slots_[min_i].value) {
+    ex_slots_[min_i] = Exemplar{v, trace_id};
+  }
+  ex_lock_.clear(std::memory_order_release);
+}
+
 Histogram::Snapshot Histogram::snapshot() const {
   Snapshot s;
   s.count = count_.load(std::memory_order_relaxed);
@@ -48,6 +117,14 @@ Histogram::Snapshot Histogram::snapshot() const {
   for (std::size_t i = 0; i < kBucketCount; ++i) {
     s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
   }
+  // Scrapes are cold: spin for the exemplar lock (writers hold it for a
+  // handful of loads and never block inside).
+  while (ex_lock_.test_and_set(std::memory_order_acquire)) {
+  }
+  std::array<Exemplar, kExemplarSlots> slots = ex_slots_;
+  ex_lock_.clear(std::memory_order_release);
+  sort_exemplars(slots.data(), slots.size());
+  s.exemplars = slots;
   return s;
 }
 
@@ -56,6 +133,10 @@ void Histogram::reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
+  while (ex_lock_.test_and_set(std::memory_order_acquire)) {
+  }
+  ex_slots_.fill(Exemplar{});
+  ex_lock_.clear(std::memory_order_release);
 }
 
 }  // namespace medcrypt::obs

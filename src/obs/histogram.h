@@ -23,6 +23,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "obs/obs.h"
+
 namespace medcrypt::obs {
 
 class Histogram {
@@ -52,12 +54,25 @@ class Histogram {
     return static_cast<std::uint64_t>(kSub + sub) << (group - 1);
   }
 
+  /// Exemplar: one concrete sample whose recording thread had a sampled
+  /// trace in flight. The histogram keeps the kExemplarSlots *largest*
+  /// such samples, so the retained trace ids are precisely the ones that
+  /// explain the tail ("show me a p99 token-issue trace"). trace_id == 0
+  /// marks an empty slot.
+  struct Exemplar {
+    std::uint64_t value = 0;
+    std::uint64_t trace_id = 0;
+  };
+  static constexpr std::size_t kExemplarSlots = 4;
+
   /// Point-in-time copy of a histogram; plain values, freely mergeable.
   struct Snapshot {
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
     std::uint64_t max = 0;
     std::array<std::uint64_t, kBucketCount> buckets{};
+    /// Largest traced samples, descending by value; empty slots trail.
+    std::array<Exemplar, kExemplarSlots> exemplars{};
 
     /// Elementwise accumulation; associative and commutative, so any
     /// merge order over any partition of the samples yields the same
@@ -83,6 +98,10 @@ class Histogram {
     while (v > prev && !max_.compare_exchange_weak(
                            prev, v, std::memory_order_relaxed)) {
     }
+    // Exemplar capture only when a sampled trace is in flight on this
+    // thread (rare by construction); current_trace_id() is a constant 0
+    // in MEDCRYPT_OBS=OFF builds, so the whole probe folds away.
+    if (const std::uint64_t tid = current_trace_id()) note_exemplar(v, tid);
   }
 
   std::uint64_t count() const {
@@ -96,10 +115,20 @@ class Histogram {
   void reset();
 
  private:
+  /// Offers (v, trace_id) to the exemplar slots: replaces the current
+  /// minimum if v is at least as large. Guarded by a try-only spinlock —
+  /// a contended recorder drops its exemplar instead of spinning, so the
+  /// hot path never waits; only snapshot()/reset() spin (cold paths, and
+  /// the critical section is a few loads/stores).
+  void note_exemplar(std::uint64_t v, std::uint64_t trace_id);
+
   std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> max_{0};
+  // Exemplar slots; mutable so the const snapshot() can take the lock.
+  mutable std::atomic_flag ex_lock_;
+  mutable std::array<Exemplar, kExemplarSlots> ex_slots_{};
 };
 
 }  // namespace medcrypt::obs

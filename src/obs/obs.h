@@ -63,6 +63,12 @@ std::size_t thread_cell();
 
 namespace detail {
 inline std::atomic<bool> g_enabled{true};
+// Default TraceScope sampling: trace 1 pipeline in 2^shift.
+inline std::atomic<unsigned> g_trace_sample_shift{4};
+// Trace id of the trace being assembled on this thread (0 = none).
+// Lives here, below histogram.h, so Histogram::record can probe it for
+// exemplar capture without depending on span.h.
+inline thread_local std::uint64_t t_trace_id = 0;
 }  // namespace detail
 
 /// Runtime kill switch for all recording (ON builds only). Scrapes still
@@ -74,13 +80,64 @@ inline void set_enabled(bool on) {
   detail::g_enabled.store(on, std::memory_order_relaxed);
 }
 
+/// Trace id of this thread's in-flight sampled trace; 0 when no trace is
+/// active. Histogram::record uses this to attach exemplars.
+inline std::uint64_t current_trace_id() { return detail::t_trace_id; }
+
+/// Process-wide default sampling rate for TraceScope: 1 execution in
+/// 2^shift carries a trace (4 → 1/16). The scenario harness and the
+/// overhead bench override it (0 → every execution) and restore it.
+inline unsigned trace_sample_shift() {
+  return detail::g_trace_sample_shift.load(std::memory_order_relaxed);
+}
+inline void set_trace_sample_shift(unsigned shift) {
+  detail::g_trace_sample_shift.store(shift, std::memory_order_relaxed);
+}
+
+/// Allocates a fresh nonzero trace id: a monotone atomic counter pushed
+/// through the SplitMix64 finalizer, so ids are unique per process,
+/// well-mixed for sampling/sharding, and carry no timing information.
+inline std::uint64_t next_trace_id() {
+  static std::atomic<std::uint64_t> seq{0};
+  std::uint64_t z =
+      seq.fetch_add(1, std::memory_order_relaxed) + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return (z ^ (z >> 31)) | 1;  // never 0 (0 means "not traced")
+}
+
 #else  // !MEDCRYPT_OBS_ENABLED
 
 inline constexpr std::size_t kThreadCells = 1;
 inline std::size_t thread_cell() { return 0; }
 inline bool enabled() { return false; }
 inline void set_enabled(bool) {}
+inline std::uint64_t current_trace_id() { return 0; }
+inline unsigned trace_sample_shift() { return 0; }
+inline void set_trace_sample_shift(unsigned) {}
+inline std::uint64_t next_trace_id() { return 0; }
 
 #endif  // MEDCRYPT_OBS_ENABLED
+
+/// Propagatable trace identity: the handle a caller captures at a
+/// pipeline boundary and hands to the next hop (a batch entry point, a
+/// sim::Transport frame, eventually the networked SEM wire protocol).
+/// Plain data in both build modes; in OFF builds current() is always
+/// the unsampled context and adoption sites compile to nothing.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+
+  /// True when the originating execution was sampled — downstream hops
+  /// adopt the decision instead of re-sampling, so a request is either
+  /// traced end-to-end or not at all.
+  constexpr bool sampled() const { return trace_id != 0; }
+
+  /// The context of this thread's in-flight trace (unsampled if none).
+  static TraceContext current() { return TraceContext{current_trace_id()}; }
+
+  /// Bytes reserved for the trace id in wire frames (sim::Transport
+  /// today, the SEM daemon protocol later).
+  static constexpr std::size_t kWireSize = 8;
+};
 
 }  // namespace medcrypt::obs

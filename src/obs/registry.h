@@ -72,6 +72,7 @@ const char* stage_name(Stage stage);
 /// a trace never allocates.
 struct TraceData {
   static constexpr std::size_t kMaxStages = 16;
+  static constexpr std::size_t kMaxBaggage = 8;
 
   struct StageRec {
     Stage stage = Stage::kTokenIssue;
@@ -79,12 +80,26 @@ struct TraceData {
     std::uint64_t dur_ns = 0;
   };
 
+  /// Per-trace annotation: a string-literal label and an accumulated
+  /// numeric value (cache hits, batch width, retries, ...). Numeric by
+  /// design — baggage can never carry key material, and medlint's
+  /// obs-secret-arg check vets the value expressions at the call site.
+  struct BaggageRec {
+    const char* name = "";
+    std::uint64_t value = 0;
+  };
+
   const char* pipeline = "";
+  std::uint64_t trace_id = 0;      // 0 = pre-tracing legacy record
+  std::uint64_t parent_id = 0;     // upstream trace id when adopted via
+                                   // TraceContext (0 = root)
   std::uint64_t start_ns = 0;
   std::uint64_t total_ns = 0;
   std::uint32_t stage_count = 0;   // recorded entries in `stages`
   std::uint32_t dropped = 0;       // spans beyond kMaxStages
+  std::uint32_t baggage_count = 0;  // recorded entries in `baggage`
   std::array<StageRec, kMaxStages> stages{};
+  std::array<BaggageRec, kMaxBaggage> baggage{};
 };
 
 // ---------------------------------------------------------------------------

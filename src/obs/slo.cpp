@@ -1,0 +1,170 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace medcrypt::obs {
+
+std::vector<SloEngine::WindowSpec> SloEngine::default_windows() {
+  return {{"5m", std::uint64_t{300} * 1'000'000'000ull},
+          {"1h", std::uint64_t{3600} * 1'000'000'000ull}};
+}
+
+SloEngine::SloEngine(std::vector<WindowSpec> windows)
+    : windows_(std::move(windows)) {}
+
+void SloEngine::add(SloSpec spec) {
+  specs_.push_back(Tracked{std::move(spec), {}});
+}
+
+double SloEngine::burn_rate(std::uint64_t good, std::uint64_t total,
+                            double objective) {
+  if (total == 0) return 0.0;
+  const double bad_fraction =
+      static_cast<double>(total - good) / static_cast<double>(total);
+  const double budget = 1.0 - objective;
+  if (budget <= 0.0) return 0.0;
+  return bad_fraction / budget;
+}
+
+std::uint64_t SloEngine::good_at_or_below(const Histogram::Snapshot& h,
+                                          std::uint64_t threshold) {
+  std::uint64_t good = 0;
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    if (h.buckets[i] == 0) continue;
+    const std::uint64_t lo = Histogram::bucket_lower_bound(i);
+    if (lo > threshold) break;  // lower bounds are monotone in i
+    // Upper end of this bucket: next bucket's lower bound, except the
+    // saturation bucket whose effective end is the recorded max.
+    const std::uint64_t hi = i + 1 < Histogram::kBucketCount
+                                 ? Histogram::bucket_lower_bound(i + 1)
+                                 : std::max(h.max, lo) + 1;
+    if (hi - 1 <= threshold) {
+      good += h.buckets[i];  // bucket entirely at or below the threshold
+      continue;
+    }
+    // Straddling bucket: assume uniform spread across [lo, hi).
+    const double frac = static_cast<double>(threshold - lo + 1) /
+                        static_cast<double>(hi - lo);
+    good += static_cast<std::uint64_t>(
+        frac * static_cast<double>(h.buckets[i]) + 0.5);
+  }
+  return good;
+}
+
+namespace {
+
+std::uint64_t counter_value(const MetricsSnapshot& snap,
+                            const std::string& name) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+const Histogram::Snapshot* find_histogram(const MetricsSnapshot& snap,
+                                          const std::string& name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return &h.hist;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void SloEngine::prune(Tracked& tr, std::uint64_t now_ns) const {
+  std::uint64_t horizon = 0;
+  for (const WindowSpec& w : windows_) horizon = std::max(horizon, w.span_ns);
+  // Keep one sample beyond the widest window so a window edge always has
+  // a predecessor to differentiate against.
+  while (tr.ring.size() > 2 && tr.ring[1].t + horizon < now_ns) {
+    tr.ring.pop_front();
+  }
+}
+
+void SloEngine::tick(std::uint64_t now_ns, const MetricsSnapshot& snap) {
+  for (Tracked& tr : specs_) {
+    Sample s;
+    s.t = now_ns;
+    if (tr.spec.threshold_ns != 0) {
+      if (const Histogram::Snapshot* h =
+              find_histogram(snap, tr.spec.source_histogram)) {
+        s.total = h->count;
+        s.good = good_at_or_below(*h, tr.spec.threshold_ns);
+      }
+    } else {
+      s.good = counter_value(snap, tr.spec.good_counter);
+      s.total = s.good + counter_value(snap, tr.spec.bad_counter);
+    }
+    // Cumulative sources must be monotone; a reset (registry.reset() in
+    // a bench) restarts the feed rather than producing negative deltas.
+    if (!tr.ring.empty() && (s.good < tr.ring.back().good ||
+                             s.total < tr.ring.back().total)) {
+      tr.ring.clear();
+    }
+    tr.ring.push_back(s);
+    prune(tr, now_ns);
+  }
+}
+
+std::vector<SloEngine::Report> SloEngine::report() const {
+  std::vector<Report> out;
+  for (const Tracked& tr : specs_) {
+    if (tr.ring.empty()) continue;
+    const Sample& last = tr.ring.back();
+    Report r;
+    r.name = tr.spec.name;
+    r.objective = tr.spec.objective;
+    r.good = last.good;
+    r.total = last.total;
+    r.availability =
+        last.total == 0 ? 1.0
+                        : static_cast<double>(last.good) /
+                              static_cast<double>(last.total);
+    r.budget_consumed = burn_rate(last.good, last.total, tr.spec.objective);
+    for (const WindowSpec& w : windows_) {
+      // Baseline: the latest sample at or before the window start (fall
+      // back to the oldest retained sample for short feeds).
+      const std::uint64_t start =
+          last.t >= w.span_ns ? last.t - w.span_ns : 0;
+      const Sample* base = &tr.ring.front();
+      for (const Sample& s : tr.ring) {
+        if (s.t > start) break;
+        base = &s;
+      }
+      Burn b;
+      b.window = w.label;
+      b.good = last.good - base->good;
+      b.total = last.total - base->total;
+      b.rate = burn_rate(b.good, b.total, tr.spec.objective);
+      r.burns.push_back(std::move(b));
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void SloEngine::publish(MetricsRegistry& reg) const {
+  constexpr double kPpm = 1e6;
+  char name[128];
+  for (const Report& r : report()) {
+    std::snprintf(name, sizeof(name), "sem.slo.%s.objective_ppm",
+                  r.name.c_str());
+    reg.gauge(name).set(static_cast<std::int64_t>(r.objective * kPpm + 0.5));
+    std::snprintf(name, sizeof(name), "sem.slo.%s.availability_ppm",
+                  r.name.c_str());
+    reg.gauge(name).set(
+        static_cast<std::int64_t>(r.availability * kPpm + 0.5));
+    std::snprintf(name, sizeof(name), "sem.slo.%s.budget_remaining_ppm",
+                  r.name.c_str());
+    reg.gauge(name).set(
+        static_cast<std::int64_t>((1.0 - r.budget_consumed) * kPpm));
+    for (const Burn& b : r.burns) {
+      std::snprintf(name, sizeof(name), "sem.slo.%s.burn_%s_ppm",
+                    r.name.c_str(), b.window.c_str());
+      reg.gauge(name).set(static_cast<std::int64_t>(b.rate * kPpm + 0.5));
+    }
+  }
+}
+
+}  // namespace medcrypt::obs

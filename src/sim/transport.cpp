@@ -12,4 +12,27 @@ void Transport::send_to_client(std::uint64_t bytes) {
   if (clock_ != nullptr) clock_->advance_ns(latency_.delay_for(bytes));
 }
 
+namespace {
+
+void count_traced_frame(const FrameHeader& frame) {
+  if (!frame.trace.sampled()) return;
+  static obs::Counter& traced =
+      obs::registry().counter("sim.link.traced_frames");
+  traced.add();
+}
+
+}  // namespace
+
+void Transport::send_to_server(std::uint64_t payload_bytes,
+                               const FrameHeader& frame) {
+  count_traced_frame(frame);
+  send_to_server(payload_bytes + FrameHeader::kWireSize);
+}
+
+void Transport::send_to_client(std::uint64_t payload_bytes,
+                               const FrameHeader& frame) {
+  count_traced_frame(frame);
+  send_to_client(payload_bytes + FrameHeader::kWireSize);
+}
+
 }  // namespace medcrypt::sim

@@ -13,10 +13,27 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "obs/obs.h"
 #include "sim/clock.h"
 #include "sim/stats.h"
 
 namespace medcrypt::sim {
+
+/// Frame envelope for the simulated wire. The trace field is the
+/// wire-format reservation for causal propagation: a client stamps its
+/// obs::TraceContext into the frame, the (future networked) SEM daemon
+/// decodes it and opens an adopting TraceScope, and the id rides every
+/// hop at a fixed obs::TraceContext::kWireSize-byte cost. Today's
+/// in-process mediators share the thread-local trace instead, so the
+/// simulated transport only *accounts* the overhead — but the header
+/// layout is fixed now so the daemon inherits propagation for free.
+struct FrameHeader {
+  obs::TraceContext trace{};
+
+  /// Envelope bytes on the wire: 8-byte trace id + 4 bytes of
+  /// flags/version reserve.
+  static constexpr std::uint64_t kWireSize = obs::TraceContext::kWireSize + 4;
+};
 
 /// One-way delay parameters.
 struct LatencyModel {
@@ -52,6 +69,13 @@ class Transport {
 
   /// Records a server -> client message of `bytes` bytes.
   void send_to_client(std::uint64_t bytes);
+
+  /// Framed variants: payload plus the FrameHeader envelope carrying
+  /// `frame.trace`. Sampled frames additionally count into the
+  /// `sim.link.traced_frames` registry series, so the tracing tax on
+  /// the wire is itself observable.
+  void send_to_server(std::uint64_t payload_bytes, const FrameHeader& frame);
+  void send_to_client(std::uint64_t payload_bytes, const FrameHeader& frame);
 
   const LinkStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }

@@ -19,3 +19,14 @@ void leak_metrics(const long& master_key, const long& key_share,
   obs::registry().counter("sem.shares").add(key_share);   // line 19: flagged
   obs::registry().gauge("sem.key_len").set(key_len);      // benign tail: clean
 }
+
+// Trace baggage is exported exactly like metric samples, and the
+// baggage API is routinely called unqualified from obs-adjacent code —
+// the check must anchor on the bare name too.
+void trace_annotate(const char*, long);
+
+void leak_baggage(const long& key_share, const long& batch_width) {
+  trace_annotate("sem.share", key_share);       // line 29: flagged (bare)
+  obs::trace_annotate("sem.k", key_share);      // line 30: flagged
+  trace_annotate("batch.requests", batch_width);  // public metadata: clean
+}

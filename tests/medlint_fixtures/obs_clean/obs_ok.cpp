@@ -11,7 +11,15 @@ struct Counter {
   void add(unsigned long) {}
 };
 Counter& counter(const char*);
+struct TraceContext {
+  static TraceContext current();
+};
+struct TraceScope {
+  TraceScope(const char*, const TraceContext&) {}
+};
 }  // namespace obs
+
+void trace_annotate(const char*, unsigned long);
 
 unsigned long mul(unsigned long v);
 
@@ -23,4 +31,15 @@ void instrument_ok(unsigned long ops) {
   obs::counter("ops").add(ops);
   obs::counter("meta").add(key_len);
   obs::counter("derived").add(mul(ops));
+}
+
+// Tracing vocabulary the extended check must NOT flag: string-literal
+// pipeline names, TraceContext adoption (the context is an id, not key
+// material), and numeric public-metadata baggage — bare or qualified.
+void tracing_ok(unsigned long batch_width) {
+  obs::TraceScope scope("ibe.issue_tokens", obs::TraceContext::current());
+  trace_annotate("cache.hit", 1);
+  trace_annotate("batch.requests", batch_width);
+  const unsigned long share_len = 20;
+  trace_annotate("share.bytes", share_len);
 }

@@ -106,6 +106,15 @@ TEST(Medlint, ObsSecretArgFlagsSecretNamesInObsCalls) {
       << r.output;
   // The benign-metadata tail (key_len) on line 20 must stay quiet.
   EXPECT_EQ(r.output.find("obs_viol.cpp:20"), std::string::npos) << r.output;
+  // Trace-baggage lines: the bare trace_annotate call (29) and the
+  // qualified one (30) are flagged; the public-metadata one (31) is not.
+  EXPECT_NE(r.output.find("obs_viol.cpp:29: [obs-secret-arg]"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("obs_viol.cpp:30: [obs-secret-arg]"),
+            std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("obs_viol.cpp:31"), std::string::npos) << r.output;
 }
 
 TEST(Medlint, ObsSecretArgIgnoresStageEnumsCalleesAndMetadata) {

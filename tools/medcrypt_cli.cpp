@@ -12,10 +12,21 @@
 //   medcrypt_cli stats <dir> [ops] [--prom|--json] in-process stress run,
 //                                                  dump live obs snapshot
 //
+// Two further commands run self-contained (no <dir> state):
+//
+//   medcrypt_cli load [--scenario NAME|all] [--users N] [--ops N]
+//                     [--threads N] [--batch N] [--toy] [--out FILE]
+//       capacity-planning scenario run (src/sim/scenario.h); emits the
+//       machine-readable capacity report for tools/capacity_report.py.
+//   medcrypt_cli slo [--report FILE]
+//       SLO burn-rate table — from a saved capacity report, or from a
+//       fresh short live run when no report is given.
+//
 // The "SEM" and the "user" are this same binary reading different key
 // files; a real deployment would put sem.d/* behind a network service.
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -26,8 +37,10 @@
 #include "hash/drbg.h"
 #include "mediated/mediated_ibe.h"
 #include "obs/export.h"
+#include "obs/slo.h"
 #include "obs/span.h"
 #include "pairing/params.h"
+#include "sim/scenario.h"
 
 namespace fs = std::filesystem;
 using namespace medcrypt;
@@ -258,9 +271,41 @@ int cmd_stats(const fs::path& dir, std::size_t ops, const std::string& format) {
     }
   }
   const auto traces = obs::registry().recent_traces();
-  if (!traces.empty()) {
-    const obs::TraceData& t = traces.back();
-    std::printf("\nmost recent trace (%s, total %.1f us):\n", t.pipeline,
+  bool any_exemplar = false;
+  for (const auto& h : snap.histograms) {
+    for (const auto& ex : h.hist.exemplars) {
+      if (ex.trace_id == 0) continue;
+      if (!any_exemplar) {
+        std::cout << "\nexemplars (largest traced samples):\n";
+        any_exemplar = true;
+      }
+      std::printf("  %-32s %10.1f us  trace %016" PRIx64 "\n", h.name.c_str(),
+                  static_cast<double>(ex.value) / 1e3, ex.trace_id);
+    }
+  }
+  // The "show me a p99 trace" answer: resolve the worst exemplar still
+  // in the trace ring to its span breakdown; fall back to the most
+  // recent trace when no exemplar resolves.
+  const obs::TraceData* show = nullptr;
+  const char* label = "most recent trace";
+  std::uint64_t best_value = 0;
+  for (const auto& h : snap.histograms) {
+    for (const auto& ex : h.hist.exemplars) {
+      if (ex.trace_id == 0 || ex.value < best_value) continue;
+      for (const auto& t : traces) {
+        if (t.trace_id == ex.trace_id) {
+          show = &t;
+          best_value = ex.value;
+          label = "worst exemplar trace";
+        }
+      }
+    }
+  }
+  if (show == nullptr && !traces.empty()) show = &traces.back();
+  if (show != nullptr) {
+    const obs::TraceData& t = *show;
+    std::printf("\n%s (%s, id %016" PRIx64 ", total %.1f us):\n", label,
+                t.pipeline, t.trace_id,
                 static_cast<double>(t.total_ns) / 1e3);
     for (std::uint32_t s = 0; s < t.stage_count; ++s) {
       std::printf("  +%8.1f us  %-28s %10.1f us\n",
@@ -268,7 +313,205 @@ int cmd_stats(const fs::path& dir, std::size_t ops, const std::string& format) {
                   obs::stage_name(t.stages[s].stage),
                   static_cast<double>(t.stages[s].dur_ns) / 1e3);
     }
+    for (std::uint32_t b = 0; b < t.baggage_count; ++b) {
+      std::printf("  baggage %-24s %10" PRIu64 "\n", t.baggage[b].name,
+                  t.baggage[b].value);
+    }
   }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Capacity scenarios and SLO reporting (self-contained; no <dir> state).
+// ---------------------------------------------------------------------------
+
+int cmd_load(const std::vector<std::string>& args) {
+  sim::ScenarioConfig cfg;
+  std::string scenario = "all";
+  std::string out_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) throw Error("load: " + a + " needs a value");
+      return args[++i];
+    };
+    if (a == "--scenario") {
+      scenario = next();
+    } else if (a == "--users") {
+      cfg.users = std::atoi(next().c_str());
+    } else if (a == "--ops") {
+      cfg.ops = std::atoi(next().c_str());
+    } else if (a == "--threads") {
+      cfg.threads = std::atoi(next().c_str());
+    } else if (a == "--batch") {
+      cfg.batch = std::atoi(next().c_str());
+    } else if (a == "--toy") {
+      cfg.group = &pairing::toy_params();
+    } else if (a == "--out") {
+      out_path = next();
+    } else {
+      throw Error("load: unknown argument " + a);
+    }
+  }
+
+  sim::ScenarioRunner runner(cfg);
+  std::vector<sim::ScenarioResult> results;
+  const std::vector<std::string> names =
+      scenario == "all" ? sim::ScenarioRunner::scenario_names()
+                        : std::vector<std::string>{scenario};
+  for (const std::string& name : names) {
+    std::cerr << "running scenario " << name << "...\n";
+    results.push_back(runner.run(name));
+    // Gauges persist per scenario, so a registry scrape (or a later
+    // `slo` against the saved report) sees the whole run.
+    runner.slo_engine().publish(obs::registry());
+  }
+  const std::string report = sim::capacity_report_json(results, runner.config());
+  if (out_path.empty()) {
+    std::cout << report;
+  } else {
+    std::ofstream out(out_path);
+    if (!out) throw Error("load: cannot write " + out_path);
+    out << report;
+    std::cerr << "capacity report written to " << out_path << "\n";
+  }
+  return 0;
+}
+
+/// First number after `field` in s at/after `from` (0.0 when absent).
+double scan_num(const std::string& s, std::size_t from,
+                const std::string& field) {
+  const std::size_t at = s.find(field, from);
+  if (at == std::string::npos) return 0.0;
+  return std::atof(s.c_str() + at + field.size());
+}
+
+struct SloRow {
+  std::string scenario;
+  std::string kind;  // "latency" | "availability"
+  double objective = 0.0;
+  double availability = 0.0;
+  double budget_consumed = 0.0;
+  std::vector<std::pair<std::string, double>> burns;
+};
+
+void print_slo_rows(const std::vector<SloRow>& rows) {
+  std::printf("%-18s %-14s %10s %12s %10s  %s\n", "scenario", "slo",
+              "objective", "availability", "budget", "burn rates");
+  for (const SloRow& r : rows) {
+    std::string burns;
+    for (const auto& [label, rate] : r.burns) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%s%s=%.2fx", burns.empty() ? "" : "  ",
+                    label.c_str(), rate);
+      burns += buf;
+    }
+    std::printf("%-18s %-14s %10.4f %12.6f %9.1f%%  %s\n", r.scenario.c_str(),
+                r.kind.c_str(), r.objective, r.availability,
+                r.budget_consumed * 100.0, burns.c_str());
+  }
+}
+
+/// Pulls one scenario's latency/availability SLO rows out of a capacity
+/// report (tolerant string scan of our own fixed serialization — the
+/// report schema is "medcrypt.capacity_report/v1").
+void scan_slo_block(const std::string& text, std::size_t begin,
+                    std::size_t end, const std::string& scenario,
+                    const char* kind, std::vector<SloRow>& rows) {
+  const std::string marker = std::string("\"") + kind + "\": {\"objective\"";
+  const std::size_t at = text.find(marker, begin);
+  if (at == std::string::npos || at >= end) return;
+  SloRow row;
+  row.scenario = scenario;
+  row.kind = kind;
+  // Scan past the marker itself — the "availability" block's own name
+  // would otherwise match the availability field lookup.
+  const std::size_t fields = at + marker.size();
+  row.objective = scan_num(text, at, "\"objective\": ");
+  row.availability = scan_num(text, fields, "\"availability\": ");
+  row.budget_consumed = scan_num(text, fields, "\"budget_consumed\": ");
+  const std::size_t burn_at = text.find("\"burn\": {", at);
+  if (burn_at != std::string::npos && burn_at < end) {
+    const std::size_t open = burn_at + 9;
+    const std::size_t close = text.find('}', open);
+    std::size_t pos = open;
+    while (close != std::string::npos && pos < close) {
+      const std::size_t q0 = text.find('"', pos);
+      if (q0 == std::string::npos || q0 >= close) break;
+      const std::size_t q1 = text.find('"', q0 + 1);
+      if (q1 == std::string::npos || q1 >= close) break;
+      row.burns.emplace_back(text.substr(q0 + 1, q1 - q0 - 1),
+                             std::atof(text.c_str() + q1 + 3));
+      pos = q1 + 1;
+      while (pos < close && text[pos] != ',') ++pos;
+    }
+  }
+  rows.push_back(std::move(row));
+}
+
+int cmd_slo(const std::vector<std::string>& args) {
+  std::string report_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--report" && i + 1 < args.size()) {
+      report_path = args[++i];
+    } else {
+      throw Error("slo: unknown argument " + args[i]);
+    }
+  }
+
+  std::vector<SloRow> rows;
+  if (!report_path.empty()) {
+    std::ifstream in(report_path);
+    if (!in) throw Error("slo: cannot read " + report_path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    if (text.find("medcrypt.capacity_report") == std::string::npos) {
+      throw Error("slo: " + report_path + " is not a capacity report");
+    }
+    std::size_t pos = 0;
+    while ((pos = text.find("{\"name\": \"", pos)) != std::string::npos) {
+      const std::size_t n0 = pos + 10;
+      const std::size_t n1 = text.find('"', n0);
+      if (n1 == std::string::npos) break;
+      const std::string scenario = text.substr(n0, n1 - n0);
+      std::size_t end = text.find("{\"name\": \"", n1);
+      if (end == std::string::npos) end = text.size();
+      scan_slo_block(text, n1, end, scenario, "latency", rows);
+      scan_slo_block(text, n1, end, scenario, "availability", rows);
+      pos = n1;
+    }
+    std::cout << "SLO report (from " << report_path << "):\n";
+  } else {
+    // No saved report: run a short live steady scenario on the toy
+    // group and report its engine directly.
+    sim::ScenarioConfig cfg;
+    cfg.users = 6;
+    cfg.ops = 48;
+    cfg.group = &pairing::toy_params();
+    sim::ScenarioRunner runner(cfg);
+    const sim::ScenarioResult res = runner.run("steady");
+    runner.slo_engine().publish(obs::registry());
+    for (const obs::SloEngine::Report& r : runner.slo_engine().report()) {
+      SloRow row;
+      row.scenario = res.name;
+      row.kind = r.name.find("latency") != std::string::npos ? "latency"
+                                                             : "availability";
+      row.objective = r.objective;
+      row.availability = r.availability;
+      row.budget_consumed = r.budget_consumed;
+      for (const obs::SloEngine::Burn& b : r.burns) {
+        row.burns.emplace_back(b.window, b.rate);
+      }
+      rows.push_back(std::move(row));
+    }
+    std::cout << "SLO report (live steady run, toy parameters, " << cfg.ops
+              << " ops):\n";
+  }
+  if (rows.empty()) throw Error("slo: no SLO data found");
+  print_slo_rows(rows);
+  std::cout << "(burn rate 1.0x = spending the error budget exactly at the "
+               "rate that exhausts it by window end)\n";
   return 0;
 }
 
@@ -279,9 +522,24 @@ int main(int argc, char** argv) {
     std::cerr << "usage: medcrypt_cli "
                  "setup|enroll|encrypt|decrypt|revoke|unrevoke|status|stats "
                  "<dir> [args]\n"
-                 "       medcrypt_cli stats <dir> [ops] [--prom|--json]\n";
+                 "       medcrypt_cli stats <dir> [ops] [--prom|--json]\n"
+                 "       medcrypt_cli load [--scenario NAME|all] [--users N] "
+                 "[--ops N] [--threads N] [--batch N] [--toy] [--out FILE]\n"
+                 "       medcrypt_cli slo [--report FILE]\n";
     return 2;
   };
+  if (argc >= 2) {
+    const std::string cmd0 = argv[1];
+    if (cmd0 == "load" || cmd0 == "slo") {
+      const std::vector<std::string> args(argv + 2, argv + argc);
+      try {
+        return cmd0 == "load" ? cmd_load(args) : cmd_slo(args);
+      } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+      }
+    }
+  }
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
   const fs::path dir = argv[2];

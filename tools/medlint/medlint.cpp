@@ -292,7 +292,15 @@ const std::regex kIdentPathRe(
 // that residue (docs/SECRET_HYGIENE.md).
 void check_obs_args(const std::string& file, std::size_t lineno,
                     const std::string& code, std::vector<Violation>& out) {
-  const std::size_t obs_pos = code.find("obs::");
+  // Anchor on a qualified obs:: call, or on the tracing entry points
+  // that are routinely called unqualified (TraceScope adoption at a
+  // pipeline boundary, trace_annotate baggage): baggage values and
+  // histogram exemplars are exported in cleartext exactly like metric
+  // samples, so they get the same vetting. npos is the max size_t, so
+  // min() picks the earliest present anchor.
+  const std::size_t obs_pos =
+      std::min({code.find("obs::"), code.find("trace_annotate"),
+                code.find("TraceScope")});
   if (obs_pos == std::string::npos) return;
   const std::size_t open = code.find('(', obs_pos);
   if (open == std::string::npos) return;

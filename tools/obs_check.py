@@ -31,6 +31,17 @@ REQUIRED_STAGES = ["stage.token_issue_ns"]
 KERNEL_GAUGES = ["core.kernel.portable", "core.kernel.avx2",
                  "core.kernel.bmi2"]
 
+# The SLO engine (src/obs/slo.h) publishes one ppm gauge family per
+# tracked objective; the throughput bench always tracks token-issue
+# latency and availability. Each family must be complete: objective,
+# availability, remaining budget, and at least one burn-rate window.
+SLO_GAUGE_RE = re.compile(r"^sem\.slo\.([a-z0-9_]+)\.(objective_ppm|"
+                          r"availability_ppm|budget_remaining_ppm|"
+                          r"burn_[a-z0-9]+_ppm)$")
+# Stage histograms that must retain exemplars: the bench issues tokens
+# under sampled traces, so the tail samples must carry resolvable ids.
+EXEMPLAR_STAGES = ["stage.token_issue_ns"]
+
 PROM_SAMPLE_RE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+]+(\s+[0-9]+)?$")
 
@@ -116,6 +127,35 @@ def check_json(path):
     if len(selected) != 1:
         return fail(f"{path}: expected exactly one selected kernel gauge, "
                     f"got {selected or 'none'}")
+
+    slo_families = {}
+    for name in data["gauges"]:
+        m = SLO_GAUGE_RE.match(name)
+        if m:
+            slo_families.setdefault(m.group(1), set()).add(m.group(2))
+    if not slo_families:
+        return fail(f"{path}: no sem.slo.* gauge families (SLO engine "
+                    "not published?)")
+    for slo, fields in sorted(slo_families.items()):
+        for field in ("objective_ppm", "availability_ppm",
+                      "budget_remaining_ppm"):
+            if field not in fields:
+                return fail(f"{path}: sem.slo.{slo} family missing {field}")
+        if not any(f.startswith("burn_") for f in fields):
+            return fail(f"{path}: sem.slo.{slo} family has no burn-rate "
+                        "window gauges")
+
+    for name in EXEMPLAR_STAGES:
+        exemplars = data["histograms"].get(name, {}).get("exemplars", [])
+        live = [e for e in exemplars if e.get("trace_id")]
+        if not live:
+            return fail(f"{path}: {name} retained no exemplars (tracing "
+                        "not reaching the token-issue hot path?)")
+        for e in live:
+            if e.get("value", 0) <= 0:
+                return fail(f"{path}: {name} exemplar with non-positive "
+                            f"value: {e}")
+
     print(f"obs_check: {path}: {len(data['counters'])} counters, "
           f"{len(data['histograms'])} histograms, "
           f"{len(data['traces'])} traces — ok")
